@@ -1,0 +1,84 @@
+package kwmds
+
+import "testing"
+
+func TestConnectedDominatingSetEndToEnd(t *testing.T) {
+	g, err := UnitDisk(200, 0.14, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ConnectedDominatingSet(g, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsConnectedDominatingSet(g, res.InDS) {
+		t.Fatal("result not a connected dominating set")
+	}
+	plain, err := DominatingSet(g, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Size != plain.Size+res.Connectors {
+		t.Errorf("size accounting: %d != %d + %d", res.Size, plain.Size, res.Connectors)
+	}
+	if res.Size > 3*plain.Size {
+		t.Errorf("|CDS| = %d exceeds 3·|DS| = %d", res.Size, 3*plain.Size)
+	}
+	// Every plain member survives.
+	for v, in := range plain.InDS {
+		if in && !res.InDS[v] {
+			t.Errorf("dominator %d dropped during connection", v)
+		}
+	}
+	if res.WeightedCost != float64(res.Size) {
+		t.Errorf("unweighted cost %v != size %d", res.WeightedCost, res.Size)
+	}
+}
+
+func TestConnectedDominatingSetWeightedCost(t *testing.T) {
+	g, err := UnitDisk(80, 0.25, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights := make([]float64, g.N())
+	for i := range weights {
+		weights[i] = 1 + float64(i%4)
+	}
+	res, err := ConnectedDominatingSet(g, Options{K: 3, Seed: 5, Weights: weights})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsConnectedDominatingSet(g, res.InDS) {
+		t.Fatal("weighted CDS invalid")
+	}
+	var want float64
+	for v, in := range res.InDS {
+		if in {
+			want += weights[v]
+		}
+	}
+	if res.WeightedCost != want {
+		t.Errorf("WeightedCost = %v, want %v", res.WeightedCost, want)
+	}
+}
+
+func TestConnectedDominatingSetDisconnectedGraph(t *testing.T) {
+	// Two separate triangles: per-component connectivity is required.
+	g, err := NewGraph(6, [][2]int{{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ConnectedDominatingSet(g, Options{K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsConnectedDominatingSet(g, res.InDS) {
+		t.Fatal("per-component CDS invalid")
+	}
+}
+
+func TestConnectedDominatingSetNilGraph(t *testing.T) {
+	if _, err := ConnectedDominatingSet(nil, Options{}); err == nil {
+		t.Error("nil graph accepted")
+	}
+}

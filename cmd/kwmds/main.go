@@ -1,0 +1,40 @@
+// Command kwmds runs a dominating set algorithm on a graph read from a
+// file (or stdin) in the plain edge-list format and prints the resulting
+// set together with quality and communication statistics.
+//
+// Usage:
+//
+//	kwmds -graph network.edges -algo kw -k 3 -seed 7
+//	graphgen -family udg -n 500 -r 0.08 | kwmds -algo greedy
+//
+// Algorithms: kw (Algorithm 3 + rounding, the paper's pipeline), kw2
+// (Algorithm 2 + rounding, assumes global ∆), kwcds (kw + connected
+// dominating set), frac (LP stage only), greedy, jrs, wuli, mis, trivial,
+// exact (small graphs only). The implementation lives in internal/cli so
+// it is fully unit-tested.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kwmds/internal/cli"
+)
+
+func main() {
+	var cfg cli.Config
+	flag.StringVar(&cfg.GraphPath, "graph", "-", "edge-list file ('-' for stdin)")
+	flag.StringVar(&cfg.Algo, "algo", "kw", "kw|kw2|kwcds|frac|greedy|jrs|wuli|mis|trivial|exact")
+	flag.IntVar(&cfg.K, "k", 0, "trade-off parameter (0 = log ∆)")
+	flag.Int64Var(&cfg.Seed, "seed", 1, "random seed")
+	flag.BoolVar(&cfg.LnMinusLn, "lnlnln", false, "use the ln−lnln rounding variant")
+	flag.BoolVar(&cfg.Members, "members", false, "print the chosen vertex ids")
+	flag.BoolVar(&cfg.Sequential, "sequential", false, "run the sequential reference (no message stats)")
+	flag.Parse()
+
+	if err := cli.Run(cfg, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "kwmds:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,37 @@
+// Package kwmds is a production-quality Go implementation of
+//
+//	Kuhn & Wattenhofer, "Constant-Time Distributed Dominating Set
+//	Approximation", PODC 2003 / Distributed Computing 17:303-310 (2005),
+//
+// the first distributed algorithm to compute a non-trivial minimum
+// dominating set approximation in a constant number of communication
+// rounds: for any parameter k it produces a dominating set of expected size
+// O(k·∆^{2/k}·log ∆)·|DS_OPT| in O(k²) rounds, using messages of O(log ∆)
+// bits.
+//
+// The pipeline has two stages, both run on a built-in synchronous
+// message-passing simulator (goroutine-per-node) that measures rounds,
+// messages and bits:
+//
+//  1. LP stage — a distributed k(∆+1)^{2/k}-approximation of the fractional
+//     dominating set LP (Algorithm 2 when ∆ is known network-wide,
+//     Algorithm 3 otherwise);
+//  2. rounding stage — distributed randomized rounding with probability
+//     p_i = min{1, x_i·ln(δ⁽²⁾_i+1)} plus a one-round fix-up (Algorithm 1).
+//
+// Quick start:
+//
+//	g, err := kwmds.UnitDisk(500, 0.08, 42) // an ad-hoc radio network
+//	if err != nil { ... }
+//	res, err := kwmds.DominatingSet(g, kwmds.Options{Seed: 7})
+//	if err != nil { ... }
+//	fmt.Printf("cluster heads: %d of %d nodes in %d rounds\n",
+//	    res.Size, g.N(), res.Rounds)
+//
+// The package also exposes the fractional stage alone
+// (FractionalDominatingSet), the weighted variant (Options.Weights), the
+// ln−lnln rounding variant (Options.Variant), and graph construction,
+// generation and I/O helpers. See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the reproduction of every quantitative claim in the
+// paper.
+package kwmds

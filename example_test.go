@@ -1,0 +1,72 @@
+package kwmds_test
+
+import (
+	"fmt"
+
+	"kwmds"
+)
+
+// ExampleDominatingSet demonstrates the full Kuhn–Wattenhofer pipeline on
+// a small deterministic network.
+func ExampleDominatingSet() {
+	// A 4×4 grid: 16 nodes, Δ = 4.
+	g, err := kwmds.Grid(4, 4)
+	if err != nil {
+		panic(err)
+	}
+	res, err := kwmds.DominatingSet(g, kwmds.Options{K: 3, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("dominating:", g.IsDominatingSet(res.InDS))
+	fmt.Println("rounds:", res.Rounds) // 4k²+2k+2 (LP) + 3 (rounding)
+	// Output:
+	// dominating: true
+	// rounds: 47
+}
+
+// ExampleFractionalDominatingSet runs only the LP stage (Algorithm 3) and
+// checks its Theorem 5 guarantee.
+func ExampleFractionalDominatingSet() {
+	g, err := kwmds.Star(64) // hub + 63 leaves, Δ = 63
+	if err != nil {
+		panic(err)
+	}
+	res, err := kwmds.FractionalDominatingSet(g, kwmds.Options{K: 2})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("feasible:", kwmds.IsFractionallyFeasible(g, res.X))
+	fmt.Printf("objective: %.0f (hub alone suffices)\n", res.Objective)
+	// Output:
+	// feasible: true
+	// objective: 1 (hub alone suffices)
+}
+
+// ExampleConnectedDominatingSet builds a routing backbone: a dominating
+// set upgraded to induce a connected subgraph.
+func ExampleConnectedDominatingSet() {
+	g, err := kwmds.Path(9)
+	if err != nil {
+		panic(err)
+	}
+	res, err := kwmds.ConnectedDominatingSet(g, kwmds.Options{K: 2, Seed: 3})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("connected dominating:", kwmds.IsConnectedDominatingSet(g, res.InDS))
+	// Output:
+	// connected dominating: true
+}
+
+// ExampleDualLowerBound evaluates the paper's Lemma 1 on a clique, where
+// it is tight: Σ 1/(δ⁽¹⁾+1) = n/n = 1 = |DS_OPT|.
+func ExampleDualLowerBound() {
+	g, err := kwmds.Clique(10)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("lower bound: %.0f\n", kwmds.DualLowerBound(g))
+	// Output:
+	// lower bound: 1
+}

@@ -1,0 +1,72 @@
+// Mobility: why "constant-time" is the headline.
+//
+// The paper's introduction argues that ad-hoc topologies change so often
+// that cluster-head election must cost a *small, fixed* number of rounds —
+// waiting Ω(diameter) or even O(log n) rounds means electing against stale
+// topology. This example simulates a moving network (bounded random walk),
+// re-elects cluster heads every epoch with the KW pipeline, and reports:
+//
+//   - topology churn between epochs (edges appearing/disappearing),
+//
+//   - head-set churn (how many heads survive re-election),
+//
+//   - the election cost in rounds — identical every epoch, by construction.
+//
+//     go run ./examples/mobility
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kwmds"
+	"kwmds/internal/mobility"
+)
+
+func main() {
+	const (
+		n      = 400
+		radius = 0.1
+		speed  = 0.03 // per-epoch movement bound (10% of a radio range ≈ 0.03)
+		epochs = 8
+		k      = 3
+	)
+	trace, err := mobility.RandomWalk(n, radius, speed, epochs, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network: %d nodes, radio range %.2f, per-epoch movement ≤ %.2f\n",
+		n, radius, speed)
+	fmt.Printf("election: KW pipeline with k=%d → fixed %d rounds per epoch\n\n",
+		k, 4*k*k+2*k+2+3)
+
+	fmt.Printf("%-6s %-7s %-14s %-7s %-22s %-7s\n",
+		"epoch", "links", "edge churn", "heads", "head churn (k/a/r)", "rounds")
+	var prevHeads []bool
+	for e, g := range trace.Graphs {
+		res, err := kwmds.DominatingSet(g, kwmds.Options{K: k, Seed: int64(100 + e)})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !g.IsDominatingSet(res.InDS) {
+			log.Fatalf("epoch %d: invalid set", e)
+		}
+		churnStr := "—"
+		if e > 0 {
+			_, onlyPrev, onlyCur := mobility.EdgeChurn(trace.Graphs[e-1], g)
+			churnStr = fmt.Sprintf("-%d/+%d", onlyPrev, onlyCur)
+		}
+		headStr := "—"
+		if prevHeads != nil {
+			kept, added, removed := mobility.Churn(prevHeads, res.InDS)
+			headStr = fmt.Sprintf("%d kept, +%d, -%d", kept, added, removed)
+		}
+		fmt.Printf("%-6d %-7d %-14s %-7d %-22s %-7d\n",
+			e, g.M(), churnStr, res.Size, headStr, res.Rounds)
+		prevHeads = res.InDS
+	}
+
+	fmt.Println("\nthe election cost is the same every epoch and independent of n —")
+	fmt.Println("the property that distinguishes this algorithm from O(log n·log Δ)")
+	fmt.Println("approaches, whose round count would also fluctuate with the topology.")
+}

@@ -1,0 +1,80 @@
+// Battery-aware clustering with the weighted variant (remark after
+// Theorem 4).
+//
+// Cluster heads burn energy relaying traffic, so nodes with low batteries
+// should be expensive to elect. This example assigns each node a cost
+// c_i = c_max / battery_i ∈ [1, c_max], runs the weighted fractional
+// algorithm + rounding, and compares the elected heads' total cost and
+// low-battery exposure against the unweighted pipeline.
+//
+//	go run ./examples/weighted
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kwmds"
+)
+
+func main() {
+	const n = 500
+	g, err := kwmds.UnitDisk(n, 0.09, 77)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Battery levels in (0,1]: a deterministic mix of full, half and
+	// nearly-empty nodes.
+	battery := make([]float64, n)
+	costs := make([]float64, n)
+	lowBattery := 0
+	for i := range battery {
+		switch i % 5 {
+		case 0:
+			battery[i] = 0.1 // nearly empty
+			lowBattery++
+		case 1, 2:
+			battery[i] = 0.5
+		default:
+			battery[i] = 1.0
+		}
+		costs[i] = 1 / battery[i] // c ∈ [1, 10]
+	}
+	fmt.Printf("network: n=%d m=%d Δ=%d; %d nodes (%d%%) nearly empty\n\n",
+		g.N(), g.M(), g.MaxDegree(), lowBattery, 100*lowBattery/n)
+
+	unweighted, err := kwmds.DominatingSet(g, kwmds.Options{K: 4, Seed: 9})
+	if err != nil {
+		log.Fatal(err)
+	}
+	weighted, err := kwmds.DominatingSet(g, kwmds.Options{K: 4, Seed: 9, Weights: costs})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	report := func(name string, res *kwmds.Result) {
+		low := 0
+		var cost float64
+		for v, in := range res.InDS {
+			if !in {
+				continue
+			}
+			cost += costs[v]
+			if battery[v] <= 0.1 {
+				low++
+			}
+		}
+		fmt.Printf("%-12s heads=%-4d total cost=%-8.1f low-battery heads=%d\n",
+			name, res.Size, cost, low)
+	}
+	report("unweighted", unweighted)
+	report("weighted", weighted)
+
+	if !g.IsDominatingSet(weighted.InDS) {
+		log.Fatal("weighted result not dominating (bug)")
+	}
+	fmt.Println("\nboth sets dominate every node; the weighted variant shifts the")
+	fmt.Println("role of cluster head away from low-battery nodes at a similar or")
+	fmt.Println("lower total energy cost (remark after Theorem 4, experiment T7).")
+}

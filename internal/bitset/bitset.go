@@ -1,0 +1,179 @@
+// Package bitset implements a compact fixed-capacity bit set used by the
+// exact dominating-set solver and the combinatorial baselines, where
+// closed-neighborhood masks and coverage states are manipulated millions of
+// times inside branch-and-bound search.
+package bitset
+
+import (
+	"math/bits"
+	"strings"
+)
+
+// Set is a fixed-capacity bit set. The zero value is unusable; create sets
+// with New. Operations that combine two sets require equal capacity.
+type Set struct {
+	words []uint64
+	n     int // capacity in bits
+}
+
+// New returns a set with capacity n bits, all clear.
+func New(n int) *Set {
+	return &Set{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the capacity in bits.
+func (s *Set) Len() int { return s.n }
+
+// Set sets bit i.
+func (s *Set) Set(i int) { s.words[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear clears bit i.
+func (s *Set) Clear(i int) { s.words[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Test reports whether bit i is set.
+func (s *Set) Test(i int) bool { return s.words[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// All reports whether every bit in [0, Len()) is set.
+func (s *Set) All() bool { return s.Count() == s.n }
+
+// None reports whether no bit is set.
+func (s *Set) None() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy.
+func (s *Set) Clone() *Set {
+	w := make([]uint64, len(s.words))
+	copy(w, s.words)
+	return &Set{words: w, n: s.n}
+}
+
+// CopyFrom overwrites s with the contents of other (equal capacity assumed).
+func (s *Set) CopyFrom(other *Set) { copy(s.words, other.words) }
+
+// Or sets s = s | other.
+func (s *Set) Or(other *Set) {
+	for i, w := range other.words {
+		s.words[i] |= w
+	}
+}
+
+// And sets s = s & other.
+func (s *Set) And(other *Set) {
+	for i, w := range other.words {
+		s.words[i] &= w
+	}
+}
+
+// AndNot sets s = s &^ other.
+func (s *Set) AndNot(other *Set) {
+	for i, w := range other.words {
+		s.words[i] &^= w
+	}
+}
+
+// Equal reports whether s and other contain the same bits.
+func (s *Set) Equal(other *Set) bool {
+	if s.n != other.n {
+		return false
+	}
+	for i, w := range s.words {
+		if w != other.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsSubsetOf reports whether every set bit of s is also set in other.
+func (s *Set) IsSubsetOf(other *Set) bool {
+	for i, w := range s.words {
+		if w&^other.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// IntersectionCount returns |s ∩ other| without allocating.
+func (s *Set) IntersectionCount(other *Set) int {
+	c := 0
+	for i, w := range s.words {
+		c += bits.OnesCount64(w & other.words[i])
+	}
+	return c
+}
+
+// AndNotCount returns |s \ other| without allocating.
+func (s *Set) AndNotCount(other *Set) int {
+	c := 0
+	for i, w := range s.words {
+		c += bits.OnesCount64(w &^ other.words[i])
+	}
+	return c
+}
+
+// NextClear returns the index of the first clear bit at or after from, or -1
+// if every bit in [from, Len()) is set.
+func (s *Set) NextClear(from int) int {
+	if from >= s.n {
+		return -1
+	}
+	wi := from >> 6
+	w := ^s.words[wi] >> (uint(from) & 63)
+	if w != 0 {
+		i := from + bits.TrailingZeros64(w)
+		if i < s.n {
+			return i
+		}
+		return -1
+	}
+	for wi++; wi < len(s.words); wi++ {
+		if w := ^s.words[wi]; w != 0 {
+			i := wi<<6 + bits.TrailingZeros64(w)
+			if i < s.n {
+				return i
+			}
+			return -1
+		}
+	}
+	return -1
+}
+
+// ForEach calls fn for every set bit in increasing order.
+func (s *Set) ForEach(fn func(i int)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			i := wi<<6 + bits.TrailingZeros64(w)
+			fn(i)
+			w &= w - 1
+		}
+	}
+}
+
+// String renders the set as a bit string, lowest index first (for tests).
+func (s *Set) String() string {
+	var b strings.Builder
+	for i := 0; i < s.n; i++ {
+		if s.Test(i) {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,161 @@
+package cds
+
+import (
+	"testing"
+
+	"kwmds/internal/baseline"
+	"kwmds/internal/core"
+	"kwmds/internal/gen"
+	"kwmds/internal/graph"
+	"kwmds/internal/rounding"
+)
+
+func TestConnectValidation(t *testing.T) {
+	g := graph.MustNew(3, [][2]int{{0, 1}, {1, 2}})
+	if _, err := Connect(g, []bool{true}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Connect(g, []bool{true, false, false}); err == nil {
+		t.Error("non-dominating input accepted")
+	}
+}
+
+func TestConnectPath(t *testing.T) {
+	// Path 0-1-2-3-4-5-6: {1,5} dominates... vertex 3 uncovered; use
+	// {1,4}: covers 0,1,2 and 3,4,5 — 6 uncovered. Use {1,5} plus 3:
+	// minimal connected needs the in-between vertices.
+	g := graph.MustNew(7, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}})
+	ds := []bool{false, true, false, false, true, false, false} // 6 uncovered? N[4]={3,4,5}; 6 needs 5 or 6.
+	if g.IsDominatingSet(ds) {
+		t.Fatal("test setup: expected non-dominating")
+	}
+	ds[5] = true // {1,4,5} dominates
+	res, err := Connect(g, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsConnectedDominatingSet(g, res.InCDS) {
+		t.Fatal("result not a connected dominating set")
+	}
+	// 4 and 5 adjacent; 1 and 4 need connectors 2,3 (or equivalent).
+	if res.Size > 5 {
+		t.Errorf("CDS size %d on P7, expected ≤ 5", res.Size)
+	}
+}
+
+func TestConnectAlreadyConnected(t *testing.T) {
+	g, err := gen.Star(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := make([]bool, 20)
+	ds[0] = true // hub alone dominates and is trivially connected
+	res, err := Connect(g, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Size != 1 || res.Connectors != 0 {
+		t.Errorf("star hub: size=%d connectors=%d, want 1, 0", res.Size, res.Connectors)
+	}
+}
+
+func TestConnectAcrossFamilies(t *testing.T) {
+	families := map[string]*graph.Graph{}
+	add := func(name string, g *graph.Graph, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		families[name] = g
+	}
+	g, err := gen.UnitDisk(150, 0.18, 41)
+	add("udg", g, err)
+	g, err = gen.GNP(150, 0.04, 42)
+	add("gnp", g, err)
+	g, err = gen.Grid(9, 11)
+	add("grid", g, err)
+	g, err = gen.RandomTree(80, 43)
+	add("tree", g, err)
+	g, err = gen.CliqueChain(5, 6)
+	add("cliquechain", g, err)
+	families["disconnected"] = graph.MustNew(6, [][2]int{{0, 1}, {2, 3}, {4, 5}})
+	families["isolated"] = graph.MustNew(4, nil)
+
+	for name, g := range families {
+		// Three dominating-set sources: greedy, KW pipeline, all-nodes.
+		inputs := map[string][]bool{
+			"greedy": baseline.Greedy(g).InDS,
+			"all":    baseline.Trivial(g).InDS,
+		}
+		frac, err := core.Reference(g, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rres, err := rounding.Reference(g, frac.X, rounding.Options{Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inputs["kw"] = rres.InDS
+
+		for iname, ds := range inputs {
+			res, err := Connect(g, ds)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, iname, err)
+			}
+			if !IsConnectedDominatingSet(g, res.InCDS) {
+				t.Errorf("%s/%s: not a connected dominating set", name, iname)
+			}
+			// The input must be contained in the output.
+			for v, in := range ds {
+				if in && !res.InCDS[v] {
+					t.Errorf("%s/%s: input member %d dropped", name, iname, v)
+				}
+			}
+			// Size bound: |CDS| ≤ 3|DS| − 2 per the tree-growing argument
+			// (≤ 3|DS| globally across components).
+			if dsSize := graph.SetSize(ds); res.Size > 3*dsSize {
+				t.Errorf("%s/%s: |CDS| = %d > 3·|DS| = %d", name, iname, res.Size, 3*dsSize)
+			}
+			if res.Connectors != res.Size-graph.SetSize(ds) {
+				t.Errorf("%s/%s: connector count inconsistent", name, iname)
+			}
+		}
+	}
+}
+
+func TestIsConnectedDominatingSet(t *testing.T) {
+	g := graph.MustNew(5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	tests := []struct {
+		name string
+		set  []bool
+		want bool
+	}{
+		{"connected dominating", []bool{false, true, true, true, false}, true},
+		{"dominating but disconnected", []bool{false, true, false, true, false}, false},
+		{"not dominating", []bool{true, false, false, false, false}, false},
+		{"everything", []bool{true, true, true, true, true}, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := IsConnectedDominatingSet(g, tc.set); got != tc.want {
+				t.Errorf("got %v, want %v", got, tc.want)
+			}
+		})
+	}
+	// Per-component connectivity on a disconnected graph.
+	g2 := graph.MustNew(4, [][2]int{{0, 1}, {2, 3}})
+	if !IsConnectedDominatingSet(g2, []bool{true, false, true, false}) {
+		t.Error("per-component CDS rejected")
+	}
+	// Empty graph.
+	if !IsConnectedDominatingSet(graph.MustNew(0, nil), nil) {
+		t.Error("empty graph should pass")
+	}
+}
+
+func TestConnectEmptyGraph(t *testing.T) {
+	g := graph.MustNew(0, nil)
+	res, err := Connect(g, nil)
+	if err != nil || res.Size != 0 {
+		t.Errorf("empty: %+v err=%v", res, err)
+	}
+}

@@ -1,0 +1,134 @@
+package cli
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kwmds"
+)
+
+// writeTestGraph stores a small unit-disk network as an edge-list file and
+// returns its path.
+func writeTestGraph(t *testing.T) string {
+	t.Helper()
+	g, err := kwmds.UnitDisk(60, 0.25, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.edges")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := kwmds.WriteGraph(f, g); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAllAlgorithms(t *testing.T) {
+	path := writeTestGraph(t)
+	algos := map[string][]string{
+		"kw":      {"algorithm: kw", "size:", "rounds:", "verified: dominating"},
+		"kw2":     {"algorithm: kw2", "verified: dominating"},
+		"kwcds":   {"kw + connect", "connected: true", "verified: dominating"},
+		"frac":    {"algorithm: fractional", "guarantee"},
+		"greedy":  {"algorithm: greedy", "verified: dominating"},
+		"jrs":     {"algorithm: jrs", "verified: dominating"},
+		"wuli":    {"algorithm: wu-li", "verified: dominating"},
+		"mis":     {"algorithm: luby-mis", "verified: dominating"},
+		"trivial": {"algorithm: trivial", "verified: dominating"},
+		"exact":   {"(optimal)", "verified: dominating"},
+	}
+	for algo, wants := range algos {
+		t.Run(algo, func(t *testing.T) {
+			var buf bytes.Buffer
+			cfg := Config{GraphPath: path, Algo: algo, K: 2, Seed: 3}
+			if err := Run(cfg, &buf); err != nil {
+				t.Fatalf("Run(%s): %v\n%s", algo, err, buf.String())
+			}
+			out := buf.String()
+			for _, want := range wants {
+				if !strings.Contains(out, want) {
+					t.Errorf("%s output missing %q:\n%s", algo, want, out)
+				}
+			}
+		})
+	}
+}
+
+func TestRunFromStdin(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := Config{
+		GraphPath: "-",
+		Algo:      "greedy",
+		Stdin:     strings.NewReader("n 3\n0 1\n1 2\n"),
+	}
+	if err := Run(cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "size: 1") {
+		t.Errorf("P3 greedy should pick 1 vertex:\n%s", buf.String())
+	}
+}
+
+func TestRunSequentialOmitsMessageStats(t *testing.T) {
+	path := writeTestGraph(t)
+	var buf bytes.Buffer
+	if err := Run(Config{GraphPath: path, Algo: "kw", K: 2, Sequential: true}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "messages:") {
+		t.Error("sequential run should not print message stats")
+	}
+}
+
+func TestRunVariantFlag(t *testing.T) {
+	path := writeTestGraph(t)
+	var buf bytes.Buffer
+	if err := Run(Config{GraphPath: path, Algo: "kw", K: 2, LnMinusLn: true}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "verified: dominating") {
+		t.Error("variant run failed verification")
+	}
+}
+
+func TestRunMembersFlag(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := Config{
+		GraphPath: "-",
+		Algo:      "greedy",
+		Members:   true,
+		Stdin:     strings.NewReader("n 2\n0 1\n"),
+	}
+	if err := Run(cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "members: [") {
+		t.Errorf("members flag ignored:\n%s", buf.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeTestGraph(t)
+	var buf bytes.Buffer
+	if err := Run(Config{GraphPath: path, Algo: "nonsense"}, &buf); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if err := Run(Config{GraphPath: "/does/not/exist", Algo: "kw"}, &buf); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := Run(Config{GraphPath: "-", Algo: "kw",
+		Stdin: strings.NewReader("bogus line\n")}, &buf); err == nil {
+		t.Error("malformed graph accepted")
+	}
+	// Invalid k surfaces from the core validation.
+	if err := Run(Config{GraphPath: path, Algo: "kw", K: 999}, &buf); err == nil {
+		t.Error("k=999 accepted")
+	}
+}

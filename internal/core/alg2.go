@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"kwmds/internal/graph"
+	"kwmds/internal/sim"
+)
+
+// xMsg carries a fractional value whose compact wire encoding is its
+// discrete index (for Algorithm 2 the exponent m with x = (∆+1)^{-m/k}; for
+// Algorithm 3 the pair (a⁽¹⁾, m)). The width is fixed when the value is
+// assigned.
+type xMsg struct {
+	v float64
+	w int
+}
+
+// Bits returns the encoded width recorded at assignment time.
+func (p xMsg) Bits() int { return p.w }
+
+// FractionalKnownDelta runs Algorithm 2 on the message-passing simulator:
+// every node knows ∆ and k, and computes its component of a feasible
+// LP_MDS solution in exactly 2k² communication rounds (Theorem 4). The
+// result's X is bit-identical to ReferenceKnownDelta's.
+func FractionalKnownDelta(g *graph.Graph, k int, opts ...sim.Option) (*Result, error) {
+	if err := validateK(k); err != nil {
+		return nil, err
+	}
+	n := g.N()
+	delta := g.MaxDegree()
+	pw := powTable(delta, k)
+	// x-values are indices into the k-entry power table: 1 presence bit
+	// plus ⌈log₂(k+1)⌉ index bits.
+	xWidth := 1 + bits.Len(uint(k))
+
+	x := make([]float64, n)
+	engine := sim.New(g, opts...)
+	// The color exchange runs at the head of each inner iteration so the
+	// activity test sees a fresh δ̃, matching ReferenceKnownDelta (see the
+	// round-schedule note there).
+	st, err := engine.Run(func(nd *sim.Node) {
+		xi := 0.0
+		xw := 1 // zero value: presence bit only
+		gray := false
+		var dtil int
+		for l := k - 1; l >= 0; l-- {
+			thr := pw[l] * (1 - thrSlack)
+			for m := k - 1; m >= 0; m-- {
+				// Lines 9-10 (reordered): color exchange, recount white
+				// closed neighborhood.
+				nd.Broadcast(sim.Bit(gray))
+				msgs := nd.Exchange()
+				dtil = 0
+				if !gray {
+					dtil++
+				}
+				for _, msg := range msgs {
+					if !bool(msg.Data.(sim.Bit)) {
+						dtil++
+					}
+				}
+				// Lines 6-8: activity test on the fresh dynamic degree.
+				if float64(dtil) >= thr {
+					if xval := 1 / pw[m]; xval > xi {
+						xi = xval
+						xw = xWidth
+					}
+				}
+				// Lines 11-12: x exchange, recolor when covered.
+				nd.Broadcast(xMsg{v: xi, w: xw})
+				msgs = nd.Exchange()
+				sum := xi
+				for _, msg := range msgs {
+					sum += msg.Data.(xMsg).v
+				}
+				if sum >= 1-covTol {
+					gray = true
+				}
+			}
+		}
+		x[nd.ID()] = xi
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: algorithm 2: %w", err)
+	}
+	return &Result{
+		X:              x,
+		Rounds:         st.Rounds,
+		Messages:       st.Messages,
+		Bits:           st.Bits,
+		MaxMsgsPerNode: st.MaxMsgs,
+	}, nil
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"kwmds/internal/graph"
+	"kwmds/internal/sim"
+)
+
+// Fractional runs Algorithm 3 on the message-passing simulator. Nodes have
+// no global knowledge: the activity thresholds use the 2-hop maximum
+// dynamic degree γ⁽²⁾, recomputed at every outer iteration. The run takes
+// exactly 4k² + 2k + 2 communication rounds (Theorem 5: 4k² + O(k)). The
+// result's X is bit-identical to Reference's.
+func Fractional(g *graph.Graph, k int, opts ...sim.Option) (*Result, error) {
+	if err := validateK(k); err != nil {
+		return nil, err
+	}
+	n := g.N()
+	x := make([]float64, n)
+	kBits := bits.Len(uint(k))
+
+	engine := sim.New(g, opts...)
+	st, err := engine.Run(func(nd *sim.Node) {
+		deg := nd.Degree()
+
+		// Line 2: two rounds compute δ⁽²⁾.
+		nd.Broadcast(sim.Uint(uint64(deg)))
+		d1 := deg
+		for _, msg := range nd.Exchange() {
+			if d := int(msg.Data.(sim.Uint)); d > d1 {
+				d1 = d
+			}
+		}
+		nd.Broadcast(sim.Uint(uint64(d1)))
+		d2 := d1
+		for _, msg := range nd.Exchange() {
+			if d := int(msg.Data.(sim.Uint)); d > d2 {
+				d2 = d
+			}
+		}
+
+		// Line 3.
+		gamma2 := d2 + 1
+		dtil := deg + 1
+		xi := 0.0
+		xw := 1
+		gray := false
+
+		for l := k - 1; l >= 0; l-- {
+			expL := float64(l) / float64(l+1)
+			for m := k - 1; m >= 0; m-- {
+				// Lines 7-9: activity, announced by presence of a flag.
+				// The δ̃ ≥ 1 guard handles the degenerate γ⁽²⁾ = 0 case
+				// exactly as in the sequential reference.
+				active := dtil >= 1 &&
+					float64(dtil) >= math.Pow(float64(gamma2), expL)*(1-thrSlack)
+				if active {
+					nd.Broadcast(sim.Flag{})
+				}
+				msgs := nd.Exchange()
+				// Lines 10-11: a(v) counts active members of N[v]; gray
+				// nodes report 0.
+				a := 0
+				if !gray {
+					if active {
+						a++
+					}
+					a += len(msgs)
+				}
+				// Line 12: exchange a-values.
+				nd.Broadcast(sim.Uint(uint64(a)))
+				msgs = nd.Exchange()
+				// Line 13.
+				a1 := a
+				for _, msg := range msgs {
+					if av := int(msg.Data.(sim.Uint)); av > a1 {
+						a1 = av
+					}
+				}
+				// Lines 15-17.
+				if active && a1 >= 1 {
+					xval := math.Pow(float64(a1), -float64(m)/float64(m+1))
+					if xval > xi {
+						xi = xval
+						xw = 1 + bits.Len(uint(a1)) + kBits
+					}
+				}
+				// Line 18: exchange x-values.
+				nd.Broadcast(xMsg{v: xi, w: xw})
+				msgs = nd.Exchange()
+				// Line 19.
+				sum := xi
+				for _, msg := range msgs {
+					sum += msg.Data.(xMsg).v
+				}
+				if sum >= 1-covTol {
+					gray = true
+				}
+				// Lines 20-21: exchange colors, recount fresh δ̃.
+				nd.Broadcast(sim.Bit(gray))
+				msgs = nd.Exchange()
+				dtil = 0
+				if !gray {
+					dtil++
+				}
+				for _, msg := range msgs {
+					if !bool(msg.Data.(sim.Bit)) {
+						dtil++
+					}
+				}
+			}
+			// Lines 24-27: refresh γ⁽²⁾ for the next outer iteration.
+			nd.Broadcast(sim.Uint(uint64(dtil)))
+			gamma1 := dtil
+			for _, msg := range nd.Exchange() {
+				if d := int(msg.Data.(sim.Uint)); d > gamma1 {
+					gamma1 = d
+				}
+			}
+			nd.Broadcast(sim.Uint(uint64(gamma1)))
+			gamma2 = gamma1
+			for _, msg := range nd.Exchange() {
+				if gv := int(msg.Data.(sim.Uint)); gv > gamma2 {
+					gamma2 = gv
+				}
+			}
+		}
+		x[nd.ID()] = xi
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: algorithm 3: %w", err)
+	}
+	return &Result{
+		X:              x,
+		Rounds:         st.Rounds,
+		Messages:       st.Messages,
+		Bits:           st.Bits,
+		MaxMsgsPerNode: st.MaxMsgs,
+	}, nil
+}

@@ -1,0 +1,498 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"kwmds/internal/gen"
+	"kwmds/internal/graph"
+	"kwmds/internal/lp"
+)
+
+// families returns the test workloads: name, graph.
+func families(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	out := make(map[string]*graph.Graph)
+	add := func(name string, g *graph.Graph, err error) {
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out[name] = g
+	}
+	g, err := gen.GNP(60, 0.08, 1)
+	add("gnp60", g, err)
+	g, err = gen.UnitDisk(70, 0.2, 2)
+	add("udg70", g, err)
+	g, err = gen.Grid(6, 8)
+	add("grid6x8", g, err)
+	g, err = gen.RandomTree(50, 3)
+	add("tree50", g, err)
+	g, err = gen.Star(30)
+	add("star30", g, err)
+	g, err = gen.Clique(12)
+	add("clique12", g, err)
+	g, err = gen.CliqueChain(4, 6)
+	add("cliquechain", g, err)
+	g, err = gen.Cycle(25)
+	add("cycle25", g, err)
+	g, err = gen.StarOfStars(5, 8)
+	add("starofstars", g, err)
+	add("edgeless", graph.MustNew(7, nil), nil)
+	return out
+}
+
+func TestValidateK(t *testing.T) {
+	g := graph.MustNew(2, [][2]int{{0, 1}})
+	for _, k := range []int{0, -1, 65} {
+		if _, err := ReferenceKnownDelta(g, k); err == nil {
+			t.Errorf("ReferenceKnownDelta accepted k=%d", k)
+		}
+		if _, err := Reference(g, k); err == nil {
+			t.Errorf("Reference accepted k=%d", k)
+		}
+		if _, err := FractionalKnownDelta(g, k); err == nil {
+			t.Errorf("FractionalKnownDelta accepted k=%d", k)
+		}
+		if _, err := Fractional(g, k); err == nil {
+			t.Errorf("Fractional accepted k=%d", k)
+		}
+	}
+}
+
+// Theorem 4 (part 1): Algorithm 2 always outputs a feasible LP_MDS solution.
+func TestAlg2FeasibilityAcrossFamilies(t *testing.T) {
+	for name, g := range families(t) {
+		for _, k := range []int{1, 2, 3, 5} {
+			res, err := ReferenceKnownDelta(g, k)
+			if err != nil {
+				t.Fatalf("%s k=%d: %v", name, k, err)
+			}
+			if viol := lp.Violations(g, res.X); len(viol) > 0 {
+				t.Errorf("%s k=%d: infeasible at vertices %v", name, k, viol)
+			}
+			for v, xv := range res.X {
+				if xv < 0 || xv > 1+1e-12 {
+					t.Errorf("%s k=%d: x[%d]=%v outside [0,1]", name, k, v, xv)
+				}
+			}
+		}
+	}
+}
+
+// Theorem 5 (part 1): Algorithm 3 always outputs a feasible LP_MDS solution.
+func TestAlg3FeasibilityAcrossFamilies(t *testing.T) {
+	for name, g := range families(t) {
+		for _, k := range []int{1, 2, 3, 5} {
+			res, err := Reference(g, k)
+			if err != nil {
+				t.Fatalf("%s k=%d: %v", name, k, err)
+			}
+			if viol := lp.Violations(g, res.X); len(viol) > 0 {
+				t.Errorf("%s k=%d: infeasible at vertices %v", name, k, viol)
+			}
+		}
+	}
+}
+
+// Theorem 4 (part 2): Σx ≤ k(∆+1)^{2/k}·LP_OPT.
+func TestAlg2ApproximationBound(t *testing.T) {
+	for name, g := range families(t) {
+		if g.N() > 100 {
+			continue // keep simplex fast
+		}
+		opt, _, err := lp.Optimum(g, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, k := range []int{1, 2, 3, 4, 6} {
+			res, err := ReferenceKnownDelta(g, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bound := KnownDeltaBound(k, g.MaxDegree())
+			if obj := res.Objective(); obj > bound*opt*(1+1e-9) {
+				t.Errorf("%s k=%d: Σx=%v exceeds %v·OPT=%v", name, k, obj, bound, bound*opt)
+			}
+		}
+	}
+}
+
+// Theorem 5 (part 2): Σx ≤ k((∆+1)^{1/k}+(∆+1)^{2/k})·LP_OPT.
+func TestAlg3ApproximationBound(t *testing.T) {
+	for name, g := range families(t) {
+		if g.N() > 100 {
+			continue
+		}
+		opt, _, err := lp.Optimum(g, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, k := range []int{1, 2, 3, 4, 6} {
+			res, err := Reference(g, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bound := UnknownDeltaBound(k, g.MaxDegree())
+			if obj := res.Objective(); obj > bound*opt*(1+1e-9) {
+				t.Errorf("%s k=%d: Σx=%v exceeds %v·OPT=%v", name, k, obj, bound, bound*opt)
+			}
+		}
+	}
+}
+
+// Theorem 4 (part 3): Algorithm 2 terminates after exactly 2k² rounds.
+func TestAlg2RoundCount(t *testing.T) {
+	g, err := gen.GNP(40, 0.1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, 2, 3, 5} {
+		res, err := FractionalKnownDelta(g, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rounds != 2*k*k {
+			t.Errorf("k=%d: %d rounds, want %d", k, res.Rounds, 2*k*k)
+		}
+	}
+}
+
+// Theorem 5 (part 3): Algorithm 3 terminates after exactly 4k²+2k+2 rounds.
+func TestAlg3RoundCount(t *testing.T) {
+	g, err := gen.GNP(40, 0.1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, 2, 3, 5} {
+		res, err := Fractional(g, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := 4*k*k + 2*k + 2; res.Rounds != want {
+			t.Errorf("k=%d: %d rounds, want %d", k, res.Rounds, want)
+		}
+	}
+}
+
+// The distributed executions must reproduce the sequential references
+// bit for bit.
+func TestSimMatchesReference(t *testing.T) {
+	for name, g := range families(t) {
+		for _, k := range []int{1, 3, 4} {
+			ref, err := ReferenceKnownDelta(g, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dist, err := FractionalKnownDelta(g, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range ref.X {
+				if ref.X[v] != dist.X[v] {
+					t.Fatalf("alg2 %s k=%d: x[%d] %v (ref) != %v (sim)", name, k, v, ref.X[v], dist.X[v])
+				}
+			}
+			ref3, err := Reference(g, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dist3, err := Fractional(g, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range ref3.X {
+				if ref3.X[v] != dist3.X[v] {
+					t.Fatalf("alg3 %s k=%d: x[%d] %v (ref) != %v (sim)", name, k, v, ref3.X[v], dist3.X[v])
+				}
+			}
+		}
+	}
+}
+
+// Lemma 2: at the start of each outer iteration ℓ, the (true) dynamic
+// degree satisfies δ̃ ≤ (∆+1)^{(ℓ+1)/k}.
+func TestLemma2Invariant(t *testing.T) {
+	for name, g := range families(t) {
+		for _, k := range []int{2, 4, 5} {
+			res, err := ReferenceKnownDelta(g, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkDtilInvariant(t, name, g, k, res)
+		}
+	}
+}
+
+// Lemma 5: same invariant for Algorithm 3.
+func TestLemma5Invariant(t *testing.T) {
+	for name, g := range families(t) {
+		for _, k := range []int{2, 4, 5} {
+			res, err := Reference(g, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkDtilInvariant(t, name, g, k, res)
+		}
+	}
+}
+
+func checkDtilInvariant(t *testing.T, name string, g *graph.Graph, k int, res *RefResult) {
+	t.Helper()
+	base := float64(g.MaxDegree() + 1)
+	for _, snap := range res.Trace {
+		if snap.M != k-1 {
+			continue // outer-iteration boundaries only
+		}
+		bound := math.Pow(base, float64(snap.L+1)/float64(k))
+		if float64(snap.MaxDtil) > bound*(1+1e-9) {
+			t.Errorf("%s k=%d ℓ=%d: max δ̃ = %d > (∆+1)^{(ℓ+1)/k} = %v",
+				name, k, snap.L, snap.MaxDtil, bound)
+		}
+	}
+}
+
+// Lemmas 3 and 6: at the start of each inner iteration, a(v) ≤
+// (∆+1)^{(m+1)/k} for every (white) node v.
+func TestLemma3And6Invariant(t *testing.T) {
+	for name, g := range families(t) {
+		for _, k := range []int{2, 4, 5} {
+			for alg, run := range map[string]func(*graph.Graph, int) (*RefResult, error){
+				"alg2": ReferenceKnownDelta, "alg3": Reference,
+			} {
+				res, err := run(g, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				base := float64(g.MaxDegree() + 1)
+				for _, snap := range res.Trace {
+					bound := math.Pow(base, float64(snap.M+1)/float64(k))
+					if float64(snap.MaxA) > bound*(1+1e-9) {
+						t.Errorf("%s %s k=%d ℓ=%d m=%d: max a(v) = %d > %v",
+							alg, name, k, snap.L, snap.M, snap.MaxA, bound)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Lemma 4: at the end of each outer iteration of Algorithm 2,
+// z_i ≤ 1/(∆+1)^{(ℓ-1)/k} — up to the outer-boundary additive term
+// 1/(∆+1)^{ℓ/k} that the paper's proof glosses over (a node can become
+// active for the first time at m=k-1 with x still 0, so the "previous x ≥
+// 1/(∆+1)^{(m+1)/k}" step does not apply there; bounding its old x by 0
+// instead adds one extra share). The neighborhood sums then obey
+// Σ_{j∈N[i]} z_j ≤ (∆+1)^{2/k} + (∆+1)^{1/k}. With the fresh-δ̃ round
+// schedule no weight is ever lost.
+func TestLemma4ZInvariant(t *testing.T) {
+	for name, g := range families(t) {
+		for _, k := range []int{2, 3, 5} {
+			res, err := ReferenceKnownDelta(g, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := float64(g.MaxDegree() + 1)
+			for _, rep := range res.Outer {
+				zBound := math.Pow(base, -float64(rep.L-1)/float64(k)) +
+					math.Pow(base, -float64(rep.L)/float64(k))
+				if rep.ZMax > zBound*(1+1e-9) {
+					t.Errorf("%s k=%d ℓ=%d: max z = %v > %v", name, k, rep.L, rep.ZMax, zBound)
+				}
+				nbBound := math.Pow(base, 2/float64(k)) + math.Pow(base, 1/float64(k))
+				if rep.ZNeighborhoodMax > nbBound*(1+1e-9) {
+					t.Errorf("%s k=%d ℓ=%d: max Σ_N z = %v > %v",
+						name, k, rep.L, rep.ZNeighborhoodMax, nbBound)
+				}
+				if rep.LostWeight != 0 {
+					t.Errorf("%s k=%d ℓ=%d: lost weight %v with fresh δ̃ schedule",
+						name, k, rep.L, rep.LostWeight)
+				}
+				// Σz = total x-increase (conservation).
+				if math.Abs(rep.ZSum-rep.XIncrease) > 1e-6 {
+					t.Errorf("%s k=%d ℓ=%d: z-conservation broken: %v != %v",
+						name, k, rep.L, rep.ZSum, rep.XIncrease)
+				}
+			}
+		}
+	}
+}
+
+// Lemma 7 / Theorem 5 proof: for Algorithm 3 the per-neighborhood z-sums
+// are bounded by (∆+1)^{1/k} + (∆+1)^{2/k}, and no weight is ever lost
+// (Algorithm 3's dynamic degree is fresh at the activity test).
+func TestLemma7ZInvariant(t *testing.T) {
+	for name, g := range families(t) {
+		for _, k := range []int{2, 3, 5} {
+			res, err := Reference(g, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := float64(g.MaxDegree() + 1)
+			nbBound := math.Pow(base, 1/float64(k)) + math.Pow(base, 2/float64(k))
+			for _, rep := range res.Outer {
+				if rep.LostWeight != 0 {
+					t.Errorf("%s k=%d ℓ=%d: algorithm 3 lost weight %v", name, k, rep.L, rep.LostWeight)
+				}
+				if rep.ZNeighborhoodMax > nbBound*(1+1e-9) {
+					t.Errorf("%s k=%d ℓ=%d: max Σ_N z = %v > %v", name, k, rep.L,
+						rep.ZNeighborhoodMax, nbBound)
+				}
+				if math.Abs(rep.ZSum-rep.XIncrease) > 1e-6 {
+					t.Errorf("%s k=%d ℓ=%d: Σz=%v != ΣΔx=%v", name, k, rep.L, rep.ZSum, rep.XIncrease)
+				}
+			}
+		}
+	}
+}
+
+// Message complexity (Theorem 4/6 discussion): Algorithm 2 sends exactly
+// 2k²·deg(v) messages per node; message sizes stay O(log ∆ + log k).
+func TestAlg2MessageComplexity(t *testing.T) {
+	g, err := gen.GNP(50, 0.15, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 3
+	res, err := FractionalKnownDelta(g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var totalDeg int64
+	for v := 0; v < g.N(); v++ {
+		totalDeg += int64(g.Degree(v))
+	}
+	if want := int64(2*k*k) * totalDeg; res.Messages != want {
+		t.Errorf("Messages = %d, want %d", res.Messages, want)
+	}
+	if want := int64(2*k*k) * int64(g.MaxDegree()); res.MaxMsgsPerNode != want {
+		t.Errorf("MaxMsgsPerNode = %d, want %d", res.MaxMsgsPerNode, want)
+	}
+	// Mean bits per message must stay within the O(log ∆ + log k) regime:
+	// colors cost 1 bit, x-values ≤ 1+⌈log₂(k+1)⌉ bits.
+	maxWidth := float64(2 + bitsLen(k))
+	if mean := float64(res.Bits) / float64(res.Messages); mean > maxWidth {
+		t.Errorf("mean message size %v bits exceeds %v", mean, maxWidth)
+	}
+}
+
+func bitsLen(v int) int {
+	n := 0
+	for x := uint(v); x > 0; x >>= 1 {
+		n++
+	}
+	return n
+}
+
+// Higher k must never give a worse LP objective on the same graph by more
+// than the theory allows; in practice the trade-off curve is decreasing.
+// We check the weaker monotonicity that k=log∆ beats k=1 substantially on
+// a star (where k=1 sets every x to 1).
+func TestTradeoffImproves(t *testing.T) {
+	g, err := gen.Star(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := ReferenceKnownDelta(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resLog, err := ReferenceKnownDelta(g, LogDeltaK(g.MaxDegree()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resLog.Objective() >= res1.Objective() {
+		t.Errorf("k=log∆ objective %v not better than k=1 objective %v",
+			resLog.Objective(), res1.Objective())
+	}
+}
+
+func TestEdgelessAndEmptyGraphs(t *testing.T) {
+	empty := graph.MustNew(0, nil)
+	res, err := ReferenceKnownDelta(empty, 3)
+	if err != nil || len(res.X) != 0 {
+		t.Errorf("empty graph: %v err=%v", res, err)
+	}
+	if _, err := Fractional(empty, 3); err != nil {
+		t.Errorf("empty graph distributed: %v", err)
+	}
+
+	iso := graph.MustNew(5, nil)
+	for _, run := range []func(*graph.Graph, int) (*RefResult, error){ReferenceKnownDelta, Reference} {
+		res, err := run(iso, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v, xv := range res.X {
+			if xv != 1 {
+				t.Errorf("isolated vertex %d has x=%v, want 1", v, xv)
+			}
+		}
+	}
+}
+
+func TestK1DegenerateCase(t *testing.T) {
+	// k=1: single iteration with thresholds (∆+1)^0 = 1; every node is
+	// active and sets x=1. Feasible, and exactly the trivial solution.
+	g, err := gen.GNP(30, 0.2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ReferenceKnownDelta(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj := res.Objective(); obj != float64(g.N()) {
+		t.Errorf("k=1 objective = %v, want n = %d", obj, g.N())
+	}
+}
+
+func TestBoundsHelpers(t *testing.T) {
+	if b := KnownDeltaBound(2, 15); math.Abs(b-8) > 1e-12 { // 2·16^{1}... 2·16^{2/2}=2·16=32? no: (∆+1)^{2/k}=16^{1}=16 → 2·16=32
+		_ = b
+	}
+	// Explicit values: k=2, ∆=15 → 2·(16)^{1} = 32.
+	if b := KnownDeltaBound(2, 15); math.Abs(b-32) > 1e-9 {
+		t.Errorf("KnownDeltaBound(2,15) = %v, want 32", b)
+	}
+	// k=4, ∆=15 → 4·16^{1/2} = 16.
+	if b := KnownDeltaBound(4, 15); math.Abs(b-16) > 1e-9 {
+		t.Errorf("KnownDeltaBound(4,15) = %v, want 16", b)
+	}
+	// Unknown-∆ bound: k=2, ∆=15 → 2·(4+16) = 40.
+	if b := UnknownDeltaBound(2, 15); math.Abs(b-40) > 1e-9 {
+		t.Errorf("UnknownDeltaBound(2,15) = %v, want 40", b)
+	}
+	// Weighted: k=2, ∆=15, cmax=4 → 2·4·8 = 64.
+	if b := WeightedBound(2, 15, 4); math.Abs(b-64) > 1e-9 {
+		t.Errorf("WeightedBound(2,15,4) = %v, want 64", b)
+	}
+	if LogDeltaK(0) < 1 || LogDeltaK(1) < 1 {
+		t.Error("LogDeltaK must be ≥ 1")
+	}
+	if k := LogDeltaK(15); k != 5 { // ⌈log₂ 16⌉+1 = 5 per our definition
+		t.Errorf("LogDeltaK(15) = %d, want 5", k)
+	}
+}
+
+func TestTraceShape(t *testing.T) {
+	g, err := gen.Grid(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 3
+	res, err := ReferenceKnownDelta(g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) != k*k {
+		t.Errorf("trace has %d snapshots, want k² = %d", len(res.Trace), k*k)
+	}
+	if len(res.Outer) != k {
+		t.Errorf("outer reports: %d, want k = %d", len(res.Outer), k)
+	}
+	// Snapshots count down: first is (k-1, k-1), last is (0,0).
+	first, last := res.Trace[0], res.Trace[len(res.Trace)-1]
+	if first.L != k-1 || first.M != k-1 || last.L != 0 || last.M != 0 {
+		t.Errorf("trace order wrong: first (%d,%d), last (%d,%d)", first.L, first.M, last.L, last.M)
+	}
+}

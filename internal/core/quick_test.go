@@ -1,0 +1,148 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"kwmds/internal/graph"
+	"kwmds/internal/lp"
+)
+
+// randomGraphFrom builds a small graph from quick's raw fuzz input.
+func randomGraphFrom(nRaw uint8, rawEdges [][2]uint8) *graph.Graph {
+	n := int(nRaw%24) + 2
+	var edges [][2]int
+	for _, e := range rawEdges {
+		u, v := int(e[0])%n, int(e[1])%n
+		if u != v {
+			edges = append(edges, [2]int{u, v})
+		}
+	}
+	return graph.MustNew(n, edges)
+}
+
+// Property: for every graph and every k, both LP-stage algorithms return a
+// feasible fractional dominating set with all values in [0,1].
+func TestQuickFeasibility(t *testing.T) {
+	f := func(nRaw uint8, rawEdges [][2]uint8, kRaw uint8) bool {
+		g := randomGraphFrom(nRaw, rawEdges)
+		k := int(kRaw%7) + 1
+		for _, run := range []func(*graph.Graph, int) (*RefResult, error){
+			ReferenceKnownDelta, Reference,
+		} {
+			res, err := run(g, k)
+			if err != nil {
+				return false
+			}
+			if !lp.IsFeasible(g, res.X) {
+				return false
+			}
+			for _, x := range res.X {
+				if x < 0 || x > 1+1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the Theorem 4/5 approximation bounds hold against the exact LP
+// optimum for every random graph and k (the graphs are small enough for
+// the simplex yardstick).
+func TestQuickApproximationBounds(t *testing.T) {
+	f := func(nRaw uint8, rawEdges [][2]uint8, kRaw uint8) bool {
+		g := randomGraphFrom(nRaw, rawEdges)
+		k := int(kRaw%6) + 1
+		opt, _, err := lp.Optimum(g, nil)
+		if err != nil {
+			return false
+		}
+		r2, err := ReferenceKnownDelta(g, k)
+		if err != nil {
+			return false
+		}
+		if r2.Objective() > KnownDeltaBound(k, g.MaxDegree())*opt*(1+1e-9) {
+			return false
+		}
+		r3, err := Reference(g, k)
+		if err != nil {
+			return false
+		}
+		return r3.Objective() <= UnknownDeltaBound(k, g.MaxDegree())*opt*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Σx never decreases when k grows... is NOT claimed by the paper
+// (the trade-off is in the bound, not pointwise). What *is* invariant: the
+// z-conservation ΣΔx = Σz per outer iteration, for every graph, k and both
+// algorithms.
+func TestQuickZConservation(t *testing.T) {
+	f := func(nRaw uint8, rawEdges [][2]uint8, kRaw uint8) bool {
+		g := randomGraphFrom(nRaw, rawEdges)
+		k := int(kRaw%6) + 1
+		for _, run := range []func(*graph.Graph, int) (*RefResult, error){
+			ReferenceKnownDelta, Reference,
+		} {
+			res, err := run(g, k)
+			if err != nil {
+				return false
+			}
+			for _, rep := range res.Outer {
+				if rep.LostWeight != 0 {
+					return false
+				}
+				if diff := rep.ZSum - rep.XIncrease; diff > 1e-6 || diff < -1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the weighted variant stays feasible and respects its bound for
+// arbitrary costs in [1, 16].
+func TestQuickWeighted(t *testing.T) {
+	f := func(nRaw uint8, rawEdges [][2]uint8, kRaw uint8, costRaw []uint8) bool {
+		g := randomGraphFrom(nRaw, rawEdges)
+		k := int(kRaw%5) + 1
+		costs := make([]float64, g.N())
+		cmax := 1.0
+		for i := range costs {
+			c := 1.0
+			if len(costRaw) > 0 {
+				c = 1 + float64(costRaw[i%len(costRaw)]%16)
+			}
+			costs[i] = c
+			if c > cmax {
+				cmax = c
+			}
+		}
+		res, err := ReferenceWeighted(g, k, costs)
+		if err != nil {
+			return false
+		}
+		if !lp.IsFeasible(g, res.X) {
+			return false
+		}
+		wopt, _, err := lp.Optimum(g, costs)
+		if err != nil {
+			return false
+		}
+		obj := lp.WeightedObjective(res.X, costs)
+		return obj <= WeightedBound(k, g.MaxDegree(), cmax)*wopt*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"kwmds/internal/graph"
+	"kwmds/internal/sim"
+)
+
+// This file implements the weighted fractional dominating set variant from
+// the remark after Theorem 4. Nodes carry costs c_i ∈ [1, c_max]; the
+// objective is Σ c_i·x_i. Following the remark, the scaled dynamic degree
+// γ̃(v_i) = (c_max/c_i)·δ̃(v_i) replaces δ̃ in the activity test and the
+// threshold becomes [c_max(∆+1)]^{ℓ/k}; the x-update of Algorithm 2 is kept.
+// The claimed approximation ratio is k(∆+1)^{1/k}·[c_max(∆+1)]^{1/k}
+// (verified empirically by experiment T7).
+
+// validateCosts checks c_i ≥ 1 (as the remark assumes) and returns c_max.
+func validateCosts(n int, costs []float64) (float64, error) {
+	if len(costs) != n {
+		return 0, fmt.Errorf("core: %d costs for %d vertices", len(costs), n)
+	}
+	cmax := 1.0
+	for i, c := range costs {
+		if c < 1 || math.IsNaN(c) || math.IsInf(c, 0) {
+			return 0, fmt.Errorf("core: cost[%d] = %v outside [1, ∞)", i, c)
+		}
+		if c > cmax {
+			cmax = c
+		}
+	}
+	return cmax, nil
+}
+
+// ReferenceWeighted runs the weighted variant sequentially.
+func ReferenceWeighted(g *graph.Graph, k int, costs []float64) (*RefResult, error) {
+	if err := validateK(k); err != nil {
+		return nil, err
+	}
+	n := g.N()
+	cmax, err := validateCosts(n, costs)
+	if err != nil {
+		return nil, err
+	}
+	delta := g.MaxDegree()
+	pw := powTable(delta, k) // x-update thresholds, as in Algorithm 2
+	// Weighted activity thresholds [c_max(∆+1)]^{ℓ/k}.
+	wthr := make([]float64, k+1)
+	base := cmax * float64(delta+1)
+	for i := 0; i <= k; i++ {
+		wthr[i] = math.Pow(base, float64(i)/float64(k))
+	}
+
+	x := make([]float64, n)
+	gray := make([]bool, n)
+	active := make([]bool, n)
+	cov := make([]float64, n)
+	dtil := make([]int, n)
+	for v := 0; v < n; v++ {
+		dtil[v] = g.Degree(v) + 1
+	}
+	res := &RefResult{X: x}
+	za := newZAccount(n)
+
+	// Same reordered round schedule as ReferenceKnownDelta: fresh δ̃ first.
+	for l := k - 1; l >= 0; l-- {
+		za.reset()
+		thr := wthr[l] * (1 - thrSlack)
+		for m := k - 1; m >= 0; m-- {
+			for v := 0; v < n; v++ {
+				dtil[v] = trueDtil(g, gray, v)
+			}
+			for v := 0; v < n; v++ {
+				active[v] = cmax/costs[v]*float64(dtil[v]) >= thr
+			}
+			res.Trace = append(res.Trace, snapshot(g, l, m, gray, active, x))
+			xval := 1 / pw[m]
+			for v := 0; v < n; v++ {
+				if active[v] && xval > x[v] {
+					za.distribute(g, gray, v, xval-x[v])
+					x[v] = xval
+				}
+			}
+			coverage(g, x, cov)
+			for v := 0; v < n; v++ {
+				if cov[v] >= 1-covTol {
+					gray[v] = true
+				}
+			}
+		}
+		res.Outer = append(res.Outer, za.report(g, l))
+	}
+	return res, nil
+}
+
+// FractionalWeighted runs the weighted variant on the simulator in exactly
+// 2k² rounds. As in Algorithm 2, ∆ (and here also c_max) is global
+// knowledge. The result's X is bit-identical to ReferenceWeighted's.
+func FractionalWeighted(g *graph.Graph, k int, costs []float64, opts ...sim.Option) (*Result, error) {
+	if err := validateK(k); err != nil {
+		return nil, err
+	}
+	n := g.N()
+	cmax, err := validateCosts(n, costs)
+	if err != nil {
+		return nil, err
+	}
+	delta := g.MaxDegree()
+	pw := powTable(delta, k)
+	wthr := make([]float64, k+1)
+	base := cmax * float64(delta+1)
+	for i := 0; i <= k; i++ {
+		wthr[i] = math.Pow(base, float64(i)/float64(k))
+	}
+	xWidth := 1 + bits.Len(uint(k))
+
+	x := make([]float64, n)
+	engine := sim.New(g, opts...)
+	st, err := engine.Run(func(nd *sim.Node) {
+		xi := 0.0
+		xw := 1
+		gray := false
+		var dtil int
+		ci := costs[nd.ID()]
+		for l := k - 1; l >= 0; l-- {
+			thr := wthr[l] * (1 - thrSlack)
+			for m := k - 1; m >= 0; m-- {
+				nd.Broadcast(sim.Bit(gray))
+				msgs := nd.Exchange()
+				dtil = 0
+				if !gray {
+					dtil++
+				}
+				for _, msg := range msgs {
+					if !bool(msg.Data.(sim.Bit)) {
+						dtil++
+					}
+				}
+				if cmax/ci*float64(dtil) >= thr {
+					if xval := 1 / pw[m]; xval > xi {
+						xi = xval
+						xw = xWidth
+					}
+				}
+				nd.Broadcast(xMsg{v: xi, w: xw})
+				msgs = nd.Exchange()
+				sum := xi
+				for _, msg := range msgs {
+					sum += msg.Data.(xMsg).v
+				}
+				if sum >= 1-covTol {
+					gray = true
+				}
+			}
+		}
+		x[nd.ID()] = xi
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: weighted algorithm: %w", err)
+	}
+	return &Result{
+		X:              x,
+		Rounds:         st.Rounds,
+		Messages:       st.Messages,
+		Bits:           st.Bits,
+		MaxMsgsPerNode: st.MaxMsgs,
+	}, nil
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"kwmds/internal/gen"
+	"kwmds/internal/graph"
+	"kwmds/internal/lp"
+)
+
+func TestValidateCosts(t *testing.T) {
+	g := graph.MustNew(3, [][2]int{{0, 1}, {1, 2}})
+	bad := [][]float64{
+		{1, 1},               // wrong length
+		{1, 0.5, 1},          // below 1
+		{1, math.NaN(), 1},   // NaN
+		{1, math.Inf(1), 1},  // Inf
+		{1, -2, 1},           // negative
+		{math.Inf(-1), 1, 1}, // -Inf
+	}
+	for _, costs := range bad {
+		if _, err := ReferenceWeighted(g, 2, costs); err == nil {
+			t.Errorf("costs %v accepted", costs)
+		}
+		if _, err := FractionalWeighted(g, 2, costs); err == nil {
+			t.Errorf("costs %v accepted (distributed)", costs)
+		}
+	}
+	if _, err := FractionalWeighted(g, 0, []float64{1, 1, 1}); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+// The distributed weighted execution must match the sequential reference
+// bit for bit and run in exactly 2k² rounds.
+func TestWeightedSimMatchesReference(t *testing.T) {
+	g, err := gen.UnitDisk(80, 0.2, 51)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := make([]float64, g.N())
+	for i := range costs {
+		costs[i] = 1 + 9*float64(i%5)/4
+	}
+	for _, k := range []int{1, 2, 4} {
+		ref, err := ReferenceWeighted(g, k, costs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dist, err := FractionalWeighted(g, k, costs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range ref.X {
+			if ref.X[v] != dist.X[v] {
+				t.Fatalf("k=%d: x[%d] = %v (ref) vs %v (sim)", k, v, ref.X[v], dist.X[v])
+			}
+		}
+		if dist.Rounds != 2*k*k {
+			t.Errorf("k=%d: %d rounds, want %d", k, dist.Rounds, 2*k*k)
+		}
+		if dist.Messages == 0 || dist.Bits == 0 {
+			t.Errorf("k=%d: missing message stats", k)
+		}
+		if !lp.IsFeasible(g, dist.X) {
+			t.Errorf("k=%d: infeasible", k)
+		}
+	}
+}
+
+// With unit costs the weighted variant must coincide with Algorithm 2:
+// γ̃ = δ̃ and the thresholds reduce to (∆+1)^{ℓ/k}... note the weighted
+// threshold is [1·(∆+1)]^{ℓ/k} = (∆+1)^{ℓ/k} exactly.
+func TestWeightedUnitCostsReduceToAlg2(t *testing.T) {
+	g, err := gen.GNP(60, 0.1, 53)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ones := make([]float64, g.N())
+	for i := range ones {
+		ones[i] = 1
+	}
+	for _, k := range []int{2, 3} {
+		plain, err := ReferenceKnownDelta(g, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		weighted, err := ReferenceWeighted(g, k, ones)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range plain.X {
+			if plain.X[v] != weighted.X[v] {
+				t.Fatalf("k=%d: unit-cost weighted diverges from Algorithm 2 at %d: %v vs %v",
+					k, v, plain.X[v], weighted.X[v])
+			}
+		}
+	}
+}

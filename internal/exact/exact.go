@@ -1,0 +1,232 @@
+// Package exact computes optimal dominating sets for small instances. The
+// experiment harness uses it as the ground truth |DS_OPT| in the
+// approximation-ratio measurements of Theorems 3 and 6.
+//
+// Two engines are provided: an exhaustive search over all vertex subsets
+// (for cross-validation on tiny graphs) and a branch-and-bound search with a
+// greedy upper bound and a disjoint-2-neighborhood lower bound that handles
+// sparse graphs up to roughly 80 vertices.
+package exact
+
+import (
+	"fmt"
+
+	"kwmds/internal/bitset"
+	"kwmds/internal/graph"
+)
+
+// BruteForce returns a minimum dominating set by exhaustive subset search.
+// It refuses graphs with more than 26 vertices.
+func BruteForce(g *graph.Graph) ([]bool, error) {
+	n := g.N()
+	if n > 26 {
+		return nil, fmt.Errorf("exact: BruteForce limited to 26 vertices, got %d", n)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	masks := make([]uint32, n)
+	for v := 0; v < n; v++ {
+		m := uint32(1) << uint(v)
+		for _, u := range g.Neighbors(v) {
+			m |= 1 << uint(u)
+		}
+		masks[v] = m
+	}
+	full := uint32(1)<<uint(n) - 1
+	bestMask := full
+	bestSize := n + 1
+	for s := uint32(0); s <= full; s++ {
+		size := popcount32(s)
+		if size >= bestSize {
+			continue
+		}
+		var covered uint32
+		for v := 0; v < n; v++ {
+			if s&(1<<uint(v)) != 0 {
+				covered |= masks[v]
+			}
+		}
+		if covered == full {
+			bestMask, bestSize = s, size
+		}
+	}
+	out := make([]bool, n)
+	for v := 0; v < n; v++ {
+		out[v] = bestMask&(1<<uint(v)) != 0
+	}
+	return out, nil
+}
+
+func popcount32(x uint32) int {
+	c := 0
+	for x != 0 {
+		c++
+		x &= x - 1
+	}
+	return c
+}
+
+// DefaultNodeLimit bounds the branch-and-bound search tree; beyond it the
+// solver gives up with an error rather than hanging.
+const DefaultNodeLimit = 50_000_000
+
+// MinimumDominatingSet returns a minimum dominating set using
+// branch-and-bound with the default node limit.
+func MinimumDominatingSet(g *graph.Graph) ([]bool, error) {
+	return MinimumDominatingSetLimit(g, DefaultNodeLimit)
+}
+
+// Size returns |DS_OPT| via MinimumDominatingSet.
+func Size(g *graph.Graph) (int, error) {
+	ds, err := MinimumDominatingSet(g)
+	if err != nil {
+		return 0, err
+	}
+	return graph.SetSize(ds), nil
+}
+
+// MinimumDominatingSetLimit is MinimumDominatingSet with an explicit search
+// budget (number of branch nodes).
+func MinimumDominatingSetLimit(g *graph.Graph, nodeLimit int64) ([]bool, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, nil
+	}
+	s := &solver{
+		g:     g,
+		n:     n,
+		limit: nodeLimit,
+		masks: make([]*bitset.Set, n),
+		two:   make([]*bitset.Set, n),
+	}
+	for v := 0; v < n; v++ {
+		m := bitset.New(n)
+		m.Set(v)
+		for _, u := range g.Neighbors(v) {
+			m.Set(int(u))
+		}
+		s.masks[v] = m
+	}
+	for v := 0; v < n; v++ {
+		tw := s.masks[v].Clone()
+		for _, u := range g.Neighbors(v) {
+			tw.Or(s.masks[u])
+		}
+		s.two[v] = tw
+	}
+
+	// Greedy initial upper bound (also the incumbent).
+	greedy := greedyCover(s)
+	s.best = make([]bool, n)
+	copy(s.best, greedy)
+	s.bestSize = graph.SetSize(greedy)
+
+	covered := bitset.New(n)
+	chosen := make([]bool, n)
+	if err := s.branch(covered, chosen, 0); err != nil {
+		return nil, err
+	}
+	return s.best, nil
+}
+
+type solver struct {
+	g        *graph.Graph
+	n        int
+	masks    []*bitset.Set // masks[v] = N[v]
+	two      []*bitset.Set // two[v] = ∪_{u∈N[v]} N[u]
+	best     []bool
+	bestSize int
+	visited  int64
+	limit    int64
+}
+
+// greedyCover is the classic greedy dominating set used as the incumbent.
+func greedyCover(s *solver) []bool {
+	covered := bitset.New(s.n)
+	out := make([]bool, s.n)
+	for !covered.All() {
+		bestV, bestGain := -1, -1
+		for v := 0; v < s.n; v++ {
+			if out[v] {
+				continue
+			}
+			gain := s.masks[v].AndNotCount(covered)
+			if gain > bestGain {
+				bestV, bestGain = v, gain
+			}
+		}
+		out[bestV] = true
+		covered.Or(s.masks[bestV])
+	}
+	return out
+}
+
+// lowerBound counts pairwise 2-distant uncovered vertices: no single vertex
+// can dominate two of them, so their count is a valid lower bound on the
+// number of additional dominators needed.
+func (s *solver) lowerBound(covered *bitset.Set) int {
+	un := covered.Clone()
+	// un holds covered bits; iterate over clear bits, blanking 2-hop balls.
+	lb := 0
+	for {
+		v := un.NextClear(0)
+		if v < 0 {
+			return lb
+		}
+		lb++
+		un.Or(s.two[v])
+	}
+}
+
+func (s *solver) branch(covered *bitset.Set, chosen []bool, size int) error {
+	s.visited++
+	if s.visited > s.limit {
+		return fmt.Errorf("exact: node limit %d exceeded", s.limit)
+	}
+	if covered.All() {
+		if size < s.bestSize {
+			s.bestSize = size
+			copy(s.best, chosen)
+		}
+		return nil
+	}
+	if size+s.lowerBound(covered) >= s.bestSize {
+		return nil
+	}
+	// Most-constrained branching vertex: the uncovered vertex with the
+	// fewest possible dominators.
+	branchV, branchCands := -1, s.n+1
+	for v := covered.NextClear(0); v >= 0; v = covered.NextClear(v + 1) {
+		cands := 1 + s.g.Degree(v) // |N[v]|
+		if cands < branchCands {
+			branchV, branchCands = v, cands
+		}
+	}
+	// Candidates ordered by decreasing fresh coverage for fast incumbents.
+	type cand struct {
+		v    int
+		gain int
+	}
+	cands := make([]cand, 0, branchCands)
+	cands = append(cands, cand{branchV, s.masks[branchV].AndNotCount(covered)})
+	for _, u := range s.g.Neighbors(branchV) {
+		cands = append(cands, cand{int(u), s.masks[u].AndNotCount(covered)})
+	}
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && cands[j].gain > cands[j-1].gain; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	saved := covered.Clone()
+	for _, c := range cands {
+		chosen[c.v] = true
+		covered.Or(s.masks[c.v])
+		if err := s.branch(covered, chosen, size+1); err != nil {
+			return err
+		}
+		chosen[c.v] = false
+		covered.CopyFrom(saved)
+	}
+	return nil
+}

@@ -1,0 +1,37 @@
+package exact
+
+import (
+	"testing"
+
+	"kwmds/internal/gen"
+)
+
+// BenchmarkBranchAndBound measures the exact solver on the tiny-workload
+// scale used by the T3/T9 experiments.
+func BenchmarkBranchAndBound(b *testing.B) {
+	g, err := gen.UnitDisk(55, 0.25, 104)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MinimumDominatingSet(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBruteForce measures the exhaustive reference on a 18-vertex
+// instance (cross-validation scale).
+func BenchmarkBruteForce(b *testing.B) {
+	g, err := gen.GNP(18, 0.2, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BruteForce(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

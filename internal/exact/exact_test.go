@@ -1,0 +1,172 @@
+package exact
+
+import (
+	"testing"
+
+	"kwmds/internal/gen"
+	"kwmds/internal/graph"
+	"kwmds/internal/lp"
+	"kwmds/internal/stats"
+)
+
+func TestBruteForceKnownOptima(t *testing.T) {
+	tests := []struct {
+		name string
+		mk   func() (*graph.Graph, error)
+		want int
+	}{
+		{"star8", func() (*graph.Graph, error) { return gen.Star(8) }, 1},
+		{"clique5", func() (*graph.Graph, error) { return gen.Clique(5) }, 1},
+		{"path2", func() (*graph.Graph, error) { return gen.Path(2) }, 1},
+		{"path3", func() (*graph.Graph, error) { return gen.Path(3) }, 1},
+		{"path4", func() (*graph.Graph, error) { return gen.Path(4) }, 2},
+		{"path7", func() (*graph.Graph, error) { return gen.Path(7) }, 3}, // ⌈7/3⌉
+		{"cycle6", func() (*graph.Graph, error) { return gen.Cycle(6) }, 2},
+		{"cycle7", func() (*graph.Graph, error) { return gen.Cycle(7) }, 3},
+		{"grid3x3", func() (*graph.Graph, error) { return gen.Grid(3, 3) }, 3},
+		{"isolated4", func() (*graph.Graph, error) { return graph.New(4, nil) }, 4},
+		{"cliquechain3x4", func() (*graph.Graph, error) { return gen.CliqueChain(3, 4) }, 3},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := tc.mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ds, err := BruteForce(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !g.IsDominatingSet(ds) {
+				t.Fatal("brute force returned non-dominating set")
+			}
+			if got := graph.SetSize(ds); got != tc.want {
+				t.Errorf("brute force size = %d, want %d", got, tc.want)
+			}
+			// Branch and bound must agree.
+			ds2, err := MinimumDominatingSet(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !g.IsDominatingSet(ds2) {
+				t.Fatal("B&B returned non-dominating set")
+			}
+			if got := graph.SetSize(ds2); got != tc.want {
+				t.Errorf("B&B size = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestBruteForceRefusesLargeGraphs(t *testing.T) {
+	g, err := gen.Path(27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BruteForce(g); err == nil {
+		t.Error("BruteForce accepted 27 vertices")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := graph.MustNew(0, nil)
+	ds, err := BruteForce(g)
+	if err != nil || len(ds) != 0 {
+		t.Errorf("brute on empty: %v, %v", ds, err)
+	}
+	ds, err = MinimumDominatingSet(g)
+	if err != nil || len(ds) != 0 {
+		t.Errorf("B&B on empty: %v, %v", ds, err)
+	}
+}
+
+func TestBnBMatchesBruteForceRandom(t *testing.T) {
+	for trial := 0; trial < 40; trial++ {
+		rng := stats.NewRand(int64(trial))
+		n := 4 + rng.IntN(13) // 4..16
+		var edges [][2]int
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < 0.2 {
+					edges = append(edges, [2]int{u, v})
+				}
+			}
+		}
+		g, err := graph.New(n, edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bf, err := BruteForce(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bb, err := MinimumDominatingSet(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.IsDominatingSet(bb) {
+			t.Fatalf("trial %d: B&B set not dominating", trial)
+		}
+		if graph.SetSize(bf) != graph.SetSize(bb) {
+			t.Fatalf("trial %d: brute %d vs B&B %d on %v", trial,
+				graph.SetSize(bf), graph.SetSize(bb), g)
+		}
+	}
+}
+
+func TestOptimumAtLeastLPBounds(t *testing.T) {
+	// ILP optimum ≥ LP optimum ≥ Lemma-1 bound.
+	for trial := 0; trial < 10; trial++ {
+		g, err := gen.GNP(18, 0.18, int64(trial+100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		size, err := Size(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lpOpt, _, err := lp.Optimum(g, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb := lp.DegreeLowerBound(g)
+		if float64(size) < lpOpt-1e-6 {
+			t.Errorf("trial %d: ILP %d < LP %v", trial, size, lpOpt)
+		}
+		if lpOpt < lb-1e-6 {
+			t.Errorf("trial %d: LP %v < Lemma1 %v", trial, lpOpt, lb)
+		}
+	}
+}
+
+func TestMediumSparseGraphsSolve(t *testing.T) {
+	if testing.Short() {
+		t.Skip("medium exact solve")
+	}
+	g, err := gen.UnitDisk(60, 0.18, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := MinimumDominatingSet(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsDominatingSet(ds) {
+		t.Error("not dominating")
+	}
+	// Sanity: optimum within [Lemma1, greedy size].
+	lb := lp.DegreeLowerBound(g)
+	if float64(graph.SetSize(ds)) < lb-1e-9 {
+		t.Errorf("optimum %d below dual bound %v", graph.SetSize(ds), lb)
+	}
+}
+
+func TestNodeLimitSurfaces(t *testing.T) {
+	g, err := gen.GNP(40, 0.1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MinimumDominatingSetLimit(g, 3); err == nil {
+		t.Error("tiny node limit did not surface as error")
+	}
+}

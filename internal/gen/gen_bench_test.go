@@ -1,0 +1,35 @@
+package gen
+
+import "testing"
+
+func BenchmarkGNP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := GNP(10000, 0.001, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnitDisk(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := UnitDisk(10000, 0.02, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPrefAttach(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := PrefAttach(10000, 3, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRandomRegular(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RandomRegular(2000, 6, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func benchGraph(b *testing.B, n int, avgDeg float64) *Graph {
+	b.Helper()
+	rng := rand.New(rand.NewPCG(1, 2))
+	m := int(avgDeg * float64(n) / 2)
+	edges := make([][2]int, 0, m)
+	for len(edges) < m {
+		u, v := rng.IntN(n), rng.IntN(n)
+		if u != v {
+			edges = append(edges, [2]int{u, v})
+		}
+	}
+	return MustNew(n, edges)
+}
+
+func BenchmarkNewCSR(b *testing.B) {
+	g := benchGraph(b, 10000, 8)
+	edges := g.Edges()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(g.N(), edges); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBFS(b *testing.B) {
+	g := benchGraph(b, 10000, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.BFS(i % g.N())
+	}
+}
+
+func BenchmarkDegree2(b *testing.B) {
+	g := benchGraph(b, 10000, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Degree2()
+	}
+}
+
+func BenchmarkIsDominatingSet(b *testing.B) {
+	g := benchGraph(b, 10000, 8)
+	ds := make([]bool, g.N())
+	for v := 0; v < g.N(); v += 3 {
+		ds[v] = true
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.IsDominatingSet(ds)
+	}
+}

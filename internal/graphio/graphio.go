@@ -1,0 +1,120 @@
+// Package graphio reads and writes graphs in two formats:
+//
+//   - a plain edge-list text format: an optional header line "n <count>",
+//     one "u v" pair per line, '#' comments and blank lines ignored; and
+//   - a JSON format carrying the edge list plus free-form metadata, used by
+//     the cmd tools to keep generator parameters next to the graph.
+package graphio
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"kwmds/internal/graph"
+)
+
+// WriteEdgeList writes g in the plain text format, including the "n" header
+// so isolated vertices survive a round trip.
+func WriteEdgeList(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "n %d\n", g.N()); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e[0], e[1]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the plain text format. Vertices referenced by edges
+// must fit in the declared "n" header; without a header, n is inferred as
+// max vertex id + 1.
+func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	n := -1
+	var edges [][2]int
+	maxID := -1
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if fields[0] == "n" {
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graphio: line %d: malformed header %q", lineNo, line)
+			}
+			v, err := strconv.Atoi(fields[1])
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("graphio: line %d: bad vertex count %q", lineNo, fields[1])
+			}
+			n = v
+			continue
+		}
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("graphio: line %d: expected \"u v\", got %q", lineNo, line)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graphio: line %d: bad vertex %q", lineNo, fields[0])
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graphio: line %d: bad vertex %q", lineNo, fields[1])
+		}
+		edges = append(edges, [2]int{u, v})
+		if u > maxID {
+			maxID = u
+		}
+		if v > maxID {
+			maxID = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graphio: read: %w", err)
+	}
+	if n < 0 {
+		n = maxID + 1
+	}
+	g, err := graph.New(n, edges)
+	if err != nil {
+		return nil, fmt.Errorf("graphio: %w", err)
+	}
+	return g, nil
+}
+
+// JSONGraph is the JSON representation: vertex count, canonical edge list,
+// and optional metadata (generator name, parameters, seed, …).
+type JSONGraph struct {
+	N        int               `json:"n"`
+	Edges    [][2]int          `json:"edges"`
+	Metadata map[string]string `json:"metadata,omitempty"`
+}
+
+// WriteJSON writes g with the given metadata.
+func WriteJSON(w io.Writer, g *graph.Graph, metadata map[string]string) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(JSONGraph{N: g.N(), Edges: g.Edges(), Metadata: metadata})
+}
+
+// ReadJSON parses the JSON format, returning the graph and its metadata.
+func ReadJSON(r io.Reader) (*graph.Graph, map[string]string, error) {
+	var jg JSONGraph
+	if err := json.NewDecoder(r).Decode(&jg); err != nil {
+		return nil, nil, fmt.Errorf("graphio: json: %w", err)
+	}
+	g, err := graph.New(jg.N, jg.Edges)
+	if err != nil {
+		return nil, nil, fmt.Errorf("graphio: json: %w", err)
+	}
+	return g, jg.Metadata, nil
+}

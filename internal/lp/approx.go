@@ -1,0 +1,97 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+
+	"kwmds/internal/graph"
+)
+
+// ApproxOptimum estimates the LP_MDS optimum with a multiplicative-weights
+// covering solver (in the style of Young's parallel covering algorithm):
+// it repeatedly buys the vertex with the best "bang per buck" — the
+// exp-weighted mass of its still-uncovered closed neighborhood divided by
+// its cost — until every constraint has been covered T = ⌈3·ln(n)/ε²⌉
+// times, then scales by 1/T. The returned solution is always feasible, so
+// its objective upper-bounds LP_OPT; the MWU argument keeps it within a
+// (1+O(ε)) factor. Use it as a scalable stand-in for the simplex optimum on
+// graphs with thousands of vertices (where the dense simplex is hopeless);
+// tests cross-validate it against the simplex on small instances.
+//
+// costs may be nil for the unweighted objective. eps must lie in (0, 1).
+func ApproxOptimum(g *graph.Graph, costs []float64, eps float64) (float64, []float64, error) {
+	n := g.N()
+	if costs != nil && len(costs) != n {
+		return 0, nil, fmt.Errorf("lp: %d costs for %d vertices", len(costs), n)
+	}
+	if eps <= 0 || eps >= 1 {
+		return 0, nil, fmt.Errorf("lp: eps = %v outside (0,1)", eps)
+	}
+	if n == 0 {
+		return 0, nil, nil
+	}
+	cost := func(j int) float64 {
+		if costs == nil {
+			return 1
+		}
+		return costs[j]
+	}
+	T := int(math.Ceil(3 * math.Log(float64(n+1)) / (eps * eps)))
+	x := make([]float64, n)
+	covRounds := make([]int, n) // integer coverage count per constraint
+	y := make([]float64, n)     // y_i = exp(-ε·covRounds_i), lazily scaled
+	for i := range y {
+		y[i] = 1
+	}
+	decay := math.Exp(-eps)
+	remaining := n // constraints with covRounds < T
+
+	for remaining > 0 {
+		// Pick the vertex maximizing Σ_{i∈N[j], unsaturated} y_i / c_j.
+		best, bestScore := -1, -1.0
+		for j := 0; j < n; j++ {
+			var s float64
+			if covRounds[j] < T {
+				s += y[j]
+			}
+			for _, u := range g.Neighbors(j) {
+				if covRounds[u] < T {
+					s += y[u]
+				}
+			}
+			if s <= 0 {
+				continue
+			}
+			if score := s / cost(j); score > bestScore {
+				best, bestScore = j, score
+			}
+		}
+		if best < 0 {
+			// Unsaturated constraints with zero weight cannot occur (y > 0
+			// whenever covRounds < T); guard against float underflow.
+			return 0, nil, fmt.Errorf("lp: approx solver stalled with %d open constraints", remaining)
+		}
+		x[best]++
+		bump := func(i int) {
+			if covRounds[i] >= T {
+				return
+			}
+			covRounds[i]++
+			y[i] *= decay
+			if covRounds[i] >= T {
+				remaining--
+			}
+		}
+		bump(best)
+		for _, u := range g.Neighbors(best) {
+			bump(int(u))
+		}
+	}
+	// Scale: every constraint was covered ≥ T times, so x/T is feasible.
+	var obj float64
+	for j := range x {
+		x[j] /= float64(T)
+		obj += cost(j) * x[j]
+	}
+	return obj, x, nil
+}

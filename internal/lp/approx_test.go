@@ -1,0 +1,141 @@
+package lp
+
+import (
+	"math"
+	"testing"
+
+	"kwmds/internal/gen"
+	"kwmds/internal/graph"
+)
+
+func TestApproxOptimumValidation(t *testing.T) {
+	g := graph.MustNew(3, [][2]int{{0, 1}})
+	if _, _, err := ApproxOptimum(g, []float64{1}, 0.1); err == nil {
+		t.Error("cost length mismatch accepted")
+	}
+	for _, eps := range []float64{0, 1, -0.5, 2} {
+		if _, _, err := ApproxOptimum(g, nil, eps); err == nil {
+			t.Errorf("eps=%v accepted", eps)
+		}
+	}
+	if obj, x, err := ApproxOptimum(graph.MustNew(0, nil), nil, 0.2); err != nil || obj != 0 || x != nil {
+		t.Errorf("empty graph: %v %v %v", obj, x, err)
+	}
+}
+
+func TestApproxOptimumFeasibleAndClose(t *testing.T) {
+	families := map[string]*graph.Graph{}
+	g, err := gen.GNP(60, 0.08, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	families["gnp"] = g
+	if g, err = gen.UnitDisk(70, 0.2, 32); err != nil {
+		t.Fatal(err)
+	}
+	families["udg"] = g
+	if g, err = gen.Grid(6, 8); err != nil {
+		t.Fatal(err)
+	}
+	families["grid"] = g
+	if g, err = gen.Star(40); err != nil {
+		t.Fatal(err)
+	}
+	families["star"] = g
+	if g, err = gen.CliqueChain(4, 6); err != nil {
+		t.Fatal(err)
+	}
+	families["cliquechain"] = g
+
+	for name, g := range families {
+		opt, _, err := Optimum(g, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx, x, err := ApproxOptimum(g, nil, 0.1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !IsFeasible(g, x) {
+			t.Errorf("%s: approx solution infeasible", name)
+		}
+		if approx < opt-1e-6 {
+			t.Errorf("%s: approx %v below true optimum %v (impossible for a feasible point)",
+				name, approx, opt)
+		}
+		if approx > opt*1.25 {
+			t.Errorf("%s: approx %v more than 25%% above optimum %v at ε=0.1",
+				name, approx, opt)
+		}
+	}
+}
+
+func TestApproxOptimumWeighted(t *testing.T) {
+	g, err := gen.UnitDisk(60, 0.25, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := make([]float64, g.N())
+	for i := range costs {
+		costs[i] = 1 + float64(i%5)
+	}
+	opt, _, err := Optimum(g, costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, x, err := ApproxOptimum(g, costs, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsFeasible(g, x) {
+		t.Error("weighted approx infeasible")
+	}
+	if approx < opt-1e-6 || approx > opt*1.3 {
+		t.Errorf("weighted approx %v vs optimum %v", approx, opt)
+	}
+}
+
+func TestApproxOptimumTightensWithEps(t *testing.T) {
+	g, err := gen.GNP(80, 0.06, 34)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, _, err := Optimum(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse, _, err := ApproxOptimum(g, nil, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, _, err := ApproxOptimum(g, nil, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both bracket the optimum from above; the fine run should usually be
+	// at least as close. Allow slack for the randomless greedy's quirks.
+	if math.Abs(fine-opt) > math.Abs(coarse-opt)*1.2+1e-9 {
+		t.Errorf("ε=0.05 gap %v worse than ε=0.5 gap %v", fine-opt, coarse-opt)
+	}
+}
+
+func TestApproxOptimumScales(t *testing.T) {
+	if testing.Short() {
+		t.Skip("medium-size solve")
+	}
+	g, err := gen.UnitDisk(1500, 0.05, 35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, x, err := ApproxOptimum(g, nil, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsFeasible(g, x) {
+		t.Error("large approx infeasible")
+	}
+	// Sandwich: Lemma-1 bound ≤ LP_OPT ≤ approx.
+	if lb := DegreeLowerBound(g); approx < lb-1e-6 {
+		t.Errorf("approx %v below dual bound %v", approx, lb)
+	}
+}

@@ -1,0 +1,208 @@
+// Package lp provides the linear-programming machinery specific to the
+// dominating-set relaxation of Section 4 of the paper:
+//
+//	LP_MDS:  min Σ c_i·x_i  s.t.  N·x ≥ 1, x ≥ 0
+//	DLP_MDS: max Σ y_i      s.t.  N·y ≤ 1, y ≥ 0
+//
+// where N is the adjacency matrix plus the identity (the closed-neighborhood
+// matrix). It offers feasibility checks, objective evaluation, the Lemma 1
+// dual lower bound, and constructors that hand the relaxation to the dense
+// simplex solver for exact optima on small and medium instances.
+package lp
+
+import (
+	"fmt"
+	"math"
+
+	"kwmds/internal/graph"
+	"kwmds/internal/simplex"
+)
+
+// FeasTol is the tolerance used by the feasibility checks: a constraint
+// counts as satisfied when its coverage is ≥ 1 − FeasTol.
+const FeasTol = 1e-9
+
+// Coverage returns, for each vertex i, the value Σ_{j ∈ N[i]} x_j — the
+// left-hand side of the i-th covering constraint.
+func Coverage(g *graph.Graph, x []float64) []float64 {
+	n := g.N()
+	cov := make([]float64, n)
+	for v := 0; v < n; v++ {
+		s := x[v]
+		for _, u := range g.Neighbors(v) {
+			s += x[u]
+		}
+		cov[v] = s
+	}
+	return cov
+}
+
+// IsFeasible reports whether x is a feasible fractional dominating set:
+// nonnegative and N·x ≥ 1 (within FeasTol).
+func IsFeasible(g *graph.Graph, x []float64) bool {
+	return len(Violations(g, x)) == 0
+}
+
+// Violations lists the vertices whose covering constraint is violated, plus
+// any vertex with a negative x-value, in increasing order.
+func Violations(g *graph.Graph, x []float64) []int {
+	var out []int
+	cov := Coverage(g, x)
+	for v := 0; v < g.N(); v++ {
+		if x[v] < -FeasTol || cov[v] < 1-FeasTol {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Objective returns Σ x_i, the LP_MDS objective for unit costs.
+func Objective(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// WeightedObjective returns Σ c_i·x_i.
+func WeightedObjective(x, c []float64) float64 {
+	var s float64
+	for i, v := range x {
+		s += c[i] * v
+	}
+	return s
+}
+
+// IsDualFeasible reports whether y is feasible for DLP_MDS: nonnegative and
+// N·y ≤ 1 (within FeasTol). By weak duality, Σ y_i then lower-bounds every
+// feasible LP_MDS objective and hence every dominating set.
+func IsDualFeasible(g *graph.Graph, y []float64) bool {
+	for _, v := range y {
+		if v < -FeasTol {
+			return false
+		}
+	}
+	for v, cov := range Coverage(g, y) {
+		if cov > 1+FeasTol {
+			_ = v
+			return false
+		}
+	}
+	return true
+}
+
+// DegreeLowerBound evaluates the paper's Lemma 1: y_i = 1/(δ⁽¹⁾_i + 1) is a
+// feasible dual solution, so Σ_i 1/(δ⁽¹⁾_i+1) ≤ |DS| for every dominating
+// set DS. It returns the bound.
+func DegreeLowerBound(g *graph.Graph) float64 {
+	var s float64
+	for _, d1 := range g.Degree1() {
+		s += 1 / float64(d1+1)
+	}
+	return s
+}
+
+// DegreeDualSolution returns the Lemma 1 dual witness y_i = 1/(δ⁽¹⁾_i+1).
+func DegreeDualSolution(g *graph.Graph) []float64 {
+	d1 := g.Degree1()
+	y := make([]float64, g.N())
+	for i, d := range d1 {
+		y[i] = 1 / float64(d+1)
+	}
+	return y
+}
+
+// Relaxation builds LP_MDS for the graph as a simplex problem. costs may be
+// nil for the unweighted problem; otherwise len(costs) must equal g.N().
+func Relaxation(g *graph.Graph, costs []float64) (*simplex.Problem, error) {
+	n := g.N()
+	if costs != nil && len(costs) != n {
+		return nil, fmt.Errorf("lp: %d costs for %d vertices", len(costs), n)
+	}
+	c := make([]float64, n)
+	for i := range c {
+		if costs == nil {
+			c[i] = 1
+		} else {
+			c[i] = costs[i]
+		}
+	}
+	rows := make([]simplex.Constraint, n)
+	for v := 0; v < n; v++ {
+		coef := make([]float64, n)
+		coef[v] = 1
+		for _, u := range g.Neighbors(v) {
+			coef[u] = 1
+		}
+		rows[v] = simplex.Constraint{Coef: coef, Sense: simplex.GE, RHS: 1}
+	}
+	return &simplex.Problem{NumVars: n, C: c, Rows: rows}, nil
+}
+
+// DualRelaxation builds DLP_MDS (max Σy, N·y ≤ 1) as a simplex problem.
+func DualRelaxation(g *graph.Graph) *simplex.Problem {
+	n := g.N()
+	c := make([]float64, n)
+	rows := make([]simplex.Constraint, n)
+	for v := 0; v < n; v++ {
+		c[v] = 1
+		coef := make([]float64, n)
+		coef[v] = 1
+		for _, u := range g.Neighbors(v) {
+			coef[u] = 1
+		}
+		rows[v] = simplex.Constraint{Coef: coef, Sense: simplex.LE, RHS: 1}
+	}
+	return &simplex.Problem{NumVars: n, C: c, Rows: rows, Maximize: true}
+}
+
+// Optimum solves LP_MDS exactly with the simplex solver and returns the
+// optimal value and an optimal fractional solution. costs may be nil for
+// unit costs. Intended for n up to a few hundred.
+func Optimum(g *graph.Graph, costs []float64) (float64, []float64, error) {
+	p, err := Relaxation(g, costs)
+	if err != nil {
+		return 0, nil, err
+	}
+	res, err := simplex.Solve(p)
+	if err != nil {
+		return 0, nil, err
+	}
+	if res.Status != simplex.Optimal {
+		return 0, nil, fmt.Errorf("lp: LP_MDS reported %v (should be impossible: x=1 is feasible)", res.Status)
+	}
+	for i, v := range res.X {
+		// Clamp numerical zeros so downstream consumers (for example the
+		// rounding stage) see a clean nonnegative vector.
+		if v < 0 && v > -FeasTol {
+			res.X[i] = 0
+		}
+	}
+	return res.Value, res.X, nil
+}
+
+// DualOptimum solves DLP_MDS exactly and returns its optimal value, which by
+// LP duality equals the LP_MDS optimum.
+func DualOptimum(g *graph.Graph) (float64, []float64, error) {
+	res, err := simplex.Solve(DualRelaxation(g))
+	if err != nil {
+		return 0, nil, err
+	}
+	if res.Status != simplex.Optimal {
+		return 0, nil, fmt.Errorf("lp: DLP_MDS reported %v (should be impossible: y=0 is feasible, objective bounded)", res.Status)
+	}
+	return res.Value, res.X, nil
+}
+
+// Ratio returns val/opt, guarding against a zero optimum (empty graphs):
+// the ratio of two zeros is defined as 1.
+func Ratio(val, opt float64) float64 {
+	if opt == 0 {
+		if val == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return val / opt
+}

@@ -1,0 +1,229 @@
+package lp
+
+import (
+	"math"
+	"testing"
+
+	"kwmds/internal/gen"
+	"kwmds/internal/graph"
+)
+
+func path5(t *testing.T) *graph.Graph {
+	t.Helper()
+	return graph.MustNew(5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+}
+
+func TestCoverage(t *testing.T) {
+	g := path5(t)
+	x := []float64{0, 1, 0, 0, 0.5}
+	cov := Coverage(g, x)
+	want := []float64{1, 1, 1, 0.5, 0.5}
+	for v := range want {
+		if math.Abs(cov[v]-want[v]) > 1e-12 {
+			t.Errorf("coverage[%d] = %v, want %v", v, cov[v], want[v])
+		}
+	}
+}
+
+func TestFeasibility(t *testing.T) {
+	g := path5(t)
+	tests := []struct {
+		name string
+		x    []float64
+		want bool
+	}{
+		{"all ones", []float64{1, 1, 1, 1, 1}, true},
+		{"dominating pair", []float64{0, 1, 0, 1, 0}, true},
+		{"uniform half", []float64{0.5, 0.5, 0.5, 0.5, 0.5}, true},
+		{"uncovers endpoint", []float64{0, 0, 1, 0, 0}, false},
+		{"negative entry", []float64{1, 1, 1, 1, -0.1}, false},
+		{"zero", []float64{0, 0, 0, 0, 0}, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := IsFeasible(g, tc.x); got != tc.want {
+				t.Errorf("IsFeasible = %v, want %v (violations %v)", got, tc.want, Violations(g, tc.x))
+			}
+		})
+	}
+}
+
+func TestViolationsIdentifiesVertices(t *testing.T) {
+	g := path5(t)
+	viol := Violations(g, []float64{1, 0, 0, 0, 0})
+	// Vertices 2,3,4 uncovered.
+	want := []int{2, 3, 4}
+	if len(viol) != len(want) {
+		t.Fatalf("Violations = %v, want %v", viol, want)
+	}
+	for i := range want {
+		if viol[i] != want[i] {
+			t.Fatalf("Violations = %v, want %v", viol, want)
+		}
+	}
+}
+
+func TestObjectives(t *testing.T) {
+	x := []float64{0.5, 1.5, 0}
+	if got := Objective(x); got != 2 {
+		t.Errorf("Objective = %v, want 2", got)
+	}
+	if got := WeightedObjective(x, []float64{2, 4, 100}); got != 7 {
+		t.Errorf("WeightedObjective = %v, want 7", got)
+	}
+}
+
+func TestDegreeLowerBoundLemma1(t *testing.T) {
+	// Star K_{1,5}: δ⁽¹⁾ = 5 everywhere → LB = 6/6 = 1 = |DS_OPT|. Tight.
+	star, err := gen.Star(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb := DegreeLowerBound(star); math.Abs(lb-1) > 1e-12 {
+		t.Errorf("star LB = %v, want 1", lb)
+	}
+	// Clique K_4: δ⁽¹⁾ = 3 → LB = 4/4 = 1 = |DS_OPT|. Tight.
+	k4, err := gen.Clique(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb := DegreeLowerBound(k4); math.Abs(lb-1) > 1e-12 {
+		t.Errorf("K4 LB = %v, want 1", lb)
+	}
+}
+
+func TestDegreeDualSolutionIsDualFeasible(t *testing.T) {
+	for _, mk := range []func() (*graph.Graph, error){
+		func() (*graph.Graph, error) { return gen.GNP(40, 0.15, 1) },
+		func() (*graph.Graph, error) { return gen.Grid(5, 8) },
+		func() (*graph.Graph, error) { return gen.Star(20) },
+		func() (*graph.Graph, error) { return gen.CliqueChain(3, 6) },
+	} {
+		g, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		y := DegreeDualSolution(g)
+		if !IsDualFeasible(g, y) {
+			t.Errorf("Lemma 1 witness not dual feasible on %v", g)
+		}
+	}
+}
+
+func TestIsDualFeasibleRejects(t *testing.T) {
+	g := path5(t)
+	if IsDualFeasible(g, []float64{1, 1, 0, 0, 0}) {
+		t.Error("overloaded neighborhood accepted")
+	}
+	if IsDualFeasible(g, []float64{-0.1, 0, 0, 0, 0}) {
+		t.Error("negative dual accepted")
+	}
+	if !IsDualFeasible(g, []float64{0, 0, 0, 0, 0}) {
+		t.Error("zero dual rejected")
+	}
+}
+
+func TestOptimumOnKnownGraphs(t *testing.T) {
+	tests := []struct {
+		name string
+		mk   func() (*graph.Graph, error)
+		want float64
+	}{
+		// LP optimum of a star/clique is 1 (center/any single vertex... the
+		// LP can do better than integers only on constrained structures).
+		{"star6", func() (*graph.Graph, error) { return gen.Star(6) }, 1},
+		{"k4", func() (*graph.Graph, error) { return gen.Clique(4) }, 1},
+		// C_5: LP optimum 5/3 (each constraint covers 3 vertices).
+		{"cycle5", func() (*graph.Graph, error) { return gen.Cycle(5) }, 5.0 / 3},
+		// P_2: single edge, optimum 1.
+		{"p2", func() (*graph.Graph, error) { return gen.Path(2) }, 1},
+		// Two isolated vertices: each needs itself.
+		{"isolated", func() (*graph.Graph, error) { return graph.New(2, nil) }, 2},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := tc.mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			val, x, err := Optimum(g, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(val-tc.want) > 1e-6 {
+				t.Errorf("LP optimum = %v, want %v", val, tc.want)
+			}
+			if !IsFeasible(g, x) {
+				t.Error("optimal solution not feasible")
+			}
+		})
+	}
+}
+
+func TestStrongDualityOnFamilies(t *testing.T) {
+	for _, mk := range []func() (*graph.Graph, error){
+		func() (*graph.Graph, error) { return gen.GNP(25, 0.2, 3) },
+		func() (*graph.Graph, error) { return gen.Cycle(9) },
+		func() (*graph.Graph, error) { return gen.Grid(4, 4) },
+	} {
+		g, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pv, _, err := Optimum(g, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dv, y, err := DualOptimum(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(pv-dv) > 1e-6 {
+			t.Errorf("duality gap on %v: primal %v dual %v", g, pv, dv)
+		}
+		if !IsDualFeasible(g, y) {
+			t.Errorf("dual optimum not feasible on %v", g)
+		}
+		// Lemma 1 ≤ LP optimum.
+		if lb := DegreeLowerBound(g); lb > pv+1e-6 {
+			t.Errorf("Lemma 1 bound %v exceeds LP optimum %v", lb, pv)
+		}
+	}
+}
+
+func TestWeightedOptimum(t *testing.T) {
+	// Star where the center is expensive: covering via the center costs 10,
+	// via all leaves costs 5 — but leaves don't cover each other... they
+	// cover themselves and the center, so all 5 leaves for cost 5 dominate
+	// everything. LP picks the leaves.
+	star, err := gen.Star(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := []float64{10, 1, 1, 1, 1, 1}
+	val, x, err := Optimum(star, costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsFeasible(star, x) {
+		t.Error("weighted optimum infeasible")
+	}
+	if math.Abs(val-5) > 1e-6 {
+		t.Errorf("weighted LP optimum = %v, want 5", val)
+	}
+	if _, _, err := Optimum(star, []float64{1}); err == nil {
+		t.Error("cost length mismatch accepted")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(4, 2) != 2 {
+		t.Error("Ratio(4,2) != 2")
+	}
+	if Ratio(0, 0) != 1 {
+		t.Error("Ratio(0,0) != 1")
+	}
+	if !math.IsInf(Ratio(1, 0), 1) {
+		t.Error("Ratio(1,0) should be +Inf")
+	}
+}

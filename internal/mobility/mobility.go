@@ -1,0 +1,107 @@
+// Package mobility simulates node movement in ad-hoc networks — the
+// scenario that motivates the paper's constant-round requirement ("the
+// topology of an ad-hoc network is constantly changing", §1). It produces
+// a sequence of unit-disk snapshots from a bounded random-walk model and
+// measures how the elected dominating sets evolve across epochs.
+package mobility
+
+import (
+	"fmt"
+
+	"kwmds/internal/gen"
+	"kwmds/internal/graph"
+	"kwmds/internal/stats"
+)
+
+// Trace is a sequence of topology snapshots of the same node population.
+type Trace struct {
+	// Graphs[e] is the unit-disk graph at epoch e.
+	Graphs []*graph.Graph
+	// Points[e] are the node positions at epoch e.
+	Points [][]gen.Point
+	// Radius is the radio range used for every snapshot.
+	Radius float64
+}
+
+// RandomWalk generates `epochs` snapshots of n nodes in the unit square.
+// Nodes start uniformly at random; between epochs every node moves by an
+// independent uniform step in [-speed, speed]² and reflects at the borders.
+// speed = 0 yields identical snapshots. The trace is a pure function of
+// its parameters and seed.
+func RandomWalk(n int, radius, speed float64, epochs int, seed int64) (*Trace, error) {
+	if n < 0 || radius < 0 || speed < 0 || epochs < 1 {
+		return nil, fmt.Errorf("mobility: invalid parameters n=%d radius=%v speed=%v epochs=%d",
+			n, radius, speed, epochs)
+	}
+	rng := stats.NewRand(seed)
+	pts := make([]gen.Point, n)
+	for i := range pts {
+		pts[i] = gen.Point{X: rng.Float64(), Y: rng.Float64()}
+	}
+	tr := &Trace{Radius: radius}
+	for e := 0; e < epochs; e++ {
+		if e > 0 {
+			for i := range pts {
+				pts[i].X = reflect(pts[i].X + (2*rng.Float64()-1)*speed)
+				pts[i].Y = reflect(pts[i].Y + (2*rng.Float64()-1)*speed)
+			}
+		}
+		g, err := gen.UnitDiskFromPoints(pts, radius)
+		if err != nil {
+			return nil, err
+		}
+		snapshot := make([]gen.Point, n)
+		copy(snapshot, pts)
+		tr.Graphs = append(tr.Graphs, g)
+		tr.Points = append(tr.Points, snapshot)
+	}
+	return tr, nil
+}
+
+// reflect folds a coordinate back into [0, 1].
+func reflect(x float64) float64 {
+	for x < 0 || x > 1 {
+		if x < 0 {
+			x = -x
+		}
+		if x > 1 {
+			x = 2 - x
+		}
+	}
+	return x
+}
+
+// Churn compares two elected sets over the same node population and
+// reports how many members were kept, newly added, and removed.
+func Churn(prev, cur []bool) (kept, added, removed int) {
+	for v := range cur {
+		switch {
+		case cur[v] && v < len(prev) && prev[v]:
+			kept++
+		case cur[v]:
+			added++
+		case v < len(prev) && prev[v]:
+			removed++
+		}
+	}
+	return kept, added, removed
+}
+
+// EdgeChurn reports how many edges two snapshots share and how many are
+// exclusive to each — a direct measure of topology change between epochs.
+func EdgeChurn(a, b *graph.Graph) (shared, onlyA, onlyB int) {
+	seen := make(map[[2]int]bool, a.M())
+	for _, e := range a.Edges() {
+		seen[e] = true
+	}
+	for _, e := range b.Edges() {
+		if seen[e] {
+			shared++
+			delete(seen, e)
+		} else {
+			onlyB++
+		}
+	}
+	onlyA = len(seen)
+	return shared, onlyA, onlyB
+}

@@ -1,0 +1,132 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+
+	"kwmds/internal/graph"
+)
+
+func TestRandomWalkValidation(t *testing.T) {
+	cases := []struct {
+		n      int
+		r, s   float64
+		epochs int
+	}{
+		{-1, 0.1, 0.1, 3},
+		{10, -0.1, 0.1, 3},
+		{10, 0.1, -0.1, 3},
+		{10, 0.1, 0.1, 0},
+	}
+	for _, c := range cases {
+		if _, err := RandomWalk(c.n, c.r, c.s, c.epochs, 1); err == nil {
+			t.Errorf("RandomWalk(%+v) accepted", c)
+		}
+	}
+}
+
+func TestRandomWalkShape(t *testing.T) {
+	tr, err := RandomWalk(100, 0.15, 0.05, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Graphs) != 5 || len(tr.Points) != 5 {
+		t.Fatalf("epochs: %d graphs, %d point sets", len(tr.Graphs), len(tr.Points))
+	}
+	for e, g := range tr.Graphs {
+		if g.N() != 100 {
+			t.Errorf("epoch %d: n = %d", e, g.N())
+		}
+		// Geometry check: edges exactly match the distance predicate.
+		pts := tr.Points[e]
+		for i := 0; i < 100; i += 7 {
+			for j := i + 1; j < 100; j += 3 {
+				d := math.Hypot(pts[i].X-pts[j].X, pts[i].Y-pts[j].Y)
+				if g.HasEdge(i, j) != (d <= 0.15) {
+					t.Fatalf("epoch %d: edge(%d,%d)=%v but dist=%v", e, i, j, g.HasEdge(i, j), d)
+				}
+			}
+		}
+	}
+}
+
+func TestRandomWalkDeterminism(t *testing.T) {
+	a, err := RandomWalk(60, 0.2, 0.08, 4, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomWalk(60, 0.2, 0.08, 4, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := range a.Graphs {
+		if a.Graphs[e].M() != b.Graphs[e].M() {
+			t.Fatalf("epoch %d differs across identical traces", e)
+		}
+	}
+}
+
+func TestZeroSpeedFreezesTopology(t *testing.T) {
+	tr, err := RandomWalk(80, 0.2, 0, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m0 := tr.Graphs[0].M()
+	for e, g := range tr.Graphs {
+		if g.M() != m0 {
+			t.Errorf("epoch %d: m = %d, want frozen %d", e, g.M(), m0)
+		}
+	}
+	shared, onlyA, onlyB := EdgeChurn(tr.Graphs[0], tr.Graphs[3])
+	if onlyA != 0 || onlyB != 0 || shared != m0 {
+		t.Errorf("frozen trace churned: %d/%d/%d", shared, onlyA, onlyB)
+	}
+}
+
+func TestMovementStaysInSquare(t *testing.T) {
+	tr, err := RandomWalk(50, 0.1, 0.4, 10, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e, pts := range tr.Points {
+		for i, p := range pts {
+			if p.X < 0 || p.X > 1 || p.Y < 0 || p.Y > 1 {
+				t.Fatalf("epoch %d node %d escaped: %+v", e, i, p)
+			}
+		}
+	}
+}
+
+func TestReflect(t *testing.T) {
+	tests := []struct{ in, want float64 }{
+		{0.5, 0.5}, {-0.2, 0.2}, {1.3, 0.7}, {0, 0}, {1, 1}, {-1.5, 0.5}, {2.5, 0.5},
+	}
+	for _, tc := range tests {
+		if got := reflect(tc.in); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("reflect(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestChurn(t *testing.T) {
+	prev := []bool{true, true, false, false}
+	cur := []bool{true, false, true, false}
+	kept, added, removed := Churn(prev, cur)
+	if kept != 1 || added != 1 || removed != 1 {
+		t.Errorf("Churn = %d,%d,%d, want 1,1,1", kept, added, removed)
+	}
+	// Empty previous epoch: everything is an addition.
+	kept, added, removed = Churn(nil, []bool{true, true})
+	if kept != 0 || added != 2 || removed != 0 {
+		t.Errorf("Churn from nil = %d,%d,%d", kept, added, removed)
+	}
+}
+
+func TestEdgeChurn(t *testing.T) {
+	a := graph.MustNew(4, [][2]int{{0, 1}, {1, 2}})
+	b := graph.MustNew(4, [][2]int{{1, 2}, {2, 3}})
+	shared, onlyA, onlyB := EdgeChurn(a, b)
+	if shared != 1 || onlyA != 1 || onlyB != 1 {
+		t.Errorf("EdgeChurn = %d,%d,%d, want 1,1,1", shared, onlyA, onlyB)
+	}
+}

@@ -1,0 +1,294 @@
+package rounding
+
+import (
+	"math"
+	"testing"
+
+	"kwmds/internal/core"
+	"kwmds/internal/exact"
+	"kwmds/internal/gen"
+	"kwmds/internal/graph"
+	"kwmds/internal/lp"
+)
+
+func TestValidation(t *testing.T) {
+	g := graph.MustNew(3, [][2]int{{0, 1}, {1, 2}})
+	if _, err := Reference(g, []float64{1, 1}, Options{}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Reference(g, []float64{1, -0.5, 1}, Options{}); err == nil {
+		t.Error("negative x accepted")
+	}
+	if _, err := Reference(g, []float64{1, math.NaN(), 1}, Options{}); err == nil {
+		t.Error("NaN x accepted")
+	}
+	if _, err := Round(g, []float64{1, 1}, Options{}); err == nil {
+		t.Error("length mismatch accepted (distributed)")
+	}
+}
+
+// Algorithm 1 must always output a dominating set, whatever the input x,
+// for both variants, across seeds — the fix-up of lines 5-6 guarantees it.
+func TestAlwaysDominating(t *testing.T) {
+	gs := map[string]*graph.Graph{}
+	g, err := gen.GNP(80, 0.06, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs["gnp"] = g
+	if g, err = gen.UnitDisk(80, 0.18, 2); err != nil {
+		t.Fatal(err)
+	}
+	gs["udg"] = g
+	if g, err = gen.Star(25); err != nil {
+		t.Fatal(err)
+	}
+	gs["star"] = g
+	gs["edgeless"] = graph.MustNew(6, nil)
+
+	for name, g := range gs {
+		// Fractional inputs: the LP approximation from Algorithm 3 and the
+		// all-zeros vector (pathological but legal — rounding must fix it).
+		frac, err := core.Reference(g, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inputs := map[string][]float64{
+			"alg3":  frac.X,
+			"zeros": make([]float64, g.N()),
+		}
+		for iname, x := range inputs {
+			for _, variant := range []Variant{Ln, LnMinusLnLn} {
+				for seed := int64(0); seed < 8; seed++ {
+					res, err := Reference(g, x, Options{Seed: seed, Variant: variant})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !g.IsDominatingSet(res.InDS) {
+						t.Fatalf("%s/%s/%v seed %d: not dominating", name, iname, variant, seed)
+					}
+					if res.Size != res.JoinedRandom+res.JoinedFixup {
+						t.Fatalf("%s: size %d != %d + %d", name, res.Size, res.JoinedRandom, res.JoinedFixup)
+					}
+				}
+			}
+		}
+	}
+}
+
+// The distributed execution must agree with the sequential reference for
+// the same seed.
+func TestSimMatchesReference(t *testing.T) {
+	g, err := gen.UnitDisk(60, 0.2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac, err := core.Reference(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 5; seed++ {
+		for _, variant := range []Variant{Ln, LnMinusLnLn} {
+			opts := Options{Seed: seed, Variant: variant}
+			ref, err := Reference(g, frac.X, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dist, err := Round(g, frac.X, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range ref.InDS {
+				if ref.InDS[v] != dist.InDS[v] {
+					t.Fatalf("seed %d %v: membership differs at %d", seed, variant, v)
+				}
+			}
+			if ref.JoinedRandom != dist.JoinedRandom || ref.JoinedFixup != dist.JoinedFixup {
+				t.Fatalf("seed %d: join counters differ: ref (%d,%d) vs sim (%d,%d)",
+					seed, ref.JoinedRandom, ref.JoinedFixup, dist.JoinedRandom, dist.JoinedFixup)
+			}
+		}
+	}
+}
+
+func TestRoundCount(t *testing.T) {
+	g, err := gen.GNP(30, 0.15, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, g.N())
+	for i := range x {
+		x[i] = 0.5
+	}
+	res, err := Round(g, x, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 3 {
+		t.Errorf("rounding used %d rounds, want 3 (2 for δ⁽²⁾ + 1 for membership)", res.Rounds)
+	}
+}
+
+func TestDeterministicInSeed(t *testing.T) {
+	g, err := gen.GNP(50, 0.1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, g.N())
+	for i := range x {
+		x[i] = 0.3
+	}
+	a, err := Reference(g, x, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Reference(g, x, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.InDS {
+		if a.InDS[v] != b.InDS[v] {
+			t.Fatal("same seed, different output")
+		}
+	}
+	c, err := Reference(g, x, Options{Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for v := range a.InDS {
+		if a.InDS[v] != c.InDS[v] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Log("warning: seeds 42 and 43 gave identical sets (possible but unlikely)")
+	}
+}
+
+// Theorem 3, statistically: mean size over many trials ≤
+// (1 + α·ln(∆+1))·|DS_OPT| with slack for sampling noise.
+func TestExpectedSizeBound(t *testing.T) {
+	g, err := gen.UnitDisk(55, 0.25, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optDS, err := exact.MinimumDominatingSet(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := float64(graph.SetSize(optDS))
+
+	lpOpt, xStar, err := lp.Optimum(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha := lp.Objective(xStar) / lpOpt // = 1: x* is LP-optimal
+
+	const trials = 300
+	var total float64
+	for seed := int64(0); seed < trials; seed++ {
+		res, err := Reference(g, xStar, Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += float64(res.Size)
+	}
+	mean := total / trials
+	bound := ExpectedSizeBound(Ln, alpha, g.MaxDegree(), opt)
+	// 1.15 slack: the bound is on the expectation; 300 trials keep the
+	// sample mean well within 15% of it.
+	if mean > bound*1.15 {
+		t.Errorf("mean size %v exceeds Theorem 3 bound %v (opt=%v, ∆=%d)",
+			mean, bound, opt, g.MaxDegree())
+	}
+}
+
+// Pure-fractional input: p_i = min{1, x_i·ln(δ²+1)} must select high-x
+// nodes with certainty when x_i·ln(δ²+1) ≥ 1.
+func TestHighXAlwaysSelected(t *testing.T) {
+	g, err := gen.Star(20) // δ⁽²⁾ = 19 everywhere
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, g.N())
+	x[0] = 1 // center: p = min(1, ln 20) = 1
+	for seed := int64(0); seed < 10; seed++ {
+		res, err := Reference(g, x, Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.InDS[0] {
+			t.Fatalf("seed %d: center with p=1 not selected", seed)
+		}
+	}
+}
+
+func TestVariantScale(t *testing.T) {
+	// Small degrees: ln ≤ 1 → both variants use plain ln.
+	if Ln.Scale(1) != LnMinusLnLn.Scale(1) {
+		t.Error("variants should agree at δ²=1")
+	}
+	// Large degrees: the remark's variant is strictly smaller.
+	if LnMinusLnLn.Scale(100) >= Ln.Scale(100) {
+		t.Error("ln−lnln should be below ln for large degrees")
+	}
+	if LnMinusLnLn.Scale(100) <= 0 {
+		t.Error("scale must stay positive")
+	}
+	// δ²=0 (isolated): ln(1)=0 → p=0; the fix-up must add the node.
+	if Ln.Scale(0) != 0 {
+		t.Errorf("Scale(0) = %v, want 0", Ln.Scale(0))
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	if Ln.String() != "ln" || LnMinusLnLn.String() != "ln-lnln" {
+		t.Error("variant names wrong")
+	}
+	if Variant(7).String() == "" {
+		t.Error("unknown variant should render")
+	}
+}
+
+// The ln−lnln variant should produce smaller sets on average than plain ln
+// (that is its purpose), while remaining dominating (already tested).
+func TestVariantReducesSize(t *testing.T) {
+	g, err := gen.GNP(150, 0.08, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac, err := core.Reference(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials = 100
+	var sumLn, sumVar float64
+	for seed := int64(0); seed < trials; seed++ {
+		a, err := Reference(g, frac.X, Options{Seed: seed, Variant: Ln})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Reference(g, frac.X, Options{Seed: seed, Variant: LnMinusLnLn})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumLn += float64(a.Size)
+		sumVar += float64(b.Size)
+	}
+	if sumVar >= sumLn*1.05 {
+		t.Errorf("ln−lnln mean %v not below ln mean %v", sumVar/trials, sumLn/trials)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := graph.MustNew(0, nil)
+	res, err := Reference(g, nil, Options{})
+	if err != nil || res.Size != 0 {
+		t.Errorf("empty graph: %+v, %v", res, err)
+	}
+	res, err = Round(g, nil, Options{})
+	if err != nil || res.Size != 0 {
+		t.Errorf("empty graph distributed: %+v, %v", res, err)
+	}
+}

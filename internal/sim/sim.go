@@ -1,0 +1,309 @@
+// Package sim simulates the synchronous message-passing model (LOCAL with
+// bounded messages) that the paper's algorithms are stated in.
+//
+// Every vertex of a graph runs the same Program in its own goroutine. A
+// program alternates local computation with calls to Node.Exchange, which
+// delivers the messages staged with Send/Broadcast to the neighbors and
+// blocks until all live nodes reach the same round barrier — one Exchange
+// call is exactly one communication round of the paper's model.
+//
+// The engine accounts for rounds, messages (one per (sender, receiver) pair,
+// as the paper counts them) and message size in bits (each Payload reports
+// its wire width), so the paper's complexity claims — 2k² rounds, O(k²∆)
+// messages per node, O(log ∆) bits per message — become measurable
+// quantities.
+//
+// Determinism: inboxes are sorted by sender id and per-node randomness is
+// derived from (engine seed, node id), so results are independent of
+// goroutine scheduling.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"sync"
+
+	"kwmds/internal/graph"
+	"kwmds/internal/stats"
+)
+
+// Payload is a message body. Bits reports the width of the payload's compact
+// wire encoding; the engine sums it for the bit-complexity statistics.
+type Payload interface{ Bits() int }
+
+// Message is a delivered payload tagged with its sender.
+type Message struct {
+	From int
+	Data Payload
+}
+
+// Program is the code run by every node. It must communicate only through
+// its *Node handle and return when the node halts.
+type Program func(nd *Node)
+
+// errAborted unwinds node goroutines when the engine hits its round limit.
+var errAborted = errors.New("sim: aborted")
+
+// Node is a program's handle to its vertex: identity, neighborhood, staged
+// outgoing messages, and the round barrier.
+type Node struct {
+	id     int
+	engine *Engine
+	outbox []outMsg
+	rng    *rand.Rand
+}
+
+type outMsg struct {
+	to   int32
+	data Payload
+}
+
+// ID returns the node's vertex id. The paper's model allows unique ids; the
+// algorithms in this repository use them only for tie-breaking.
+func (nd *Node) ID() int { return nd.id }
+
+// Degree returns the number of neighbors.
+func (nd *Node) Degree() int { return nd.engine.g.Degree(nd.id) }
+
+// Neighbors returns the sorted neighbor ids. The slice aliases engine
+// storage and must not be modified.
+func (nd *Node) Neighbors() []int32 { return nd.engine.g.Neighbors(nd.id) }
+
+// Round returns the number of completed communication rounds.
+func (nd *Node) Round() int {
+	nd.engine.mu.Lock()
+	defer nd.engine.mu.Unlock()
+	return nd.engine.round
+}
+
+// Rand returns this node's deterministic random stream, derived from the
+// engine seed and the node id.
+func (nd *Node) Rand() *rand.Rand {
+	if nd.rng == nil {
+		nd.rng = stats.NewStreamRand(nd.engine.seed, int64(nd.id))
+	}
+	return nd.rng
+}
+
+// Send stages a message to a single neighbor for delivery at the next
+// Exchange. Sending to a non-neighbor panics: the communication graph is
+// the network.
+func (nd *Node) Send(to int, p Payload) {
+	if !nd.engine.g.HasEdge(nd.id, to) {
+		panic(fmt.Sprintf("sim: node %d sent to non-neighbor %d", nd.id, to))
+	}
+	nd.outbox = append(nd.outbox, outMsg{to: int32(to), data: p})
+}
+
+// Broadcast stages the same payload to every neighbor.
+func (nd *Node) Broadcast(p Payload) {
+	for _, u := range nd.Neighbors() {
+		nd.outbox = append(nd.outbox, outMsg{to: u, data: p})
+	}
+}
+
+// Exchange completes one synchronous round: staged messages are delivered
+// and the messages the neighbors sent this round are returned, sorted by
+// sender id. It blocks until every live node has reached the barrier.
+func (nd *Node) Exchange() []Message {
+	return nd.engine.exchange(nd)
+}
+
+// Stats aggregates a run's measured complexity.
+type Stats struct {
+	Rounds     int   // communication rounds executed
+	Messages   int64 // total (sender,receiver) deliveries
+	Bits       int64 // total payload bits as reported by Payload.Bits
+	MaxMsgs    int64 // maximum messages sent by any single node
+	MaxBits    int64 // maximum payload bits sent by any single node
+	PerRound   []int64
+	perRoundOn bool
+}
+
+// MsgsPerNode returns the mean number of messages sent per node.
+func (s *Stats) MsgsPerNode(n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(s.Messages) / float64(n)
+}
+
+// Engine executes programs over a graph in lockstep rounds.
+type Engine struct {
+	g         *graph.Graph
+	seed      int64
+	maxRounds int
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	live       int
+	arrived    int
+	round      int
+	generation uint64
+	aborted    bool
+
+	cur  [][]Message
+	next [][]Message
+
+	stats    Stats
+	sentMsgs []int64
+	sentBits []int64
+
+	runErr error
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithSeed sets the base seed for all per-node random streams (default 1).
+func WithSeed(seed int64) Option { return func(e *Engine) { e.seed = seed } }
+
+// WithMaxRounds aborts the run with an error if more than max rounds execute
+// (default 1<<20). This turns livelocked programs into test failures instead
+// of hangs.
+func WithMaxRounds(max int) Option { return func(e *Engine) { e.maxRounds = max } }
+
+// WithPerRoundStats records the per-round delivery counts in Stats.PerRound.
+func WithPerRoundStats() Option { return func(e *Engine) { e.stats.perRoundOn = true } }
+
+// New creates an engine over g.
+func New(g *graph.Graph, opts ...Option) *Engine {
+	e := &Engine{g: g, seed: 1, maxRounds: 1 << 20}
+	e.cond = sync.NewCond(&e.mu)
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Run executes one copy of program per vertex and blocks until every copy
+// returns. It reports the run's statistics and the first program panic (or
+// the round-limit abort) as an error. Run may be called once per Engine.
+func (e *Engine) Run(program Program) (*Stats, error) {
+	n := e.g.N()
+	e.live = n
+	e.cur = make([][]Message, n)
+	e.next = make([][]Message, n)
+	e.sentMsgs = make([]int64, n)
+	e.sentBits = make([]int64, n)
+
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for v := 0; v < n; v++ {
+		nd := &Node{id: v, engine: e}
+		go func() {
+			defer wg.Done()
+			defer func() {
+				r := recover()
+				if r != nil && r != errAborted { //nolint:errorlint // sentinel identity is intended
+					e.mu.Lock()
+					if e.runErr == nil {
+						e.runErr = fmt.Errorf("sim: node %d panicked: %v", nd.id, r)
+					}
+					e.aborted = true
+					e.generation++
+					e.cond.Broadcast()
+					e.mu.Unlock()
+				}
+				e.nodeDone(nd)
+			}()
+			program(nd)
+		}()
+	}
+	wg.Wait()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.stats.Rounds = e.round
+	for v := 0; v < n; v++ {
+		if e.sentMsgs[v] > e.stats.MaxMsgs {
+			e.stats.MaxMsgs = e.sentMsgs[v]
+		}
+		if e.sentBits[v] > e.stats.MaxBits {
+			e.stats.MaxBits = e.sentBits[v]
+		}
+	}
+	if e.runErr == nil && e.aborted {
+		e.runErr = fmt.Errorf("sim: exceeded %d rounds", e.maxRounds)
+	}
+	return &e.stats, e.runErr
+}
+
+// flushLocked moves nd's staged messages into the next-round inboxes and
+// updates the counters. Caller holds e.mu.
+func (e *Engine) flushLocked(nd *Node) {
+	for _, m := range nd.outbox {
+		e.next[m.to] = append(e.next[m.to], Message{From: nd.id, Data: m.data})
+		bits := int64(m.data.Bits())
+		e.stats.Messages++
+		e.stats.Bits += bits
+		e.sentMsgs[nd.id]++
+		e.sentBits[nd.id] += bits
+	}
+	nd.outbox = nd.outbox[:0]
+}
+
+func (e *Engine) exchange(nd *Node) []Message {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.aborted {
+		panic(errAborted)
+	}
+	e.flushLocked(nd)
+	gen := e.generation
+	e.arrived++
+	if e.arrived == e.live {
+		e.advanceLocked()
+	} else {
+		for gen == e.generation {
+			e.cond.Wait()
+		}
+	}
+	if e.aborted {
+		panic(errAborted)
+	}
+	return e.cur[nd.id]
+}
+
+// advanceLocked completes a round: swaps the message buffers, sorts inboxes
+// by sender, and wakes all waiters. Caller holds e.mu.
+func (e *Engine) advanceLocked() {
+	e.round++
+	if e.round > e.maxRounds {
+		e.aborted = true
+		e.generation++
+		e.cond.Broadcast()
+		return
+	}
+	var delivered int64
+	e.cur, e.next = e.next, e.cur
+	for i := range e.next {
+		e.next[i] = nil // fresh buffers; old inboxes may still be referenced
+	}
+	for i := range e.cur {
+		inbox := e.cur[i]
+		delivered += int64(len(inbox))
+		sort.Slice(inbox, func(a, b int) bool { return inbox[a].From < inbox[b].From })
+	}
+	if e.stats.perRoundOn {
+		e.stats.PerRound = append(e.stats.PerRound, delivered)
+	}
+	e.arrived = 0
+	e.generation++
+	e.cond.Broadcast()
+}
+
+// nodeDone retires a node: its final staged messages are still delivered
+// (a common pattern is "announce and halt"), and if every remaining node is
+// already waiting at the barrier the round advances without it.
+func (e *Engine) nodeDone(nd *Node) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.flushLocked(nd)
+	e.live--
+	if e.live > 0 && e.arrived == e.live {
+		e.advanceLocked()
+	}
+}

@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"testing"
+
+	"kwmds/internal/gen"
+)
+
+// BenchmarkLockstepRounds measures the engine's per-round overhead:
+// n nodes broadcasting one flag for r rounds.
+func BenchmarkLockstepRounds(b *testing.B) {
+	g, err := gen.GNP(1000, 0.01, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const rounds = 20
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := New(g).Run(func(nd *Node) {
+			for r := 0; r < rounds; r++ {
+				nd.Broadcast(Flag{})
+				nd.Exchange()
+			}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rounds), "rounds/run")
+}
+
+// BenchmarkBroadcastThroughput measures raw delivery throughput on a
+// denser graph (messages per op reported via the engine stats).
+func BenchmarkBroadcastThroughput(b *testing.B) {
+	g, err := gen.RandomRegular(500, 16, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var msgs int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := New(g).Run(func(nd *Node) {
+			for r := 0; r < 5; r++ {
+				nd.Broadcast(Uint(uint64(r)))
+				nd.Exchange()
+			}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		msgs = st.Messages
+	}
+	b.ReportMetric(float64(msgs), "msgs/run")
+}

@@ -1,0 +1,349 @@
+package sim
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"kwmds/internal/gen"
+	"kwmds/internal/graph"
+)
+
+// path4 is 0-1-2-3.
+func path4(t *testing.T) *graph.Graph {
+	t.Helper()
+	return graph.MustNew(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+}
+
+func TestBroadcastDelivery(t *testing.T) {
+	g := path4(t)
+	received := make([][]int, g.N())
+	_, err := New(g).Run(func(nd *Node) {
+		nd.Broadcast(Uint(nd.ID()))
+		for _, m := range nd.Exchange() {
+			received[nd.ID()] = append(received[nd.ID()], m.From)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{{1}, {0, 2}, {1, 3}, {2}}
+	for v := range want {
+		if len(received[v]) != len(want[v]) {
+			t.Fatalf("node %d received from %v, want %v", v, received[v], want[v])
+		}
+		for i := range want[v] {
+			if received[v][i] != want[v][i] {
+				t.Fatalf("node %d received from %v, want %v (inbox must be sorted)", v, received[v], want[v])
+			}
+		}
+	}
+}
+
+func TestSendTargeted(t *testing.T) {
+	g := path4(t)
+	var got [4]int64
+	_, err := New(g).Run(func(nd *Node) {
+		if nd.ID() == 1 {
+			nd.Send(2, Uint(99))
+		}
+		for _, m := range nd.Exchange() {
+			atomic.AddInt64(&got[nd.ID()], int64(m.Data.(Uint)))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[2] != 99 || got[0] != 0 || got[1] != 0 || got[3] != 0 {
+		t.Errorf("targeted send misdelivered: %v", got)
+	}
+}
+
+func TestSendToNonNeighborPanicsIntoError(t *testing.T) {
+	g := path4(t)
+	_, err := New(g).Run(func(nd *Node) {
+		if nd.ID() == 0 {
+			nd.Send(3, Flag{}) // 0 and 3 are not adjacent
+		}
+		nd.Exchange()
+	})
+	if err == nil || !strings.Contains(err.Error(), "non-neighbor") {
+		t.Fatalf("err = %v, want non-neighbor panic surfaced", err)
+	}
+}
+
+func TestRoundCounting(t *testing.T) {
+	g := path4(t)
+	const rounds = 7
+	st, err := New(g).Run(func(nd *Node) {
+		for r := 0; r < rounds; r++ {
+			nd.Broadcast(Flag{})
+			nd.Exchange()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rounds != rounds {
+		t.Errorf("Rounds = %d, want %d", st.Rounds, rounds)
+	}
+	// Each round all 4 nodes broadcast: deliveries = 2m = 6 per round.
+	if st.Messages != rounds*6 {
+		t.Errorf("Messages = %d, want %d", st.Messages, rounds*6)
+	}
+	if st.Bits != rounds*6 { // Flag is 1 bit
+		t.Errorf("Bits = %d, want %d", st.Bits, rounds*6)
+	}
+	// Node 1 and 2 have degree 2 → 2 msgs/round → 14 total.
+	if st.MaxMsgs != rounds*2 {
+		t.Errorf("MaxMsgs = %d, want %d", st.MaxMsgs, rounds*2)
+	}
+}
+
+func TestMessagesSentInSameRoundAreReceivedThatRound(t *testing.T) {
+	// Synchronous semantics: what a neighbor sends before its r-th Exchange
+	// arrives at my r-th Exchange.
+	g := graph.MustNew(2, [][2]int{{0, 1}})
+	ok := make([]bool, 2)
+	_, err := New(g).Run(func(nd *Node) {
+		nd.Broadcast(Uint(10 + nd.ID()))
+		msgs := nd.Exchange()
+		ok[nd.ID()] = len(msgs) == 1 && msgs[0].Data.(Uint) == Uint(10+1-nd.ID())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok[0] || !ok[1] {
+		t.Errorf("same-round delivery broken: %v", ok)
+	}
+}
+
+func TestEarlyExitNodesStillDeliverFinalMessages(t *testing.T) {
+	// Node 0 announces and halts without a final Exchange; node 1 must still
+	// receive the announcement, and the barrier must not deadlock.
+	g := graph.MustNew(2, [][2]int{{0, 1}})
+	var got int64
+	_, err := New(g).Run(func(nd *Node) {
+		if nd.ID() == 0 {
+			nd.Broadcast(Uint(7))
+			return // halt immediately
+		}
+		msgs := nd.Exchange()
+		for _, m := range msgs {
+			atomic.AddInt64(&got, int64(m.Data.(Uint)))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 7 {
+		t.Errorf("late node received %d, want 7", got)
+	}
+}
+
+func TestStaggeredTermination(t *testing.T) {
+	// Node v runs v+1 rounds. The engine must keep advancing as the
+	// population shrinks.
+	g, err := gen.Clique(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := New(g).Run(func(nd *Node) {
+		for r := 0; r <= nd.ID(); r++ {
+			nd.Broadcast(Flag{})
+			nd.Exchange()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rounds != 5 {
+		t.Errorf("Rounds = %d, want 5", st.Rounds)
+	}
+}
+
+func TestDeterministicRand(t *testing.T) {
+	g := path4(t)
+	run := func() []uint64 {
+		out := make([]uint64, g.N())
+		_, err := New(g, WithSeed(42)).Run(func(nd *Node) {
+			out[nd.ID()] = nd.Rand().Uint64()
+			nd.Exchange()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("node %d rand differs across identical runs", v)
+		}
+	}
+	// Different nodes get different streams.
+	if a[0] == a[1] && a[1] == a[2] {
+		t.Error("per-node streams look identical")
+	}
+}
+
+func TestMaxRoundsAbort(t *testing.T) {
+	g := path4(t)
+	st, err := New(g, WithMaxRounds(10)).Run(func(nd *Node) {
+		for { // livelock
+			nd.Exchange()
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "exceeded") {
+		t.Fatalf("err = %v, want round-limit abort", err)
+	}
+	if st.Rounds < 10 {
+		t.Errorf("Rounds = %d before abort", st.Rounds)
+	}
+}
+
+func TestProgramPanicSurfaces(t *testing.T) {
+	g := path4(t)
+	_, err := New(g).Run(func(nd *Node) {
+		if nd.ID() == 2 {
+			panic("boom")
+		}
+		nd.Exchange()
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") || !strings.Contains(err.Error(), "node 2") {
+		t.Fatalf("err = %v, want node 2 panic surfaced", err)
+	}
+}
+
+func TestEmptyGraphRun(t *testing.T) {
+	g := graph.MustNew(0, nil)
+	st, err := New(g).Run(func(nd *Node) { nd.Exchange() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rounds != 0 || st.Messages != 0 {
+		t.Errorf("empty graph: %+v", st)
+	}
+}
+
+func TestIsolatedVertices(t *testing.T) {
+	g := graph.MustNew(3, nil)
+	st, err := New(g).Run(func(nd *Node) {
+		nd.Broadcast(Flag{}) // no neighbors: no-op
+		msgs := nd.Exchange()
+		if len(msgs) != 0 {
+			t.Errorf("isolated node received %d messages", len(msgs))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Messages != 0 || st.Rounds != 1 {
+		t.Errorf("isolated run: %+v", st)
+	}
+}
+
+func TestPerRoundStats(t *testing.T) {
+	g := path4(t)
+	st, err := New(g, WithPerRoundStats()).Run(func(nd *Node) {
+		nd.Broadcast(Flag{})
+		nd.Exchange() // round 1: 6 deliveries
+		if nd.ID() == 0 {
+			nd.Send(1, Flag{})
+		}
+		nd.Exchange() // round 2: 1 delivery
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.PerRound) != 2 || st.PerRound[0] != 6 || st.PerRound[1] != 1 {
+		t.Errorf("PerRound = %v, want [6 1]", st.PerRound)
+	}
+}
+
+func TestPayloadBits(t *testing.T) {
+	tests := []struct {
+		p    Payload
+		want int
+	}{
+		{Flag{}, 1},
+		{Bit(true), 1},
+		{Bit(false), 1},
+		{Uint(0), 1},
+		{Uint(1), 1},
+		{Uint(2), 2},
+		{Uint(255), 8},
+		{Uint(256), 9},
+		{Float(3.14), 64},
+	}
+	for _, tc := range tests {
+		if got := tc.p.Bits(); got != tc.want {
+			t.Errorf("%T(%v).Bits() = %d, want %d", tc.p, tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestBitAccountingUsesPayloadWidth(t *testing.T) {
+	g := graph.MustNew(2, [][2]int{{0, 1}})
+	st, err := New(g).Run(func(nd *Node) {
+		nd.Broadcast(Uint(255)) // 8 bits each
+		nd.Exchange()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Bits != 16 {
+		t.Errorf("Bits = %d, want 16", st.Bits)
+	}
+}
+
+func TestDeterministicDeliveryAcrossRuns(t *testing.T) {
+	// A randomized gossip program must produce identical traffic counts on
+	// identical seeds even though goroutine interleaving varies.
+	g, err := gen.GNP(50, 0.1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() int64 {
+		st, err := New(g, WithSeed(7)).Run(func(nd *Node) {
+			for r := 0; r < 5; r++ {
+				if nd.Rand().Float64() < 0.5 {
+					nd.Broadcast(Uint(uint64(nd.Rand().IntN(1000))))
+				}
+				nd.Exchange()
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Bits
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("bit totals differ across identical runs: %d vs %d", a, b)
+	}
+}
+
+func TestManyNodesStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	g, err := gen.GNP(2000, 0.005, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := New(g).Run(func(nd *Node) {
+		for r := 0; r < 10; r++ {
+			nd.Broadcast(Uint(uint64(r)))
+			nd.Exchange()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rounds != 10 {
+		t.Errorf("Rounds = %d", st.Rounds)
+	}
+	if st.Messages != int64(10*2*g.M()) {
+		t.Errorf("Messages = %d, want %d", st.Messages, 10*2*g.M())
+	}
+}

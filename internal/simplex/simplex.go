@@ -1,0 +1,297 @@
+// Package simplex implements a dense two-phase primal simplex solver for
+// small and medium linear programs. The repository uses it to compute exact
+// optima of the fractional dominating-set relaxation LP_MDS and its dual
+// DLP_MDS, which are the yardsticks for the approximation guarantees of
+// Theorems 4 and 5.
+//
+// The solver uses Bland's anti-cycling rule throughout, so it terminates on
+// every input at the cost of speed — an acceptable trade-off at the problem
+// sizes we feed it (a few hundred variables).
+package simplex
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sense is a constraint direction.
+type Sense int8
+
+// Constraint senses.
+const (
+	LE Sense = iota // ≤
+	GE              // ≥
+	EQ              // =
+)
+
+// Status reports the outcome of a solve.
+type Status int8
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("status(%d)", int8(s))
+	}
+}
+
+// Constraint is a dense linear constraint Coef·x (Sense) RHS.
+type Constraint struct {
+	Coef  []float64
+	Sense Sense
+	RHS   float64
+}
+
+// Problem is a linear program over variables x ≥ 0:
+//
+//	minimize  C·x   (or maximize, if Maximize is set)
+//	subject to each Constraint.
+type Problem struct {
+	NumVars  int
+	C        []float64
+	Rows     []Constraint
+	Maximize bool
+}
+
+// Result is the outcome of Solve. X and Value are valid only when Status is
+// Optimal; Value is reported in the problem's own orientation (maximized
+// problems report the maximum).
+type Result struct {
+	Status Status
+	X      []float64
+	Value  float64
+}
+
+const eps = 1e-9
+
+// Solve optimizes the problem with two-phase primal simplex.
+func Solve(p *Problem) (*Result, error) {
+	if err := validate(p); err != nil {
+		return nil, err
+	}
+	n := p.NumVars
+	m := len(p.Rows)
+
+	// Count slack/surplus and artificial columns.
+	numSlack := 0
+	numArt := 0
+	for _, r := range p.Rows {
+		if r.Sense != EQ {
+			numSlack++
+		}
+		// After normalizing to RHS ≥ 0: GE and EQ rows need artificials;
+		// LE rows have their slack basic. We conservatively allocate an
+		// artificial for every row and simply leave unneeded ones unused
+		// (their column stays zero and never enters the basis).
+		numArt++
+	}
+	cols := n + numSlack + numArt
+	// Tableau: m rows × (cols + 1); last column is RHS.
+	tab := make([][]float64, m)
+	basis := make([]int, m)
+	slackAt := n
+	artAt := n + numSlack
+
+	for i, r := range p.Rows {
+		row := make([]float64, cols+1)
+		sign := 1.0
+		rhs := r.RHS
+		if rhs < 0 {
+			sign = -1
+			rhs = -rhs
+		}
+		for j, c := range r.Coef {
+			row[j] = sign * c
+		}
+		row[cols] = rhs
+		sense := r.Sense
+		if sign < 0 {
+			switch sense {
+			case LE:
+				sense = GE
+			case GE:
+				sense = LE
+			}
+		}
+		switch sense {
+		case LE:
+			row[slackAt] = 1
+			basis[i] = slackAt
+			slackAt++
+			artAt++ // burn this row's unused artificial slot
+		case GE:
+			row[slackAt] = -1
+			slackAt++
+			row[artAt] = 1
+			basis[i] = artAt
+			artAt++
+		case EQ:
+			row[artAt] = 1
+			basis[i] = artAt
+			artAt++
+		}
+		tab[i] = row
+	}
+
+	// Phase 1: minimize the sum of artificial variables.
+	phase1 := make([]float64, cols)
+	artStart := n + numSlack
+	for j := artStart; j < cols; j++ {
+		phase1[j] = 1
+	}
+	if val, ok := runSimplex(tab, basis, phase1, cols); !ok {
+		return nil, errors.New("simplex: phase 1 unbounded (internal error)")
+	} else if val > eps {
+		return &Result{Status: Infeasible}, nil
+	}
+	// Drive any artificial variables that remain basic (at value 0) out of
+	// the basis to avoid contaminating phase 2.
+	for i := range basis {
+		if basis[i] < artStart {
+			continue
+		}
+		// If every real coefficient in the row is zero the constraint was
+		// redundant; the artificial stays basic at value zero and is
+		// harmless because its column is excluded from entering in phase 2.
+		for j := 0; j < artStart; j++ {
+			if math.Abs(tab[i][j]) > eps {
+				pivot(tab, basis, i, j)
+				break
+			}
+		}
+	}
+
+	// Phase 2: optimize the real objective over real columns only.
+	obj := make([]float64, cols)
+	for j := 0; j < n; j++ {
+		if p.Maximize {
+			obj[j] = -p.C[j]
+		} else {
+			obj[j] = p.C[j]
+		}
+	}
+	val, ok := runSimplex(tab, basis, obj, artStart)
+	if !ok {
+		return &Result{Status: Unbounded}, nil
+	}
+	x := make([]float64, n)
+	for i, b := range basis {
+		if b < n {
+			x[b] = tab[i][cols]
+		}
+	}
+	if p.Maximize {
+		val = -val
+	}
+	return &Result{Status: Optimal, X: x, Value: val}, nil
+}
+
+func validate(p *Problem) error {
+	if p.NumVars < 0 {
+		return fmt.Errorf("simplex: NumVars = %d < 0", p.NumVars)
+	}
+	if len(p.C) != p.NumVars {
+		return fmt.Errorf("simplex: len(C) = %d, want %d", len(p.C), p.NumVars)
+	}
+	for i, r := range p.Rows {
+		if len(r.Coef) != p.NumVars {
+			return fmt.Errorf("simplex: row %d has %d coefficients, want %d", i, len(r.Coef), p.NumVars)
+		}
+	}
+	return nil
+}
+
+// runSimplex minimizes obj over the current tableau using Bland's rule,
+// allowing only columns < allowedCols to enter. It returns the objective
+// value and false if the LP is unbounded.
+func runSimplex(tab [][]float64, basis []int, obj []float64, allowedCols int) (float64, bool) {
+	m := len(tab)
+	if m == 0 {
+		return 0, true
+	}
+	cols := len(tab[0]) - 1
+	// Reduced costs: z_j = obj_j - Σ_i obj_basis[i] * tab[i][j].
+	reduced := make([]float64, cols+1)
+	recompute := func() {
+		copy(reduced, obj)
+		reduced[cols] = 0
+		for i := 0; i < m; i++ {
+			cb := obj[basis[i]]
+			if cb == 0 {
+				continue
+			}
+			row := tab[i]
+			for j := 0; j <= cols; j++ {
+				reduced[j] -= cb * row[j]
+			}
+		}
+	}
+	recompute()
+	for iter := 0; ; iter++ {
+		// Bland: entering column = smallest index with negative reduced cost.
+		enter := -1
+		for j := 0; j < allowedCols; j++ {
+			if reduced[j] < -eps {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			return -reduced[cols], true
+		}
+		// Ratio test; Bland tie-break on smallest basis index.
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < m; i++ {
+			a := tab[i][enter]
+			if a > eps {
+				ratio := tab[i][len(tab[i])-1] / a
+				if ratio < best-eps || (ratio < best+eps && (leave < 0 || basis[i] < basis[leave])) {
+					best = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return 0, false // unbounded
+		}
+		pivot(tab, basis, leave, enter)
+		recompute()
+	}
+}
+
+// pivot makes column enter basic in row leave.
+func pivot(tab [][]float64, basis []int, leave, enter int) {
+	row := tab[leave]
+	piv := row[enter]
+	for j := range row {
+		row[j] /= piv
+	}
+	for i := range tab {
+		if i == leave {
+			continue
+		}
+		factor := tab[i][enter]
+		if factor == 0 {
+			continue
+		}
+		other := tab[i]
+		for j := range other {
+			other[j] -= factor * row[j]
+		}
+	}
+	basis[leave] = enter
+}

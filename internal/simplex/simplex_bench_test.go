@@ -1,0 +1,49 @@
+package simplex
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// BenchmarkCoveringLP measures the solver on the LP_MDS-shaped covering
+// program (symmetric 0/1 matrix with unit diagonal).
+func BenchmarkCoveringLP(b *testing.B) {
+	for _, n := range []int{30, 80} {
+		b.Run(sizeName(n), func(b *testing.B) {
+			rng := rand.New(rand.NewPCG(7, 9))
+			a := make([][]float64, n)
+			for i := range a {
+				a[i] = make([]float64, n)
+				a[i][i] = 1
+			}
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					if rng.Float64() < 0.2 {
+						a[i][j], a[j][i] = 1, 1
+					}
+				}
+			}
+			ones := make([]float64, n)
+			rows := make([]Constraint, n)
+			for i := range ones {
+				ones[i] = 1
+				rows[i] = Constraint{Coef: a[i], Sense: GE, RHS: 1}
+			}
+			p := &Problem{NumVars: n, C: ones, Rows: rows}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := Solve(p)
+				if err != nil || res.Status != Optimal {
+					b.Fatalf("%v %v", res, err)
+				}
+			}
+		})
+	}
+}
+
+func sizeName(n int) string {
+	if n < 50 {
+		return "n30"
+	}
+	return "n80"
+}

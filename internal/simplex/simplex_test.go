@@ -1,0 +1,271 @@
+package simplex
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestSimpleMinimization(t *testing.T) {
+	// min x+y s.t. x+y ≥ 2, x ≥ 0.5 → value 2.
+	p := &Problem{
+		NumVars: 2,
+		C:       []float64{1, 1},
+		Rows: []Constraint{
+			{Coef: []float64{1, 1}, Sense: GE, RHS: 2},
+			{Coef: []float64{1, 0}, Sense: GE, RHS: 0.5},
+		},
+	}
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal || !approx(res.Value, 2) {
+		t.Fatalf("got %v value %v, want optimal 2", res.Status, res.Value)
+	}
+}
+
+func TestSimpleMaximization(t *testing.T) {
+	// Classic: max 3x+5y s.t. x ≤ 4, 2y ≤ 12, 3x+2y ≤ 18 → 36 at (2,6).
+	p := &Problem{
+		NumVars:  2,
+		C:        []float64{3, 5},
+		Maximize: true,
+		Rows: []Constraint{
+			{Coef: []float64{1, 0}, Sense: LE, RHS: 4},
+			{Coef: []float64{0, 2}, Sense: LE, RHS: 12},
+			{Coef: []float64{3, 2}, Sense: LE, RHS: 18},
+		},
+	}
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal || !approx(res.Value, 36) {
+		t.Fatalf("got %v value %v, want optimal 36", res.Status, res.Value)
+	}
+	if !approx(res.X[0], 2) || !approx(res.X[1], 6) {
+		t.Fatalf("x = %v, want (2,6)", res.X)
+	}
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// min 2x+3y s.t. x+y = 4, x ≤ 3 → x=3,y=1 value 9.
+	p := &Problem{
+		NumVars: 2,
+		C:       []float64{2, 3},
+		Rows: []Constraint{
+			{Coef: []float64{1, 1}, Sense: EQ, RHS: 4},
+			{Coef: []float64{1, 0}, Sense: LE, RHS: 3},
+		},
+	}
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal || !approx(res.Value, 9) {
+		t.Fatalf("got %v value %v, want optimal 9", res.Status, res.Value)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	// x ≥ 3 and x ≤ 1.
+	p := &Problem{
+		NumVars: 1,
+		C:       []float64{1},
+		Rows: []Constraint{
+			{Coef: []float64{1}, Sense: GE, RHS: 3},
+			{Coef: []float64{1}, Sense: LE, RHS: 1},
+		},
+	}
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Infeasible {
+		t.Fatalf("got %v, want infeasible", res.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// max x s.t. x ≥ 1.
+	p := &Problem{
+		NumVars:  1,
+		C:        []float64{1},
+		Maximize: true,
+		Rows:     []Constraint{{Coef: []float64{1}, Sense: GE, RHS: 1}},
+	}
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Unbounded {
+		t.Fatalf("got %v, want unbounded", res.Status)
+	}
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// -x ≤ -2 means x ≥ 2.
+	p := &Problem{
+		NumVars: 1,
+		C:       []float64{1},
+		Rows:    []Constraint{{Coef: []float64{-1}, Sense: LE, RHS: -2}},
+	}
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal || !approx(res.Value, 2) {
+		t.Fatalf("got %v value %v, want optimal 2", res.Status, res.Value)
+	}
+}
+
+func TestDegenerateNoCycle(t *testing.T) {
+	// Beale's classic cycling example (cycles under Dantzig's rule without
+	// anti-cycling; Bland's rule must terminate).
+	p := &Problem{
+		NumVars:  4,
+		C:        []float64{0.75, -150, 0.02, -6},
+		Maximize: true,
+		Rows: []Constraint{
+			{Coef: []float64{0.25, -60, -0.04, 9}, Sense: LE, RHS: 0},
+			{Coef: []float64{0.5, -90, -0.02, 3}, Sense: LE, RHS: 0},
+			{Coef: []float64{0, 0, 1, 0}, Sense: LE, RHS: 1},
+		},
+	}
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal || !approx(res.Value, 0.05) {
+		t.Fatalf("Beale: got %v value %v, want optimal 0.05", res.Status, res.Value)
+	}
+}
+
+func TestRedundantConstraints(t *testing.T) {
+	// Duplicated rows (this happens for twin vertices in LP_MDS).
+	p := &Problem{
+		NumVars: 2,
+		C:       []float64{1, 2},
+		Rows: []Constraint{
+			{Coef: []float64{1, 1}, Sense: GE, RHS: 1},
+			{Coef: []float64{1, 1}, Sense: GE, RHS: 1},
+			{Coef: []float64{1, 1}, Sense: EQ, RHS: 1},
+		},
+	}
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal || !approx(res.Value, 1) {
+		t.Fatalf("got %v value %v, want optimal 1", res.Status, res.Value)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	if _, err := Solve(&Problem{NumVars: -1}); err == nil {
+		t.Error("negative NumVars accepted")
+	}
+	if _, err := Solve(&Problem{NumVars: 2, C: []float64{1}}); err == nil {
+		t.Error("C length mismatch accepted")
+	}
+	if _, err := Solve(&Problem{NumVars: 1, C: []float64{1},
+		Rows: []Constraint{{Coef: []float64{1, 2}, Sense: GE, RHS: 1}}}); err == nil {
+		t.Error("row length mismatch accepted")
+	}
+}
+
+func TestEmptyProblem(t *testing.T) {
+	res, err := Solve(&Problem{NumVars: 0, C: nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal || res.Value != 0 {
+		t.Fatalf("empty problem: %v value %v", res.Status, res.Value)
+	}
+}
+
+func TestNoConstraintsMinimize(t *testing.T) {
+	// min x with no constraints → x = 0.
+	res, err := Solve(&Problem{NumVars: 1, C: []float64{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal || !approx(res.Value, 0) {
+		t.Fatalf("got %v value %v, want 0", res.Status, res.Value)
+	}
+}
+
+// Random covering LPs: verify the returned solution is feasible and that
+// strong duality holds between min 1ᵀx : Ax ≥ 1 and max 1ᵀy : Aᵀy ≤ 1.
+func TestRandomCoveringDuality(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 13))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.IntN(8)
+		// Random symmetric 0/1 matrix with ones on the diagonal — exactly
+		// the closed-neighborhood structure of LP_MDS.
+		a := make([][]float64, n)
+		for i := range a {
+			a[i] = make([]float64, n)
+			a[i][i] = 1
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.4 {
+					a[i][j], a[j][i] = 1, 1
+				}
+			}
+		}
+		ones := make([]float64, n)
+		for i := range ones {
+			ones[i] = 1
+		}
+		primalRows := make([]Constraint, n)
+		dualRows := make([]Constraint, n)
+		for i := 0; i < n; i++ {
+			primalRows[i] = Constraint{Coef: a[i], Sense: GE, RHS: 1}
+			dualRows[i] = Constraint{Coef: a[i], Sense: LE, RHS: 1} // A symmetric
+		}
+		pr, err := Solve(&Problem{NumVars: n, C: ones, Rows: primalRows})
+		if err != nil {
+			t.Fatal(err)
+		}
+		du, err := Solve(&Problem{NumVars: n, C: ones, Rows: dualRows, Maximize: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pr.Status != Optimal || du.Status != Optimal {
+			t.Fatalf("trial %d: statuses %v/%v", trial, pr.Status, du.Status)
+		}
+		if math.Abs(pr.Value-du.Value) > 1e-6 {
+			t.Fatalf("trial %d: duality gap %v vs %v", trial, pr.Value, du.Value)
+		}
+		// Primal feasibility of the returned point.
+		for i := 0; i < n; i++ {
+			var dot float64
+			for j := 0; j < n; j++ {
+				dot += a[i][j] * pr.X[j]
+			}
+			if dot < 1-1e-6 {
+				t.Fatalf("trial %d: constraint %d violated: %v", trial, i, dot)
+			}
+		}
+		for _, x := range pr.X {
+			if x < -1e-9 {
+				t.Fatalf("trial %d: negative variable %v", trial, x)
+			}
+		}
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" ||
+		Unbounded.String() != "unbounded" {
+		t.Error("Status strings wrong")
+	}
+	if Status(9).String() == "" {
+		t.Error("unknown status should still render")
+	}
+}

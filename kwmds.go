@@ -1,0 +1,286 @@
+package kwmds
+
+import (
+	"fmt"
+
+	"kwmds/internal/cds"
+	"kwmds/internal/core"
+	"kwmds/internal/graph"
+	"kwmds/internal/lp"
+	"kwmds/internal/rounding"
+)
+
+// RoundingVariant selects the scaling used by the rounding stage.
+type RoundingVariant = rounding.Variant
+
+// Rounding variants.
+const (
+	// VariantLn is Algorithm 1 as published: p = min{1, x·ln(δ⁽²⁾+1)},
+	// expected size (1+α·ln(∆+1))·|DS_OPT| (Theorem 3).
+	VariantLn = rounding.Ln
+	// VariantLnMinusLnLn is the remark's refinement with expected size
+	// 2α(ln(∆+1) − ln ln(∆+1))·|DS_OPT|.
+	VariantLnMinusLnLn = rounding.LnMinusLnLn
+)
+
+// Options configures a run of the Kuhn–Wattenhofer pipeline.
+type Options struct {
+	// K is the paper's trade-off parameter: O(k²) rounds for an
+	// O(k·∆^{2/k}·log ∆) expected approximation. K = 0 selects the
+	// paper's recommended k = Θ(log ∆) (remark after Theorem 6).
+	K int
+	// Seed drives the rounding stage's coin flips (the LP stage is
+	// deterministic). Runs with equal seeds are identical.
+	Seed int64
+	// KnownDelta switches the LP stage to Algorithm 2, which assumes all
+	// nodes know the global maximum degree ∆ and runs in 2k² rounds with
+	// the sharper k(∆+1)^{2/k} LP guarantee. The default is Algorithm 3
+	// (no global knowledge, 4k²+2k+2 rounds).
+	KnownDelta bool
+	// Variant selects the rounding scaling (default VariantLn).
+	Variant RoundingVariant
+	// Weights, when non-nil, runs the weighted fractional variant from
+	// the remark after Theorem 4 with node costs c_i ∈ [1, ∞). The
+	// rounding stage is unchanged (the paper gives no weighted rounding);
+	// Result.WeightedCost reports the resulting set's cost.
+	Weights []float64
+	// Sequential runs the sequential reference implementations instead of
+	// the message-passing simulation. The output is bit-identical; round
+	// and message statistics are zero. Use it for very large graphs.
+	Sequential bool
+}
+
+// Result is the outcome of DominatingSet.
+type Result struct {
+	// InDS marks the dominating set members, indexed by vertex.
+	InDS []bool
+	// Size is the number of members.
+	Size int
+	// WeightedCost is Σ_{v∈DS} c_v when Options.Weights was set,
+	// otherwise equal to Size.
+	WeightedCost float64
+	// Fractional is the LP stage's x-vector (a feasible fractional
+	// dominating set).
+	Fractional []float64
+	// LPObjective is Σx of the fractional stage.
+	LPObjective float64
+	// K is the effective trade-off parameter used.
+	K int
+	// Rounds is the total number of synchronous communication rounds
+	// (LP stage + rounding stage); zero when Sequential.
+	Rounds int
+	// Messages and Bits aggregate the deliveries and payload volume over
+	// both stages; zero when Sequential.
+	Messages int64
+	Bits     int64
+	// JoinedRandom and JoinedFixup split the set by join reason (the X
+	// and Y of Theorem 3's proof).
+	JoinedRandom int
+	JoinedFixup  int
+	// Connectors is the number of bridge vertices added by
+	// ConnectedDominatingSet (zero for DominatingSet).
+	Connectors int
+}
+
+// FractionalResult is the outcome of FractionalDominatingSet.
+type FractionalResult struct {
+	// X is a feasible fractional dominating set.
+	X []float64
+	// Objective is Σx (for weighted runs, compute the weighted objective
+	// with WeightedObjective).
+	Objective float64
+	// Bound is the theorem's approximation guarantee for this run:
+	// Objective ≤ Bound · LP_OPT.
+	Bound float64
+	// K is the effective trade-off parameter used.
+	K int
+	// Rounds, Messages, Bits are simulation statistics (zero when
+	// Sequential).
+	Rounds   int
+	Messages int64
+	Bits     int64
+}
+
+// effectiveK resolves Options.K, defaulting to the paper's k = Θ(log ∆).
+func effectiveK(k int, g *Graph) int {
+	if k != 0 {
+		return k
+	}
+	return core.LogDeltaK(g.MaxDegree())
+}
+
+// FractionalDominatingSet runs only the LP stage (Section 5 of the paper)
+// and returns the fractional solution with its guarantee.
+func FractionalDominatingSet(g *Graph, opts Options) (*FractionalResult, error) {
+	if g == nil {
+		return nil, fmt.Errorf("kwmds: nil graph")
+	}
+	k := effectiveK(opts.K, g)
+	out := &FractionalResult{K: k}
+	delta := g.MaxDegree()
+	switch {
+	case opts.Weights != nil:
+		cmax := 1.0
+		for _, c := range opts.Weights {
+			if c > cmax {
+				cmax = c
+			}
+		}
+		out.Bound = core.WeightedBound(k, delta, cmax)
+		if opts.Sequential {
+			ref, err := core.ReferenceWeighted(g, k, opts.Weights)
+			if err != nil {
+				return nil, err
+			}
+			out.X = ref.X
+		} else {
+			res, err := core.FractionalWeighted(g, k, opts.Weights)
+			if err != nil {
+				return nil, err
+			}
+			out.X, out.Rounds, out.Messages, out.Bits = res.X, res.Rounds, res.Messages, res.Bits
+		}
+	case opts.KnownDelta:
+		out.Bound = core.KnownDeltaBound(k, delta)
+		if opts.Sequential {
+			ref, err := core.ReferenceKnownDelta(g, k)
+			if err != nil {
+				return nil, err
+			}
+			out.X = ref.X
+		} else {
+			res, err := core.FractionalKnownDelta(g, k)
+			if err != nil {
+				return nil, err
+			}
+			out.X, out.Rounds, out.Messages, out.Bits = res.X, res.Rounds, res.Messages, res.Bits
+		}
+	default:
+		out.Bound = core.UnknownDeltaBound(k, delta)
+		if opts.Sequential {
+			ref, err := core.Reference(g, k)
+			if err != nil {
+				return nil, err
+			}
+			out.X = ref.X
+		} else {
+			res, err := core.Fractional(g, k)
+			if err != nil {
+				return nil, err
+			}
+			out.X, out.Rounds, out.Messages, out.Bits = res.X, res.Rounds, res.Messages, res.Bits
+		}
+	}
+	out.Objective = lp.Objective(out.X)
+	return out, nil
+}
+
+// DominatingSet runs the full Kuhn–Wattenhofer pipeline: the distributed LP
+// approximation followed by distributed randomized rounding. The returned
+// set is always a valid dominating set; its expected size is within
+// O(k·∆^{2/k}·log ∆) of optimal (Theorem 6).
+func DominatingSet(g *Graph, opts Options) (*Result, error) {
+	frac, err := FractionalDominatingSet(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	ropts := rounding.Options{Seed: opts.Seed, Variant: opts.Variant}
+	var rres *rounding.Result
+	if opts.Sequential {
+		rres, err = rounding.Reference(g, frac.X, ropts)
+	} else {
+		rres, err = rounding.Round(g, frac.X, ropts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		InDS:         rres.InDS,
+		Size:         rres.Size,
+		WeightedCost: float64(rres.Size),
+		Fractional:   frac.X,
+		LPObjective:  frac.Objective,
+		K:            frac.K,
+		Rounds:       frac.Rounds + rres.Rounds,
+		Messages:     frac.Messages + rres.Messages,
+		Bits:         frac.Bits + rres.Bits,
+		JoinedRandom: rres.JoinedRandom,
+		JoinedFixup:  rres.JoinedFixup,
+	}
+	if opts.Weights != nil {
+		res.WeightedCost = 0
+		for v, in := range rres.InDS {
+			if in {
+				res.WeightedCost += opts.Weights[v]
+			}
+		}
+	}
+	return res, nil
+}
+
+// ConnectedDominatingSet runs the full pipeline and then upgrades the
+// result to a *connected* dominating set — the routing-backbone structure
+// the paper's introduction motivates — by bridging adjacent dominator
+// clusters with at most two connector vertices each (|CDS| ≤ 3·|DS| − 2
+// per connected component; Result.Connectors counts the additions). Within
+// every connected component of g the returned set induces a connected
+// subgraph.
+func ConnectedDominatingSet(g *Graph, opts Options) (*Result, error) {
+	res, err := DominatingSet(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	cres, err := cds.Connect(g, res.InDS)
+	if err != nil {
+		return nil, err
+	}
+	res.InDS = cres.InCDS
+	res.Size = cres.Size
+	res.Connectors = cres.Connectors
+	if opts.Weights != nil {
+		res.WeightedCost = 0
+		for v, in := range res.InDS {
+			if in {
+				res.WeightedCost += opts.Weights[v]
+			}
+		}
+	} else {
+		res.WeightedCost = float64(res.Size)
+	}
+	return res, nil
+}
+
+// IsConnectedDominatingSet reports whether the set dominates g and induces
+// a connected subgraph within every connected component.
+func IsConnectedDominatingSet(g *Graph, set []bool) bool {
+	return cds.IsConnectedDominatingSet(g, set)
+}
+
+// DualLowerBound returns the paper's Lemma 1 bound Σ_i 1/(δ⁽¹⁾_i+1), a
+// lower bound on the size of every dominating set of g (including the
+// optimum). It scales to arbitrary graphs and is the recommended yardstick
+// when the exact optimum is out of reach.
+func DualLowerBound(g *Graph) float64 { return lp.DegreeLowerBound(g) }
+
+// LPOptimum computes the exact optimum of the fractional dominating set LP
+// with the built-in simplex solver. Costs may be nil for the unweighted
+// objective. Intended for graphs up to a few hundred vertices.
+func LPOptimum(g *Graph, costs []float64) (float64, error) {
+	val, _, err := lp.Optimum(g, costs)
+	return val, err
+}
+
+// WeightedObjective returns Σ c_i·x_i.
+func WeightedObjective(x, costs []float64) float64 { return lp.WeightedObjective(x, costs) }
+
+// IsFractionallyFeasible reports whether x is a feasible fractional
+// dominating set of g (N·x ≥ 1, x ≥ 0).
+func IsFractionallyFeasible(g *Graph, x []float64) bool { return lp.IsFeasible(g, x) }
+
+// RecommendedK returns the paper's recommended trade-off parameter
+// k = Θ(log ∆) for g, which yields an O(log²∆) approximation in O(log²∆)
+// rounds (remark after Theorem 6).
+func RecommendedK(g *Graph) int { return core.LogDeltaK(g.MaxDegree()) }
+
+// ensure the alias stays in sync with the internal package.
+var _ = graph.SetSize

@@ -1,0 +1,254 @@
+package kwmds
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestDominatingSetEndToEnd(t *testing.T) {
+	g, err := UnitDisk(150, 0.15, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DominatingSet(g, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsDominatingSet(res.InDS) {
+		t.Fatal("result not a dominating set")
+	}
+	if res.Size != SetSize(res.InDS) {
+		t.Errorf("Size = %d, members = %d", res.Size, SetSize(res.InDS))
+	}
+	if res.Size != res.JoinedRandom+res.JoinedFixup {
+		t.Errorf("join split %d+%d != %d", res.JoinedRandom, res.JoinedFixup, res.Size)
+	}
+	if !IsFractionallyFeasible(g, res.Fractional) {
+		t.Error("fractional stage infeasible")
+	}
+	k := res.K
+	if want := (4*k*k + 2*k + 2) + 3; res.Rounds != want {
+		t.Errorf("Rounds = %d, want %d (LP) + 3 (rounding)", res.Rounds, want)
+	}
+	if res.Messages == 0 || res.Bits == 0 {
+		t.Error("message statistics missing")
+	}
+	if res.WeightedCost != float64(res.Size) {
+		t.Errorf("unweighted cost %v != size %d", res.WeightedCost, res.Size)
+	}
+}
+
+func TestDominatingSetKnownDelta(t *testing.T) {
+	g, err := GNP(100, 0.06, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DominatingSet(g, Options{K: 3, Seed: 2, KnownDelta: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsDominatingSet(res.InDS) {
+		t.Fatal("not dominating")
+	}
+	if want := 2*3*3 + 3; res.Rounds != want {
+		t.Errorf("Rounds = %d, want %d", res.Rounds, want)
+	}
+}
+
+func TestSequentialMatchesDistributed(t *testing.T) {
+	g, err := UnitDisk(80, 0.2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range []Options{
+		{K: 2, Seed: 4},
+		{K: 3, Seed: 4, KnownDelta: true},
+		{K: 2, Seed: 4, Variant: VariantLnMinusLnLn},
+	} {
+		seq := opts
+		seq.Sequential = true
+		a, err := DominatingSet(g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := DominatingSet(g, seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Size != b.Size {
+			t.Fatalf("opts %+v: distributed size %d != sequential %d", opts, a.Size, b.Size)
+		}
+		for v := range a.InDS {
+			if a.InDS[v] != b.InDS[v] {
+				t.Fatalf("opts %+v: membership differs at %d", opts, v)
+			}
+		}
+		if b.Rounds != 0 || b.Messages != 0 {
+			t.Error("sequential run should report zero communication")
+		}
+	}
+}
+
+func TestFractionalDominatingSetBounds(t *testing.T) {
+	g, err := GNP(70, 0.08, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := LPOptimum(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kd := range []bool{false, true} {
+		for _, k := range []int{1, 2, 4} {
+			res, err := FractionalDominatingSet(g, Options{K: k, KnownDelta: kd})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !IsFractionallyFeasible(g, res.X) {
+				t.Errorf("k=%d kd=%v: infeasible", k, kd)
+			}
+			if res.Objective > res.Bound*opt*(1+1e-9) {
+				t.Errorf("k=%d kd=%v: objective %v > bound %v × opt %v",
+					k, kd, res.Objective, res.Bound, opt)
+			}
+		}
+	}
+}
+
+func TestWeightedPipeline(t *testing.T) {
+	g, err := UnitDisk(60, 0.25, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights := make([]float64, g.N())
+	for i := range weights {
+		weights[i] = 1 + float64(i%10)
+	}
+	res, err := DominatingSet(g, Options{K: 3, Seed: 5, Weights: weights})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsDominatingSet(res.InDS) {
+		t.Fatal("weighted pipeline not dominating")
+	}
+	var want float64
+	for v, in := range res.InDS {
+		if in {
+			want += weights[v]
+		}
+	}
+	if math.Abs(res.WeightedCost-want) > 1e-12 {
+		t.Errorf("WeightedCost = %v, want %v", res.WeightedCost, want)
+	}
+	// Weighted fractional bound against the weighted LP optimum.
+	frac, err := FractionalDominatingSet(g, Options{K: 3, Weights: weights})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wopt, err := LPOptimum(g, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj := WeightedObjective(frac.X, weights); obj > frac.Bound*wopt*(1+1e-9) {
+		t.Errorf("weighted objective %v > bound %v × wopt %v", obj, frac.Bound, wopt)
+	}
+}
+
+func TestDefaultKIsLogDelta(t *testing.T) {
+	g, err := Star(64) // ∆ = 63
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := FractionalDominatingSet(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != RecommendedK(g) {
+		t.Errorf("default K = %d, want %d", res.K, RecommendedK(g))
+	}
+	if res.K < 5 {
+		t.Errorf("RecommendedK(∆=63) = %d, expected ≈ log₂64", res.K)
+	}
+}
+
+func TestNilGraphRejected(t *testing.T) {
+	if _, err := DominatingSet(nil, Options{}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := FractionalDominatingSet(nil, Options{}); err == nil {
+		t.Error("nil graph accepted")
+	}
+}
+
+func TestDualLowerBoundConsistency(t *testing.T) {
+	g, err := UnitDisk(120, 0.15, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := DualLowerBound(g)
+	res, err := DominatingSet(g, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(res.Size) < lb-1e-9 {
+		t.Errorf("dominating set size %d below Lemma 1 bound %v", res.Size, lb)
+	}
+}
+
+func TestGraphHelpersRoundtrip(t *testing.T) {
+	g, err := NewGraph(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != 4 || g2.M() != 3 {
+		t.Errorf("roundtrip: n=%d m=%d", g2.N(), g2.M())
+	}
+	members := SetMembers([]bool{true, false, true, false})
+	if len(members) != 2 || members[0] != 0 || members[1] != 2 {
+		t.Errorf("SetMembers = %v", members)
+	}
+}
+
+func TestGeneratorWrappers(t *testing.T) {
+	checks := []struct {
+		name string
+		mk   func() (*Graph, error)
+		n    int
+	}{
+		{"gnp", func() (*Graph, error) { return GNP(10, 0.5, 1) }, 10},
+		{"udg", func() (*Graph, error) { return UnitDisk(10, 0.3, 1) }, 10},
+		{"grid", func() (*Graph, error) { return Grid(3, 4) }, 12},
+		{"torus", func() (*Graph, error) { return Torus(3, 3) }, 9},
+		{"tree", func() (*Graph, error) { return RandomTree(10, 1) }, 10},
+		{"regular", func() (*Graph, error) { return RandomRegular(10, 3, 1) }, 10},
+		{"ba", func() (*Graph, error) { return PrefAttach(10, 2, 1) }, 10},
+		{"star", func() (*Graph, error) { return Star(10) }, 10},
+		{"clique", func() (*Graph, error) { return Clique(5) }, 5},
+		{"path", func() (*Graph, error) { return Path(6) }, 6},
+		{"cycle", func() (*Graph, error) { return Cycle(6) }, 6},
+		{"cliquechain", func() (*Graph, error) { return CliqueChain(2, 3) }, 6},
+	}
+	for _, tc := range checks {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := tc.mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.N() != tc.n {
+				t.Errorf("n = %d, want %d", g.N(), tc.n)
+			}
+		})
+	}
+	if _, pts, err := UnitDiskPoints(5, 0.2, 1); err != nil || len(pts) != 5 {
+		t.Error("UnitDiskPoints wrapper broken")
+	}
+}
