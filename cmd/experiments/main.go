@@ -20,7 +20,7 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment id (T1..T9, F1) or 'all'")
+		exp    = flag.String("exp", "all", "experiment id (T1..T9, F1, L1) or 'all'")
 		quick  = flag.Bool("quick", false, "reduced workload sizes and trial counts")
 		format = flag.String("format", "md", "md|plain")
 		trials = flag.Int("trials", 0, "override trial count (0 = default)")

@@ -10,8 +10,12 @@
 // bits.
 //
 // The pipeline has two stages, both run on a built-in synchronous
-// message-passing simulator (goroutine-per-node) that measures rounds,
-// messages and bits:
+// message-passing simulator that measures rounds, messages and bits. The
+// simulator is a round-driven scheduler: a fixed worker pool sweeps every
+// node's resumable step function once per round, delivering messages
+// through preallocated per-edge buffers, so simulated runs scale to
+// hundreds of thousands of nodes while staying bit-for-bit deterministic
+// for a given seed. The stages:
 //
 //  1. LP stage — a distributed k(∆+1)^{2/k}-approximation of the fractional
 //     dominating set LP (Algorithm 2 when ∆ is known network-wide,

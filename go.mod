@@ -1,0 +1,3 @@
+module kwmds
+
+go 1.24

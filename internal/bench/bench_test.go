@@ -95,3 +95,18 @@ func TestCascadeGraphShape(t *testing.T) {
 		t.Log("cascade graph is disconnected by design (leaf-only hubs)")
 	}
 }
+
+// TestLargeEndToEndSimulated is the engine-scaling acceptance check: a
+// 100k-node end-to-end DominatingSet run must complete in the simulated
+// (message-passing) mode, not just via the sequential references, and
+// produce a valid dominating set.
+func TestLargeEndToEndSimulated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-n engine scaling run")
+	}
+	tables := L1(false)
+	if len(tables) != 1 || tables[0].NumRows() == 0 {
+		t.Fatalf("L1 produced no rows")
+	}
+	t.Logf("\n%s", tables[0].Plain())
+}

@@ -1,0 +1,39 @@
+package bench
+
+import (
+	"time"
+
+	"kwmds"
+	"kwmds/internal/lp"
+	"kwmds/internal/stats"
+)
+
+// L1 — engine scaling: the full pipeline (Algorithm 3 + rounding) runs in
+// the simulated, message-passing mode on the large-n workloads, sizes that
+// the goroutine-per-vertex engine could not touch. The table reports the
+// usual quality metrics next to the wall-clock time of the whole simulated
+// run, so regressions in the round-driven scheduler show up as numbers, not
+// anecdotes.
+func L1(quick bool) []*stats.Table {
+	t := stats.NewTable(
+		"L1 — engine scaling: simulated end-to-end runs on large graphs",
+		"graph", "n", "m", "Δ", "k", "|DS|", "ratio≤ (vs LB)", "rounds", "msgs/node", "wall")
+	for _, w := range Large(quick) {
+		lb := lp.DegreeLowerBound(w.G)
+		for _, k := range []int{2, 3} {
+			start := time.Now()
+			res, err := kwmds.DominatingSet(w.G, kwmds.Options{K: k, Seed: 1})
+			if err != nil {
+				panic(err)
+			}
+			wall := time.Since(start).Round(time.Millisecond)
+			if !w.G.IsDominatingSet(res.InDS) {
+				panic("bench: L1 produced a non-dominating set")
+			}
+			t.AddRow(w.Name, w.G.N(), w.G.M(), w.G.MaxDegree(), k,
+				res.Size, float64(res.Size)/lb, res.Rounds,
+				float64(res.Messages)/float64(w.G.N()), wall.String())
+		}
+	}
+	return []*stats.Table{t}
+}

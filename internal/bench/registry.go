@@ -47,6 +47,8 @@ func Runners() []Runner {
 			func(Config) []*stats.Table { return T9() }},
 		{"F1", "Figure 1: activity threshold cascade",
 			func(Config) []*stats.Table { return F1() }},
+		{"L1", "Engine scaling: simulated end-to-end runs on large graphs",
+			func(c Config) []*stats.Table { return L1(c.Quick) }},
 	}
 }
 

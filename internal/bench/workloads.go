@@ -68,3 +68,20 @@ func Medium(quick bool) []Workload {
 		{"ba-2000", mustG(gen.PrefAttach(2000, 3, 108))},
 	}
 }
+
+// Large returns the large-n scenarios for the engine-scaling experiment
+// (L1). These sizes were unreachable with the goroutine-per-vertex engine
+// and exist to keep the round-driven scheduler honest: a full simulated
+// (non-sequential) pipeline run must stay interactive at n = 10⁵–2·10⁵.
+func Large(quick bool) []Workload {
+	if quick {
+		return []Workload{
+			{"udg-20k", mustG(gen.UnitDisk(20000, 0.014, 109))},
+			{"gnp-40k", mustG(gen.GNP(40000, 8.0/39999.0, 110))},
+		}
+	}
+	return []Workload{
+		{"udg-100k", mustG(gen.UnitDisk(100000, 0.0065, 109))},
+		{"gnp-200k", mustG(gen.GNP(200000, 8.0/199999.0, 110))},
+	}
+}

@@ -37,26 +37,35 @@ func FractionalKnownDelta(g *graph.Graph, k int, opts ...sim.Option) (*Result, e
 
 	x := make([]float64, n)
 	engine := sim.New(g, opts...)
-	// The color exchange runs at the head of each inner iteration so the
-	// activity test sees a fresh δ̃, matching ReferenceKnownDelta (see the
-	// round-schedule note there).
-	st, err := engine.Run(func(nd *sim.Node) {
+	// The program is a per-node step machine (two rounds per inner
+	// iteration). The color exchange runs at the head of each inner
+	// iteration so the activity test sees a fresh δ̃, matching
+	// ReferenceKnownDelta (see the round-schedule note there).
+	st, err := engine.RunMachine(func(nd *sim.Node) sim.StepFunc {
+		const (
+			phStart  = iota // round 0: announce the initial color
+			phColors        // inbox: neighbor colors
+			phX             // inbox: neighbor x-values
+		)
+		phase := phStart
+		l, m := k-1, k-1
+		thr := pw[l] * (1 - thrSlack)
 		xi := 0.0
 		xw := 1 // zero value: presence bit only
 		gray := false
-		var dtil int
-		for l := k - 1; l >= 0; l-- {
-			thr := pw[l] * (1 - thrSlack)
-			for m := k - 1; m >= 0; m-- {
-				// Lines 9-10 (reordered): color exchange, recount white
-				// closed neighborhood.
+		return func(nd *sim.Node, inbox []sim.Message) bool {
+			switch phase {
+			case phStart:
 				nd.Broadcast(sim.Bit(gray))
-				msgs := nd.Exchange()
-				dtil = 0
+				phase = phColors
+			case phColors:
+				// Lines 9-10 (reordered): recount the white closed
+				// neighborhood from the color exchange.
+				dtil := 0
 				if !gray {
 					dtil++
 				}
-				for _, msg := range msgs {
+				for _, msg := range inbox {
 					if !bool(msg.Data.(sim.Bit)) {
 						dtil++
 					}
@@ -68,19 +77,33 @@ func FractionalKnownDelta(g *graph.Graph, k int, opts ...sim.Option) (*Result, e
 						xw = xWidth
 					}
 				}
-				// Lines 11-12: x exchange, recolor when covered.
+				// Line 11: x exchange.
 				nd.Broadcast(xMsg{v: xi, w: xw})
-				msgs = nd.Exchange()
+				phase = phX
+			case phX:
+				// Line 12: recolor when covered.
 				sum := xi
-				for _, msg := range msgs {
+				for _, msg := range inbox {
 					sum += msg.Data.(xMsg).v
 				}
 				if sum >= 1-covTol {
 					gray = true
 				}
+				m--
+				if m < 0 {
+					m = k - 1
+					l--
+					if l < 0 {
+						x[nd.ID()] = xi
+						return false
+					}
+					thr = pw[l] * (1 - thrSlack)
+				}
+				nd.Broadcast(sim.Bit(gray))
+				phase = phColors
 			}
+			return true
 		}
-		x[nd.ID()] = xi
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: algorithm 2: %w", err)

@@ -23,59 +23,86 @@ func Fractional(g *graph.Graph, k int, opts ...sim.Option) (*Result, error) {
 	kBits := bits.Len(uint(k))
 
 	engine := sim.New(g, opts...)
-	st, err := engine.Run(func(nd *sim.Node) {
-		deg := nd.Degree()
-
-		// Line 2: two rounds compute δ⁽²⁾.
-		nd.Broadcast(sim.Uint(uint64(deg)))
-		d1 := deg
-		for _, msg := range nd.Exchange() {
-			if d := int(msg.Data.(sim.Uint)); d > d1 {
-				d1 = d
-			}
-		}
-		nd.Broadcast(sim.Uint(uint64(d1)))
-		d2 := d1
-		for _, msg := range nd.Exchange() {
-			if d := int(msg.Data.(sim.Uint)); d > d2 {
-				d2 = d
-			}
-		}
-
-		// Line 3.
-		gamma2 := d2 + 1
-		dtil := deg + 1
-		xi := 0.0
-		xw := 1
-		gray := false
-
-		for l := k - 1; l >= 0; l-- {
+	st, err := engine.RunMachine(func(nd *sim.Node) sim.StepFunc {
+		const (
+			phStart  = iota // round 0: announce own degree
+			phD1            // inbox: neighbor degrees
+			phD2            // inbox: neighbor δ⁽¹⁾ values
+			phFlags         // inbox: activity flags
+			phA             // inbox: a-values
+			phX             // inbox: x-values
+			phColors        // inbox: colors
+			phG1            // inbox: neighbor δ̃ values
+			phG2            // inbox: neighbor γ⁽¹⁾ values
+		)
+		var (
+			phase          = phStart
+			l, m           = k - 1, k - 1
+			deg, d1        int
+			gamma2, gamma1 int
+			dtil           int
+			a              int
+			active, gray   bool
+			xi             = 0.0
+			xw             = 1
+		)
+		// startInner evaluates the activity test (lines 7-9) and stages the
+		// flag announcement heading every inner iteration. The δ̃ ≥ 1 guard
+		// handles the degenerate γ⁽²⁾ = 0 case exactly as in the sequential
+		// reference.
+		startInner := func() {
 			expL := float64(l) / float64(l+1)
-			for m := k - 1; m >= 0; m-- {
-				// Lines 7-9: activity, announced by presence of a flag.
-				// The δ̃ ≥ 1 guard handles the degenerate γ⁽²⁾ = 0 case
-				// exactly as in the sequential reference.
-				active := dtil >= 1 &&
-					float64(dtil) >= math.Pow(float64(gamma2), expL)*(1-thrSlack)
-				if active {
-					nd.Broadcast(sim.Flag{})
+			active = dtil >= 1 &&
+				float64(dtil) >= math.Pow(float64(gamma2), expL)*(1-thrSlack)
+			if active {
+				nd.Broadcast(sim.Flag{})
+			}
+			phase = phFlags
+		}
+		return func(nd *sim.Node, inbox []sim.Message) bool {
+			switch phase {
+			case phStart:
+				// Line 2: two rounds compute δ⁽²⁾.
+				deg = nd.Degree()
+				nd.Broadcast(sim.Uint(uint64(deg)))
+				phase = phD1
+			case phD1:
+				d1 = deg
+				for _, msg := range inbox {
+					if d := int(msg.Data.(sim.Uint)); d > d1 {
+						d1 = d
+					}
 				}
-				msgs := nd.Exchange()
+				nd.Broadcast(sim.Uint(uint64(d1)))
+				phase = phD2
+			case phD2:
+				d2 := d1
+				for _, msg := range inbox {
+					if d := int(msg.Data.(sim.Uint)); d > d2 {
+						d2 = d
+					}
+				}
+				// Line 3.
+				gamma2 = d2 + 1
+				dtil = deg + 1
+				startInner()
+			case phFlags:
 				// Lines 10-11: a(v) counts active members of N[v]; gray
 				// nodes report 0.
-				a := 0
+				a = 0
 				if !gray {
 					if active {
 						a++
 					}
-					a += len(msgs)
+					a += len(inbox)
 				}
 				// Line 12: exchange a-values.
 				nd.Broadcast(sim.Uint(uint64(a)))
-				msgs = nd.Exchange()
+				phase = phA
+			case phA:
 				// Line 13.
 				a1 := a
-				for _, msg := range msgs {
+				for _, msg := range inbox {
 					if av := int(msg.Data.(sim.Uint)); av > a1 {
 						a1 = av
 					}
@@ -90,45 +117,64 @@ func Fractional(g *graph.Graph, k int, opts ...sim.Option) (*Result, error) {
 				}
 				// Line 18: exchange x-values.
 				nd.Broadcast(xMsg{v: xi, w: xw})
-				msgs = nd.Exchange()
+				phase = phX
+			case phX:
 				// Line 19.
 				sum := xi
-				for _, msg := range msgs {
+				for _, msg := range inbox {
 					sum += msg.Data.(xMsg).v
 				}
 				if sum >= 1-covTol {
 					gray = true
 				}
-				// Lines 20-21: exchange colors, recount fresh δ̃.
+				// Lines 20-21: exchange colors.
 				nd.Broadcast(sim.Bit(gray))
-				msgs = nd.Exchange()
+				phase = phColors
+			case phColors:
+				// Recount the fresh δ̃.
 				dtil = 0
 				if !gray {
 					dtil++
 				}
-				for _, msg := range msgs {
+				for _, msg := range inbox {
 					if !bool(msg.Data.(sim.Bit)) {
 						dtil++
 					}
 				}
-			}
-			// Lines 24-27: refresh γ⁽²⁾ for the next outer iteration.
-			nd.Broadcast(sim.Uint(uint64(dtil)))
-			gamma1 := dtil
-			for _, msg := range nd.Exchange() {
-				if d := int(msg.Data.(sim.Uint)); d > gamma1 {
-					gamma1 = d
+				m--
+				if m >= 0 {
+					startInner()
+				} else {
+					// Lines 24-27: refresh γ⁽²⁾ for the next outer iteration.
+					nd.Broadcast(sim.Uint(uint64(dtil)))
+					phase = phG1
 				}
-			}
-			nd.Broadcast(sim.Uint(uint64(gamma1)))
-			gamma2 = gamma1
-			for _, msg := range nd.Exchange() {
-				if gv := int(msg.Data.(sim.Uint)); gv > gamma2 {
-					gamma2 = gv
+			case phG1:
+				gamma1 = dtil
+				for _, msg := range inbox {
+					if d := int(msg.Data.(sim.Uint)); d > gamma1 {
+						gamma1 = d
+					}
 				}
+				nd.Broadcast(sim.Uint(uint64(gamma1)))
+				phase = phG2
+			case phG2:
+				gamma2 = gamma1
+				for _, msg := range inbox {
+					if gv := int(msg.Data.(sim.Uint)); gv > gamma2 {
+						gamma2 = gv
+					}
+				}
+				l--
+				if l < 0 {
+					x[nd.ID()] = xi
+					return false
+				}
+				m = k - 1
+				startInner()
 			}
+			return true
 		}
-		x[nd.ID()] = xi
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: algorithm 3: %w", err)

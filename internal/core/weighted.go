@@ -118,22 +118,31 @@ func FractionalWeighted(g *graph.Graph, k int, costs []float64, opts ...sim.Opti
 
 	x := make([]float64, n)
 	engine := sim.New(g, opts...)
-	st, err := engine.Run(func(nd *sim.Node) {
+	// Same step machine as Algorithm 2, with the cost-scaled activity test.
+	st, err := engine.RunMachine(func(nd *sim.Node) sim.StepFunc {
+		const (
+			phStart  = iota // round 0: announce the initial color
+			phColors        // inbox: neighbor colors
+			phX             // inbox: neighbor x-values
+		)
+		phase := phStart
+		l, m := k-1, k-1
+		thr := wthr[l] * (1 - thrSlack)
 		xi := 0.0
 		xw := 1
 		gray := false
-		var dtil int
 		ci := costs[nd.ID()]
-		for l := k - 1; l >= 0; l-- {
-			thr := wthr[l] * (1 - thrSlack)
-			for m := k - 1; m >= 0; m-- {
+		return func(nd *sim.Node, inbox []sim.Message) bool {
+			switch phase {
+			case phStart:
 				nd.Broadcast(sim.Bit(gray))
-				msgs := nd.Exchange()
-				dtil = 0
+				phase = phColors
+			case phColors:
+				dtil := 0
 				if !gray {
 					dtil++
 				}
-				for _, msg := range msgs {
+				for _, msg := range inbox {
 					if !bool(msg.Data.(sim.Bit)) {
 						dtil++
 					}
@@ -145,17 +154,30 @@ func FractionalWeighted(g *graph.Graph, k int, costs []float64, opts ...sim.Opti
 					}
 				}
 				nd.Broadcast(xMsg{v: xi, w: xw})
-				msgs = nd.Exchange()
+				phase = phX
+			case phX:
 				sum := xi
-				for _, msg := range msgs {
+				for _, msg := range inbox {
 					sum += msg.Data.(xMsg).v
 				}
 				if sum >= 1-covTol {
 					gray = true
 				}
+				m--
+				if m < 0 {
+					m = k - 1
+					l--
+					if l < 0 {
+						x[nd.ID()] = xi
+						return false
+					}
+					thr = wthr[l] * (1 - thrSlack)
+				}
+				nd.Broadcast(sim.Bit(gray))
+				phase = phColors
 			}
+			return true
 		}
-		x[nd.ID()] = xi
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: weighted algorithm: %w", err)

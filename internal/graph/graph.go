@@ -107,6 +107,12 @@ func (g *Graph) MaxDegree() int { return g.maxDeg }
 // aliases the graph's internal storage and must not be modified.
 func (g *Graph) Neighbors(v int) []int32 { return g.adj[g.off[v]:g.off[v+1]] }
 
+// CSR exposes the raw compressed-sparse-row arrays: adj[off[v]:off[v+1]]
+// is the sorted adjacency list of v. Both slices alias the graph's internal
+// storage and must not be modified. The simulation engine uses them to
+// preallocate per-edge message buffers indexed by directed-edge position.
+func (g *Graph) CSR() (off, adj []int32) { return g.off, g.adj }
+
 // HasEdge reports whether {u,v} is an edge. O(log deg(u)).
 func (g *Graph) HasEdge(u, v int) bool {
 	nbrs := g.Neighbors(u)

@@ -164,47 +164,68 @@ func Round(g *graph.Graph, x []float64, opts Options, simOpts ...sim.Option) (*R
 	randJoin := make([]bool, n)
 	simOpts = append(simOpts, sim.WithSeed(opts.Seed))
 	engine := sim.New(g, simOpts...)
-	st, err := engine.Run(func(nd *sim.Node) {
-		deg := nd.Degree()
-		// Line 1: compute δ⁽²⁾ (two rounds, as the paper's remark
-		// describes).
-		nd.Broadcast(sim.Uint(uint64(deg)))
-		d1 := deg
-		for _, msg := range nd.Exchange() {
-			if d := int(msg.Data.(sim.Uint)); d > d1 {
-				d1 = d
-			}
-		}
-		nd.Broadcast(sim.Uint(uint64(d1)))
-		d2 := d1
-		for _, msg := range nd.Exchange() {
-			if d := int(msg.Data.(sim.Uint)); d > d2 {
-				d2 = d
-			}
-		}
-		// Lines 2-3.
-		p := math.Min(1, x[nd.ID()]*opts.Variant.Scale(d2))
-		member := flip(opts.Seed, nd.ID(), p)
-		if member {
-			randJoin[nd.ID()] = true
-		}
-		// Line 4: announce membership.
-		nd.Broadcast(sim.Bit(member))
-		msgs := nd.Exchange()
-		// Lines 5-6.
-		if !member {
-			covered := false
-			for _, msg := range msgs {
-				if bool(msg.Data.(sim.Bit)) {
-					covered = true
-					break
+	st, err := engine.RunMachine(func(nd *sim.Node) sim.StepFunc {
+		const (
+			phStart   = iota // round 0: announce own degree
+			phD1             // inbox: neighbor degrees
+			phD2             // inbox: neighbor δ⁽¹⁾ values
+			phMembers        // inbox: membership bits
+		)
+		phase := phStart
+		var deg, d1 int
+		member := false
+		return func(nd *sim.Node, inbox []sim.Message) bool {
+			switch phase {
+			case phStart:
+				// Line 1: compute δ⁽²⁾ (two rounds, as the paper's remark
+				// describes).
+				deg = nd.Degree()
+				nd.Broadcast(sim.Uint(uint64(deg)))
+				phase = phD1
+			case phD1:
+				d1 = deg
+				for _, msg := range inbox {
+					if d := int(msg.Data.(sim.Uint)); d > d1 {
+						d1 = d
+					}
 				}
+				nd.Broadcast(sim.Uint(uint64(d1)))
+				phase = phD2
+			case phD2:
+				d2 := d1
+				for _, msg := range inbox {
+					if d := int(msg.Data.(sim.Uint)); d > d2 {
+						d2 = d
+					}
+				}
+				// Lines 2-3.
+				p := math.Min(1, x[nd.ID()]*opts.Variant.Scale(d2))
+				member = flip(opts.Seed, nd.ID(), p)
+				if member {
+					randJoin[nd.ID()] = true
+				}
+				// Line 4: announce membership.
+				nd.Broadcast(sim.Bit(member))
+				phase = phMembers
+			case phMembers:
+				// Lines 5-6.
+				if !member {
+					covered := false
+					for _, msg := range inbox {
+						if bool(msg.Data.(sim.Bit)) {
+							covered = true
+							break
+						}
+					}
+					if !covered {
+						member = true
+					}
+				}
+				inDS[nd.ID()] = member
+				return false
 			}
-			if !covered {
-				member = true
-			}
+			return true
 		}
-		inDS[nd.ID()] = member
 	})
 	if err != nil {
 		return nil, fmt.Errorf("rounding: %w", err)

@@ -1,29 +1,59 @@
 // Package sim simulates the synchronous message-passing model (LOCAL with
 // bounded messages) that the paper's algorithms are stated in.
 //
-// Every vertex of a graph runs the same Program in its own goroutine. A
-// program alternates local computation with calls to Node.Exchange, which
-// delivers the messages staged with Send/Broadcast to the neighbors and
-// blocks until all live nodes reach the same round barrier — one Exchange
-// call is exactly one communication round of the paper's model.
+// # Execution model
 //
-// The engine accounts for rounds, messages (one per (sender, receiver) pair,
-// as the paper counts them) and message size in bits (each Payload reports
-// its wire width), so the paper's complexity claims — 2k² rounds, O(k²∆)
-// messages per node, O(log ∆) bits per message — become measurable
+// The engine is a round-driven scheduler: a fixed worker pool (one worker
+// per available CPU by default) sweeps every live node once per round. A
+// node's program is a resumable step function (StepFunc) that receives the
+// messages delivered to the node this round, performs local computation,
+// stages outgoing messages with Send/Broadcast, and reports whether the
+// node is still running. One full sweep of the live nodes is exactly one
+// communication round of the paper's model; there is no per-node goroutine
+// and no global barrier on the hot path.
+//
+// The legacy closure API (Program / Node.Exchange) is kept as a thin
+// compatibility shim: each closure-driven node runs in its own goroutine
+// that is parked on a private channel between rounds and resumed by
+// whichever worker sweeps it. Algorithms that care about throughput should
+// implement a Machine directly.
+//
+// # Memory model
+//
+// Message delivery uses preallocated CSR-shaped buffers indexed off the
+// graph's adjacency offsets: the directed edge u→v owns one payload slot in
+// a receiver-major slot array, so a sender writes its slot without
+// contending with anyone and a receiver reads its slots in adjacency order
+// — inboxes come out sorted by sender id by construction, with no sorting
+// and no per-round allocation. Slot arrays are double-buffered (cur/next)
+// and reused across rounds, which means an inbox slice handed to a step (or
+// returned by Exchange) is only valid until the node's next step; programs
+// that need a message beyond the round must copy it. Statistics counters
+// are sharded per node (sender-owned) and per worker, and merged when the
+// run completes; nothing on the steady-state path takes a lock.
+//
+// The engine accounts for rounds, messages (one per (sender, receiver)
+// pair, as the paper counts them) and message size in bits (each Payload
+// reports its wire width), so the paper's complexity claims — 2k² rounds,
+// O(k²∆) messages per node, O(log ∆) bits per message — become measurable
 // quantities.
 //
-// Determinism: inboxes are sorted by sender id and per-node randomness is
-// derived from (engine seed, node id), so results are independent of
-// goroutine scheduling.
+// # Determinism
+//
+// A node's step depends only on its own state and its inbox, inboxes are a
+// pure function of the previous round's sends, and per-node randomness is
+// derived from (engine seed, node id) — so results are bit-identical across
+// runs, worker counts and GOMAXPROCS settings.
 package sim
 
 import (
 	"errors"
 	"fmt"
 	"math/rand/v2"
-	"sort"
+	"runtime"
+	"slices"
 	"sync"
+	"sync/atomic"
 
 	"kwmds/internal/graph"
 	"kwmds/internal/stats"
@@ -39,25 +69,42 @@ type Message struct {
 	Data Payload
 }
 
-// Program is the code run by every node. It must communicate only through
-// its *Node handle and return when the node halts.
+// Program is the closure form of a node's code: it communicates only
+// through its *Node handle (Node.Exchange marks the round boundaries) and
+// returns when the node halts. Programs run via a goroutine-per-node
+// compatibility shim; performance-sensitive algorithms should implement a
+// Machine instead.
 type Program func(nd *Node)
 
-// errAborted unwinds node goroutines when the engine hits its round limit.
+// StepFunc advances one node by one synchronous round. The inbox holds the
+// messages delivered to the node this round, sorted by sender id; it is
+// only valid for the duration of the call. Local computation and
+// Send/Broadcast staging happen inside the step; returning false halts the
+// node (messages staged in the final step are still delivered).
+type StepFunc func(nd *Node, inbox []Message) bool
+
+// Machine builds the per-node step function. It is called once per vertex
+// before round 0; per-node state lives in the returned closure. The first
+// step of every node receives an empty inbox.
+type Machine func(nd *Node) StepFunc
+
+// errAborted unwinds closure-driven node goroutines when the engine aborts
+// (round limit or a panic elsewhere).
 var errAborted = errors.New("sim: aborted")
 
 // Node is a program's handle to its vertex: identity, neighborhood, staged
-// outgoing messages, and the round barrier.
+// outgoing messages, and (for closure programs) the round barrier.
 type Node struct {
 	id     int
 	engine *Engine
-	outbox []outMsg
+	w      *worker // executor of the node's current step; set every sweep
 	rng    *rand.Rand
-}
 
-type outMsg struct {
-	to   int32
-	data Payload
+	// Closure-shim coroutine state; nil/false for machine-driven nodes.
+	resume chan []Message // engine → program: inbox for the next round
+	yield  chan bool      // program → engine: true at Exchange, false on return
+	parked bool           // goroutine is blocked in Exchange
+	pval   any            // panic recovered from the program goroutine
 }
 
 // ID returns the node's vertex id. The paper's model allows unique ids; the
@@ -71,12 +118,9 @@ func (nd *Node) Degree() int { return nd.engine.g.Degree(nd.id) }
 // storage and must not be modified.
 func (nd *Node) Neighbors() []int32 { return nd.engine.g.Neighbors(nd.id) }
 
-// Round returns the number of completed communication rounds.
-func (nd *Node) Round() int {
-	nd.engine.mu.Lock()
-	defer nd.engine.mu.Unlock()
-	return nd.engine.round
-}
+// Round returns the number of completed communication rounds. It is a
+// single atomic load — safe to call from any step or program at any time.
+func (nd *Node) Round() int { return int(nd.engine.round.Load()) }
 
 // Rand returns this node's deterministic random stream, derived from the
 // engine seed and the node id.
@@ -88,27 +132,91 @@ func (nd *Node) Rand() *rand.Rand {
 }
 
 // Send stages a message to a single neighbor for delivery at the next
-// Exchange. Sending to a non-neighbor panics: the communication graph is
-// the network.
+// round boundary. Sending to a non-neighbor panics: the communication graph
+// is the network.
 func (nd *Node) Send(to int, p Payload) {
-	if !nd.engine.g.HasEdge(nd.id, to) {
+	e := nd.engine
+	lo, hi := e.off[nd.id], e.off[nd.id+1]
+	i, ok := slices.BinarySearch(e.adj[lo:hi], int32(to))
+	if !ok {
 		panic(fmt.Sprintf("sim: node %d sent to non-neighbor %d", nd.id, to))
 	}
-	nd.outbox = append(nd.outbox, outMsg{to: int32(to), data: p})
+	if p == nil {
+		panic(fmt.Sprintf("sim: node %d sent a nil payload", nd.id))
+	}
+	nd.stage(int(lo)+i, p)
+	nd.w.delivered++
+	e.sentMsgs[nd.id]++
+	e.sentBits[nd.id] += int64(p.Bits())
 }
 
 // Broadcast stages the same payload to every neighbor.
 func (nd *Node) Broadcast(p Payload) {
-	for _, u := range nd.Neighbors() {
-		nd.outbox = append(nd.outbox, outMsg{to: u, data: p})
+	e := nd.engine
+	if p == nil {
+		panic(fmt.Sprintf("sim: node %d sent a nil payload", nd.id))
 	}
+	lo, hi := int(e.off[nd.id]), int(e.off[nd.id+1])
+	if lo == hi {
+		return
+	}
+	for pos := lo; pos < hi; pos++ {
+		nd.stage(pos, p)
+	}
+	deg := int64(hi - lo)
+	nd.w.delivered += deg
+	e.sentMsgs[nd.id] += deg
+	e.sentBits[nd.id] += deg * int64(p.Bits())
 }
 
-// Exchange completes one synchronous round: staged messages are delivered
-// and the messages the neighbors sent this round are returned, sorted by
-// sender id. It blocks until every live node has reached the barrier.
+// stage writes a payload into the slot of directed edge position pos. The
+// slot is owned by this sender, so the write is contention-free; a second
+// message on the same edge in the same round (allowed, but used by none of
+// the repository's algorithms) overflows into the worker's spill list.
+func (nd *Node) stage(pos int, p Payload) {
+	e := nd.engine
+	slot := e.inv[pos]
+	r := int32(e.round.Load())
+	if e.stampNext[slot] == r {
+		nd.w.spill = append(nd.w.spill, spillMsg{to: e.adj[pos], from: int32(nd.id), data: p})
+		return
+	}
+	e.next[slot] = p
+	e.stampNext[slot] = r
+}
+
+// Exchange completes one synchronous round of a closure Program: staged
+// messages are delivered and the messages the neighbors sent this round are
+// returned, sorted by sender id. The returned slice is reused by the engine
+// and is only valid until the node's next Exchange. Exchange must only be
+// called from inside a Program passed to Run.
 func (nd *Node) Exchange() []Message {
-	return nd.engine.exchange(nd)
+	nd.yield <- true
+	inbox := <-nd.resume
+	if nd.engine.aborted {
+		panic(errAborted)
+	}
+	return inbox
+}
+
+// spillMsg is an overflow delivery: a second message staged on the same
+// directed edge within one round.
+type spillMsg struct {
+	to, from int32
+	data     Payload
+}
+
+// worker is the per-worker shard of the engine's mutable state. Each sweep
+// a worker steps a contiguous chunk of the live list; its counters are
+// merged by the coordinator at the round boundary, so the steady state has
+// no shared writes at all.
+type worker struct {
+	delivered int64      // messages staged during the current sweep
+	spill     []spillMsg // same-edge overflow messages staged this sweep
+	curNode   int32      // node currently being stepped (for panic reports)
+	panicID   int32      // node whose step panicked this sweep (-1 = none)
+	panicVal  any
+	_         [64]byte // pad to keep hot counters off shared cache lines
 }
 
 // Stats aggregates a run's measured complexity.
@@ -135,22 +243,42 @@ type Engine struct {
 	g         *graph.Graph
 	seed      int64
 	maxRounds int
+	nworkers  int
 
-	mu         sync.Mutex
-	cond       *sync.Cond
-	live       int
-	arrived    int
-	round      int
-	generation uint64
-	aborted    bool
+	// Graph CSR (aliases graph storage) and the transpose index: for the
+	// directed edge at position p (u's adjacency entry pointing at v),
+	// inv[p] is the position of u in v's adjacency — i.e. the receiver-major
+	// slot the edge owns in cur/next.
+	off, adj []int32
+	inv      []int32
 
-	cur  [][]Message
-	next [][]Message
+	// Receiver-major double-buffered message slots. A slot holds a live
+	// message iff its stamp equals the round the message was staged in;
+	// stale stamps make clearing unnecessary.
+	cur, next           []Payload
+	stampCur, stampNext []int32
 
-	stats    Stats
-	sentMsgs []int64
+	// msgbuf is the receiver-major inbox backing store: node v's inbox is
+	// built in msgbuf[off[v]:off[v+1]] each sweep and reused next round.
+	msgbuf []Message
+
+	round   atomic.Int64
+	aborted bool
+
+	nodes []Node
+	steps []StepFunc
+	more  []bool  // per-node continue flag written by the stepping worker
+	live  []int32 // ids of running nodes, compacted every round
+
+	spillCur     []spillMsg // spills staged last sweep, sorted by (to, from)
+	spillScratch []spillMsg
+
+	sentMsgs []int64 // per-sender tallies (sender-owned: contention-free)
 	sentBits []int64
+	workers  []worker
 
+	stats  Stats
+	ran    bool
 	runErr error
 }
 
@@ -168,56 +296,97 @@ func WithMaxRounds(max int) Option { return func(e *Engine) { e.maxRounds = max 
 // WithPerRoundStats records the per-round delivery counts in Stats.PerRound.
 func WithPerRoundStats() Option { return func(e *Engine) { e.stats.perRoundOn = true } }
 
+// WithWorkers fixes the scheduler's worker-pool size (default: GOMAXPROCS).
+// Results are identical for every worker count; the option exists for
+// determinism tests and for bounding parallelism.
+func WithWorkers(n int) Option { return func(e *Engine) { e.nworkers = n } }
+
 // New creates an engine over g.
 func New(g *graph.Graph, opts ...Option) *Engine {
 	e := &Engine{g: g, seed: 1, maxRounds: 1 << 20}
-	e.cond = sync.NewCond(&e.mu)
 	for _, o := range opts {
 		o(e)
 	}
 	return e
 }
 
-// Run executes one copy of program per vertex and blocks until every copy
-// returns. It reports the run's statistics and the first program panic (or
-// the round-limit abort) as an error. Run may be called once per Engine.
+// Run executes one copy of program per vertex through the closure
+// compatibility shim and blocks until every copy returns. It reports the
+// run's statistics and the first program panic (or the round-limit abort)
+// as an error. Run may be called once per Engine.
 func (e *Engine) Run(program Program) (*Stats, error) {
-	n := e.g.N()
-	e.live = n
-	e.cur = make([][]Message, n)
-	e.next = make([][]Message, n)
-	e.sentMsgs = make([]int64, n)
-	e.sentBits = make([]int64, n)
+	return e.RunMachine(func(nd *Node) StepFunc {
+		nd.resume = make(chan []Message)
+		nd.yield = make(chan bool)
+		started := false
+		return func(nd *Node, inbox []Message) bool {
+			if !started {
+				started = true
+				go func() {
+					defer func() {
+						if r := recover(); r != nil && r != errAborted { //nolint:errorlint // sentinel identity is intended
+							nd.pval = r
+						}
+						nd.yield <- false
+					}()
+					program(nd)
+				}()
+			} else {
+				nd.resume <- inbox
+			}
+			more := <-nd.yield
+			nd.parked = more
+			if !more && nd.pval != nil {
+				panic(nd.pval)
+			}
+			return more
+		}
+	})
+}
 
-	var wg sync.WaitGroup
-	wg.Add(n)
-	for v := 0; v < n; v++ {
-		nd := &Node{id: v, engine: e}
-		go func() {
-			defer wg.Done()
-			defer func() {
-				r := recover()
-				if r != nil && r != errAborted { //nolint:errorlint // sentinel identity is intended
-					e.mu.Lock()
-					if e.runErr == nil {
-						e.runErr = fmt.Errorf("sim: node %d panicked: %v", nd.id, r)
-					}
-					e.aborted = true
-					e.generation++
-					e.cond.Broadcast()
-					e.mu.Unlock()
-				}
-				e.nodeDone(nd)
-			}()
-			program(nd)
-		}()
+// RunMachine executes one step machine per vertex, sweeping all live nodes
+// once per round with the worker pool, and blocks until every node halts.
+// It reports the run's statistics and the first step panic (or the
+// round-limit abort) as an error. RunMachine may be called once per Engine.
+func (e *Engine) RunMachine(m Machine) (*Stats, error) {
+	if e.ran {
+		return nil, errors.New("sim: engine already ran")
 	}
-	wg.Wait()
-
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.stats.Rounds = e.round
+	e.ran = true
+	n := e.g.N()
+	e.initBuffers(n)
+	e.nodes = make([]Node, n)
+	e.steps = make([]StepFunc, n)
+	e.more = make([]bool, n)
+	e.live = make([]int32, n)
 	for v := 0; v < n; v++ {
+		nd := &e.nodes[v]
+		nd.id = v
+		nd.engine = e
+		e.steps[v] = m(nd)
+		e.live[v] = int32(v)
+	}
+	nw := e.nworkers
+	if nw <= 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
+	if nw > n {
+		nw = n
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	e.workers = make([]worker, nw)
+	for w := range e.workers {
+		e.workers[w].panicID = -1
+	}
+
+	e.runLoop(nw)
+
+	e.stats.Rounds = int(e.round.Load())
+	for v := 0; v < n; v++ {
+		e.stats.Messages += e.sentMsgs[v]
+		e.stats.Bits += e.sentBits[v]
 		if e.sentMsgs[v] > e.stats.MaxMsgs {
 			e.stats.MaxMsgs = e.sentMsgs[v]
 		}
@@ -225,85 +394,226 @@ func (e *Engine) Run(program Program) (*Stats, error) {
 			e.stats.MaxBits = e.sentBits[v]
 		}
 	}
-	if e.runErr == nil && e.aborted {
-		e.runErr = fmt.Errorf("sim: exceeded %d rounds", e.maxRounds)
-	}
 	return &e.stats, e.runErr
 }
 
-// flushLocked moves nd's staged messages into the next-round inboxes and
-// updates the counters. Caller holds e.mu.
-func (e *Engine) flushLocked(nd *Node) {
-	for _, m := range nd.outbox {
-		e.next[m.to] = append(e.next[m.to], Message{From: nd.id, Data: m.data})
-		bits := int64(m.data.Bits())
-		e.stats.Messages++
-		e.stats.Bits += bits
-		e.sentMsgs[nd.id]++
-		e.sentBits[nd.id] += bits
-	}
-	nd.outbox = nd.outbox[:0]
-}
-
-func (e *Engine) exchange(nd *Node) []Message {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.aborted {
-		panic(errAborted)
-	}
-	e.flushLocked(nd)
-	gen := e.generation
-	e.arrived++
-	if e.arrived == e.live {
-		e.advanceLocked()
-	} else {
-		for gen == e.generation {
-			e.cond.Wait()
+// initBuffers sizes every per-edge structure off the graph's CSR offsets
+// and builds the transpose index. All of it is allocated once per run and
+// reused across every round.
+func (e *Engine) initBuffers(n int) {
+	e.off, e.adj = e.g.CSR()
+	m := len(e.adj)
+	e.inv = make([]int32, m)
+	pos := make([]int32, n)
+	copy(pos, e.off[:n])
+	// Senders are visited in increasing id order and adjacency lists are
+	// sorted, so pos[v] advances through v's slots in exactly sender order:
+	// the transpose lands each directed edge on its receiver-major slot.
+	for u := 0; u < n; u++ {
+		for p := e.off[u]; p < e.off[u+1]; p++ {
+			v := e.adj[p]
+			e.inv[p] = pos[v]
+			pos[v]++
 		}
 	}
-	if e.aborted {
-		panic(errAborted)
+	e.cur = make([]Payload, m)
+	e.next = make([]Payload, m)
+	e.stampCur = make([]int32, m)
+	e.stampNext = make([]int32, m)
+	for i := range e.stampCur {
+		e.stampCur[i] = -2 // rounds are ≥ 0 and the round-0 inbox wants stamp -1
+		e.stampNext[i] = -2
 	}
-	return e.cur[nd.id]
+	e.msgbuf = make([]Message, m)
+	e.sentMsgs = make([]int64, n)
+	e.sentBits = make([]int64, n)
 }
 
-// advanceLocked completes a round: swaps the message buffers, sorts inboxes
-// by sender, and wakes all waiters. Caller holds e.mu.
-func (e *Engine) advanceLocked() {
-	e.round++
-	if e.round > e.maxRounds {
-		e.aborted = true
-		e.generation++
-		e.cond.Broadcast()
-		return
+// runLoop is the scheduler: sweep all live nodes with the worker pool,
+// merge the per-worker shards, compact the live list, advance the round,
+// swap the delivery buffers — until every node has halted or the run
+// aborts.
+func (e *Engine) runLoop(nw int) {
+	jobs := make([]chan [2]int, nw)
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		jobs[w] = make(chan [2]int)
+		go func(w int) {
+			for rng := range jobs[w] {
+				e.sweepChunk(&e.workers[w], rng[0], rng[1])
+				wg.Done()
+			}
+		}(w)
 	}
-	var delivered int64
-	e.cur, e.next = e.next, e.cur
-	for i := range e.next {
-		e.next[i] = nil // fresh buffers; old inboxes may still be referenced
+	defer func() {
+		for _, c := range jobs {
+			close(c)
+		}
+	}()
+
+	for len(e.live) > 0 {
+		nl := len(e.live)
+		per := (nl + nw - 1) / nw
+		for w := 0; w < nw; w++ {
+			lo := w * per
+			if lo >= nl {
+				break
+			}
+			hi := min(lo+per, nl)
+			wg.Add(1)
+			jobs[w] <- [2]int{lo, hi}
+		}
+		wg.Wait()
+
+		var delivered int64
+		panicID := int32(-1)
+		var pval any
+		for w := range e.workers {
+			wk := &e.workers[w]
+			delivered += wk.delivered
+			wk.delivered = 0
+			if wk.panicID >= 0 {
+				if panicID < 0 || wk.panicID < panicID {
+					panicID, pval = wk.panicID, wk.panicVal
+				}
+				wk.panicID = -1
+				wk.panicVal = nil
+			}
+		}
+		if panicID >= 0 {
+			e.runErr = fmt.Errorf("sim: node %d panicked: %v", panicID, pval)
+			e.abort()
+			return
+		}
+
+		kept := e.live[:0]
+		for _, v := range e.live {
+			if e.more[v] {
+				kept = append(kept, v)
+			}
+		}
+		e.live = kept
+		if len(e.live) == 0 {
+			// Every node halted this sweep: the run is over and no round
+			// boundary is crossed (final staged messages are still counted).
+			return
+		}
+
+		r := e.round.Add(1)
+		if int(r) > e.maxRounds {
+			e.runErr = fmt.Errorf("sim: exceeded %d rounds", e.maxRounds)
+			e.abort()
+			return
+		}
+		if e.stats.perRoundOn {
+			e.stats.PerRound = append(e.stats.PerRound, delivered)
+		}
+		e.cur, e.next = e.next, e.cur
+		e.stampCur, e.stampNext = e.stampNext, e.stampCur
+		e.collectSpills()
 	}
-	for i := range e.cur {
-		inbox := e.cur[i]
-		delivered += int64(len(inbox))
-		sort.Slice(inbox, func(a, b int) bool { return inbox[a].From < inbox[b].From })
-	}
-	if e.stats.perRoundOn {
-		e.stats.PerRound = append(e.stats.PerRound, delivered)
-	}
-	e.arrived = 0
-	e.generation++
-	e.cond.Broadcast()
 }
 
-// nodeDone retires a node: its final staged messages are still delivered
-// (a common pattern is "announce and halt"), and if every remaining node is
-// already waiting at the barrier the round advances without it.
-func (e *Engine) nodeDone(nd *Node) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.flushLocked(nd)
-	e.live--
-	if e.live > 0 && e.arrived == e.live {
-		e.advanceLocked()
+// sweepChunk steps the live nodes in live[lo:hi]. A panicking step aborts
+// the chunk; the coordinator turns the lowest panicking node id of the
+// sweep into the run error, keeping the report deterministic.
+func (e *Engine) sweepChunk(wk *worker, lo, hi int) {
+	defer func() {
+		if r := recover(); r != nil {
+			wk.panicID = wk.curNode
+			wk.panicVal = r
+		}
+	}()
+	for i := lo; i < hi; i++ {
+		v := e.live[i]
+		wk.curNode = v
+		nd := &e.nodes[v]
+		nd.w = wk
+		e.more[v] = e.steps[v](nd, e.buildInbox(v))
+	}
+}
+
+// buildInbox assembles node v's inbox for the current round in v's region
+// of the shared backing store: a scan of v's receiver-major slots in
+// adjacency order, so the result is sorted by sender id by construction.
+func (e *Engine) buildInbox(v int32) []Message {
+	lo, hi := e.off[v], e.off[v+1]
+	want := int32(e.round.Load()) - 1 // stamp of messages staged last sweep
+	buf := e.msgbuf[lo:lo:hi]
+	for p := lo; p < hi; p++ {
+		if e.stampCur[p] == want {
+			buf = append(buf, Message{From: int(e.adj[p]), Data: e.cur[p]})
+		}
+	}
+	if len(e.spillCur) > 0 {
+		buf = e.mergeSpills(v, buf)
+	}
+	return buf
+}
+
+// mergeSpills inserts v's overflow messages (second+ messages on one edge
+// in one round) after the slot message of the same sender, preserving both
+// sender order and per-sender program order. This is the only allocating
+// delivery path and no algorithm in the repository takes it.
+func (e *Engine) mergeSpills(v int32, base []Message) []Message {
+	sp := e.spillCur
+	lo, _ := slices.BinarySearchFunc(sp, v, func(m spillMsg, v int32) int { return int(m.to) - int(v) })
+	hi := lo
+	for hi < len(sp) && sp[hi].to == v {
+		hi++
+	}
+	if lo == hi {
+		return base
+	}
+	out := make([]Message, 0, len(base)+hi-lo)
+	j := lo
+	for _, m := range base {
+		out = append(out, m)
+		for j < hi && int(sp[j].from) == m.From {
+			out = append(out, Message{From: m.From, Data: sp[j].data})
+			j++
+		}
+	}
+	for ; j < hi; j++ { // unreachable (a spill implies an occupied slot), but lossless
+		out = append(out, Message{From: int(sp[j].from), Data: sp[j].data})
+	}
+	return out
+}
+
+// collectSpills gathers the workers' spill lists for delivery next round,
+// sorted by (receiver, sender). Worker order is deterministic (chunks are
+// assigned by index) and each sender is stepped by exactly one worker, so
+// the merged order is reproducible.
+func (e *Engine) collectSpills() {
+	out := e.spillScratch[:0]
+	for w := range e.workers {
+		out = append(out, e.workers[w].spill...)
+		e.workers[w].spill = e.workers[w].spill[:0]
+	}
+	e.spillScratch = e.spillCur[:0]
+	if len(out) > 1 {
+		slices.SortStableFunc(out, func(a, b spillMsg) int {
+			if a.to != b.to {
+				return int(a.to) - int(b.to)
+			}
+			return int(a.from) - int(b.from)
+		})
+	}
+	e.spillCur = out
+}
+
+// abort ends the run early: closure-program goroutines parked at Exchange
+// are resumed into the errAborted panic so none of them leak. Step-machine
+// nodes hold no resources and need no unwinding.
+func (e *Engine) abort() {
+	e.aborted = true
+	for v := range e.nodes {
+		nd := &e.nodes[v]
+		if !nd.parked {
+			continue
+		}
+		nd.parked = false
+		nd.resume <- nil
+		<-nd.yield
 	}
 }

@@ -1,9 +1,11 @@
 package sim
 
 import (
+	"runtime"
 	"testing"
 
 	"kwmds/internal/gen"
+	"kwmds/internal/graph"
 )
 
 // BenchmarkLockstepRounds measures the engine's per-round overhead:
@@ -51,4 +53,124 @@ func BenchmarkBroadcastThroughput(b *testing.B) {
 		msgs = st.Messages
 	}
 	b.ReportMetric(float64(msgs), "msgs/run")
+}
+
+// benchEngineRounds is the engine-only round-throughput benchmark used for
+// the BENCH_sim.json before/after comparison: every node broadcasts one
+// Uint per round for a fixed number of rounds, so the measured cost is the
+// harness (scheduling, delivery, inbox construction), not algorithm logic.
+// It reports messages delivered per second and heap allocations per round.
+// The run callback abstracts over the two driver APIs (closure Program via
+// Run, step Machine via RunMachine) so both paths are measured with the
+// same workload.
+func benchEngineRounds(b *testing.B, g *graph.Graph, rounds int, run func(*Engine, int) (*Stats, error)) {
+	b.Helper()
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	var msgs int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := run(New(g), rounds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		msgs += st.Messages
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&after)
+	elapsed := b.Elapsed().Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(msgs)/elapsed, "msgs/sec")
+	}
+	totalRounds := float64(b.N * rounds)
+	b.ReportMetric(float64(after.Mallocs-before.Mallocs)/totalRounds, "allocs/round")
+	b.ReportMetric(float64(rounds), "rounds/run")
+}
+
+// runClosure drives the broadcast workload through the legacy closure API
+// (goroutine-per-node compatibility shim).
+func runClosure(e *Engine, rounds int) (*Stats, error) {
+	return e.Run(func(nd *Node) {
+		for r := 0; r < rounds; r++ {
+			nd.Broadcast(Uint(uint64(r)))
+			nd.Exchange()
+		}
+	})
+}
+
+// runMachine drives the same workload through the native step API — the
+// path every algorithm in internal/core and internal/rounding uses.
+func runMachine(e *Engine, rounds int) (*Stats, error) {
+	return e.RunMachine(func(nd *Node) StepFunc {
+		r := 0
+		return func(nd *Node, inbox []Message) bool {
+			if r == rounds {
+				return false
+			}
+			nd.Broadcast(Uint(uint64(r)))
+			r++
+			return true
+		}
+	})
+}
+
+// BenchmarkEngineRoundsUDG10k: 10k-node unit-disk graph (the paper's ad-hoc
+// network model), average degree ≈ 12, closure API.
+func BenchmarkEngineRoundsUDG10k(b *testing.B) {
+	g, err := gen.UnitDisk(10000, 0.02, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchEngineRounds(b, g, 10, runClosure)
+}
+
+// BenchmarkEngineRoundsUDG100k: 100k-node unit-disk graph, average
+// degree ≈ 13 — the scale the round-driven scheduler targets. Closure API.
+func BenchmarkEngineRoundsUDG100k(b *testing.B) {
+	g, err := gen.UnitDisk(100000, 0.0065, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchEngineRounds(b, g, 5, runClosure)
+}
+
+// BenchmarkEngineRoundsGNP100k: 100k-node sparse G(n,p), average degree ≈ 8,
+// closure API.
+func BenchmarkEngineRoundsGNP100k(b *testing.B) {
+	g, err := gen.GNP(100000, 8.0/99999.0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchEngineRounds(b, g, 5, runClosure)
+}
+
+// BenchmarkEngineStepRoundsUDG10k is BenchmarkEngineRoundsUDG10k through the
+// native step API.
+func BenchmarkEngineStepRoundsUDG10k(b *testing.B) {
+	g, err := gen.UnitDisk(10000, 0.02, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchEngineRounds(b, g, 10, runMachine)
+}
+
+// BenchmarkEngineStepRoundsUDG100k is BenchmarkEngineRoundsUDG100k through
+// the native step API.
+func BenchmarkEngineStepRoundsUDG100k(b *testing.B) {
+	g, err := gen.UnitDisk(100000, 0.0065, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchEngineRounds(b, g, 5, runMachine)
+}
+
+// BenchmarkEngineStepRoundsGNP100k is BenchmarkEngineRoundsGNP100k through
+// the native step API.
+func BenchmarkEngineStepRoundsGNP100k(b *testing.B) {
+	g, err := gen.GNP(100000, 8.0/99999.0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchEngineRounds(b, g, 5, runMachine)
 }
