@@ -1,17 +1,21 @@
 // Command kwmds runs a dominating set algorithm on a graph read from a
 // file (or stdin) in the plain edge-list format and prints the resulting
-// set together with quality and communication statistics.
+// set together with quality and communication statistics. With the serve
+// subcommand it instead runs as a long-lived HTTP JSON service.
 //
 // Usage:
 //
 //	kwmds -graph network.edges -algo kw -k 3 -seed 7
 //	graphgen -family udg -n 500 -r 0.08 | kwmds -algo greedy
+//	kwmds -graph gen:udg:500:0.08:1 -algo kwcds
+//	kwmds serve -addr :8080 -workers 8 -preload udg-10k=gen:udg:10000:0.02:1
 //
 // Algorithms: kw (Algorithm 3 + rounding, the paper's pipeline), kw2
 // (Algorithm 2 + rounding, assumes global ∆), kwcds (kw + connected
 // dominating set), frac (LP stage only), greedy, jrs, wuli, mis, trivial,
 // exact (small graphs only). The implementation lives in internal/cli so
-// it is fully unit-tested.
+// it is fully unit-tested; the HTTP service lives in internal/server (see
+// the README for its JSON schema).
 package main
 
 import (
@@ -23,8 +27,16 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		if err := serveMain(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "kwmds serve:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	var cfg cli.Config
-	flag.StringVar(&cfg.GraphPath, "graph", "-", "edge-list file ('-' for stdin)")
+	flag.StringVar(&cfg.GraphPath, "graph", "-", "edge-list file ('-' for stdin, 'gen:…' to generate)")
 	flag.StringVar(&cfg.Algo, "algo", "kw", "kw|kw2|kwcds|frac|greedy|jrs|wuli|mis|trivial|exact")
 	flag.IntVar(&cfg.K, "k", 0, "trade-off parameter (0 = log ∆)")
 	flag.Int64Var(&cfg.Seed, "seed", 1, "random seed")
@@ -37,4 +49,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "kwmds:", err)
 		os.Exit(1)
 	}
+}
+
+func serveMain(args []string) error {
+	var cfg cli.ServeConfig
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	fs.StringVar(&cfg.Addr, "addr", ":8080", "listen address")
+	fs.IntVar(&cfg.Workers, "workers", 0, "max concurrent pipeline runs (0 = GOMAXPROCS)")
+	fs.IntVar(&cfg.CacheEntries, "cache", 0, "LRU result-cache capacity (0 = default, -1 disables)")
+	fs.Func("preload", "name=file or name=gen:spec, repeatable", func(v string) error {
+		cfg.Preload = append(cfg.Preload, v)
+		return nil
+	})
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ready := make(chan string, 1)
+	go func() { fmt.Fprintln(os.Stderr, "kwmds serve: listening on", <-ready) }()
+	return cli.RunServe(cfg, ready)
 }

@@ -35,7 +35,22 @@
 // The package also exposes the fractional stage alone
 // (FractionalDominatingSet), the weighted variant (Options.Weights), the
 // ln−lnln rounding variant (Options.Variant), and graph construction,
-// generation and I/O helpers. See DESIGN.md for the system inventory and
-// EXPERIMENTS.md for the reproduction of every quantitative claim in the
-// paper.
+// generation and I/O helpers. Options are validated up front: every facade
+// entry point rejects malformed input (negative or oversized K, a weight
+// vector of the wrong length or with non-finite entries, an unknown
+// rounding variant) with an error matching ErrInvalidOptions, so untrusted
+// request bodies can never panic the pipeline.
+//
+// The `kwmds serve` subcommand (internal/server) runs the pipelines as a
+// long-lived HTTP JSON service: clients POST a graph (inline edge list or a
+// reference to a preloaded topology) plus any pipeline configuration to
+// /v1/solve, requests run through a bounded worker pool — the simulation
+// engine is re-entrant, so many pipelines execute concurrently in one
+// process — and results are cached in an LRU keyed on (graph digest,
+// options), making repeated queries on an unchanged topology O(1). See the
+// README for the JSON schema and BENCH_serve.json for throughput and
+// latency under load.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduction of every quantitative claim in the paper.
 package kwmds

@@ -1,0 +1,204 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kwmds/internal/graph"
+	"kwmds/internal/graphio"
+	"kwmds/internal/server"
+)
+
+// ServeLoadConfig drives one load-generation run against an in-process
+// serve instance.
+type ServeLoadConfig struct {
+	// Workload names the preloaded graph the requests reference.
+	Workload string
+	// G is the topology registered under Workload.
+	G *graph.Graph
+	// Concurrency is the number of client goroutines issuing requests.
+	Concurrency int
+	// Requests is the total number of timed requests across all clients.
+	Requests int
+	// Workers bounds the server's pipeline pool (0 = server default).
+	Workers int
+	// Seeds is the number of distinct seeds the clients rotate through.
+	// 1 makes every timed request a cache hit after warm-up (the cached
+	// workload); Requests makes every request a fresh computation.
+	Seeds int
+	// Algo and K select the pipeline configuration (default kw, k=0).
+	Algo string
+	K    int
+}
+
+// ServeLoadReport summarizes a run.
+type ServeLoadReport struct {
+	Workload    string  `json:"workload"`
+	N           int     `json:"n"`
+	M           int     `json:"m"`
+	Concurrency int     `json:"concurrency"`
+	Requests    int     `json:"requests"`
+	Seeds       int     `json:"seeds"`
+	ElapsedSec  float64 `json:"elapsed_sec"`
+	// ReqPerSec is sustained throughput over the timed phase.
+	ReqPerSec float64 `json:"req_per_sec"`
+	// ColdMS is the latency of the warm-up request that populated the
+	// cache (a full pipeline run).
+	ColdMS float64 `json:"cold_ms"`
+	// P50MS/P99MS are timed-phase latency percentiles.
+	P50MS float64 `json:"p50_ms"`
+	P99MS float64 `json:"p99_ms"`
+	// HitRate is the fraction of timed requests answered from the cache.
+	HitRate float64 `json:"hit_rate"`
+}
+
+// ServeLoad stands up an in-process serve instance preloaded with cfg.G and
+// hammers /v1/solve from cfg.Concurrency clients. One warm-up request per
+// seed runs first (its first latency is reported as ColdMS), so with
+// Seeds=1 the timed phase measures the pure cached path.
+func ServeLoad(cfg ServeLoadConfig) (*ServeLoadReport, error) {
+	if cfg.Concurrency < 1 || cfg.Requests < 1 || cfg.G == nil {
+		return nil, fmt.Errorf("bench: ServeLoad needs a graph, concurrency ≥ 1 and requests ≥ 1")
+	}
+	if cfg.Seeds < 1 {
+		cfg.Seeds = 1
+	}
+	if cfg.Algo == "" {
+		cfg.Algo = "kw"
+	}
+	srv := server.New(server.Config{
+		Workers:      cfg.Workers,
+		CacheEntries: cfg.Seeds + 16,
+		Graphs:       map[string]*graph.Graph{cfg.Workload: cfg.G},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: cfg.Concurrency}}
+
+	body := func(seed int64) []byte {
+		b, _ := json.Marshal(graphio.SolveRequest{
+			GraphRef: cfg.Workload, Algo: cfg.Algo, K: cfg.K, Seed: seed,
+		})
+		return b
+	}
+	post := func(payload []byte) (*graphio.SolveResponse, error) {
+		resp, err := client.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(payload))
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			return nil, fmt.Errorf("bench: serve returned %d: %s", resp.StatusCode, msg)
+		}
+		var sr graphio.SolveResponse
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			return nil, err
+		}
+		return &sr, nil
+	}
+
+	report := &ServeLoadReport{
+		Workload: cfg.Workload, N: cfg.G.N(), M: cfg.G.M(),
+		Concurrency: cfg.Concurrency, Requests: cfg.Requests, Seeds: cfg.Seeds,
+	}
+	// Warm-up: populate the cache for every seed the timed phase will use
+	// (for Seeds == Requests this instead pre-verifies nothing — each timed
+	// request still computes, which is the intended uncached measurement,
+	// so skip the sweep and only time the cold request).
+	coldStart := time.Now()
+	if _, err := post(body(1)); err != nil {
+		return nil, err
+	}
+	report.ColdMS = float64(time.Since(coldStart)) / float64(time.Millisecond)
+	if cfg.Seeds < cfg.Requests {
+		for s := 2; s <= cfg.Seeds; s++ {
+			if _, err := post(body(int64(s))); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	latencies := make([]float64, cfg.Requests)
+	hits := make([]bool, cfg.Requests)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	setErr := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	var next atomic.Int64
+	take := func() int64 {
+		i := next.Add(1) - 1
+		if i >= int64(cfg.Requests) {
+			return -1
+		}
+		return i
+	}
+	start := time.Now()
+	for c := 0; c < cfg.Concurrency; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := take()
+				if i < 0 {
+					return
+				}
+				seed := 1 + i%int64(cfg.Seeds)
+				if cfg.Seeds >= cfg.Requests {
+					// Uncached mode: keep the timed seeds disjoint from
+					// the warm-up request so no timed request hits.
+					seed += int64(cfg.Seeds)
+				}
+				payload := body(seed)
+				t0 := time.Now()
+				sr, err := post(payload)
+				if err != nil {
+					setErr(err)
+					return
+				}
+				latencies[i] = float64(time.Since(t0)) / float64(time.Millisecond)
+				hits[i] = sr.Cached
+			}
+		}()
+	}
+	wg.Wait()
+	report.ElapsedSec = time.Since(start).Seconds()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	report.ReqPerSec = float64(cfg.Requests) / report.ElapsedSec
+	sort.Float64s(latencies)
+	report.P50MS = percentile(latencies, 0.50)
+	report.P99MS = percentile(latencies, 0.99)
+	nhits := 0
+	for _, h := range hits {
+		if h {
+			nhits++
+		}
+	}
+	report.HitRate = float64(nhits) / float64(cfg.Requests)
+	return report, nil
+}
+
+// percentile reads the q-quantile from sorted xs (nearest-rank).
+func percentile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(xs)-1))
+	return xs[i]
+}

@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"runtime"
+	"testing"
+
+	"kwmds/internal/gen"
+)
+
+// TestServeSmoke is the CI smoke run of the serve load generator: a small
+// cached workload at concurrency 8 must sustain real throughput with a high
+// hit rate, and the uncached mode must recompute every request.
+func TestServeSmoke(t *testing.T) {
+	g, err := gen.UnitDisk(500, 0.08, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := ServeLoad(ServeLoadConfig{
+		Workload: "udg-500", G: g, Concurrency: 8, Requests: 200, Seeds: 1,
+		Workers: runtime.GOMAXPROCS(0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ReqPerSec <= 0 || r.ElapsedSec <= 0 {
+		t.Errorf("degenerate report: %+v", r)
+	}
+	if r.HitRate < 0.99 {
+		t.Errorf("cached workload hit rate = %v, want ~1", r.HitRate)
+	}
+	if r.ColdMS <= 0 {
+		t.Errorf("cold latency = %v, want > 0", r.ColdMS)
+	}
+	if r.P99MS < r.P50MS {
+		t.Errorf("p99 %v < p50 %v", r.P99MS, r.P50MS)
+	}
+
+	u, err := ServeLoad(ServeLoadConfig{
+		Workload: "udg-500", G: g, Concurrency: 4, Requests: 12, Seeds: 12,
+		Workers: runtime.GOMAXPROCS(0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.HitRate != 0 {
+		t.Errorf("uncached workload hit rate = %v, want 0", u.HitRate)
+	}
+}

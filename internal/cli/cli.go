@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"kwmds"
 	"kwmds/internal/baseline"
@@ -19,7 +21,7 @@ import (
 
 // Config is the parsed command line of cmd/kwmds.
 type Config struct {
-	GraphPath  string // "-" = Stdin
+	GraphPath  string // file path, "-" = Stdin, or a "gen:" spec (see LoadGraph)
 	Algo       string // kw|kw2|kwcds|frac|greedy|jrs|wuli|mis|trivial|exact
 	K          int
 	Seed       int64
@@ -149,17 +151,86 @@ func dispatch(cfg Config, g *kwmds.Graph, w io.Writer) (inDS []bool, done bool, 
 }
 
 func loadGraph(cfg Config) (*kwmds.Graph, error) {
-	if cfg.GraphPath == "-" {
-		in := cfg.Stdin
-		if in == nil {
-			in = os.Stdin
+	return LoadGraph(cfg.GraphPath, cfg.Stdin)
+}
+
+// LoadGraph resolves a -graph argument: "-" reads the edge-list format from
+// stdin, "gen:<family>:<args>" generates a graph in-process (see
+// ParseGenSpec), anything else is an edge-list file path. The serve
+// subsystem's -preload flag resolves its specs through the same function so
+// both command surfaces accept identical graph sources.
+func LoadGraph(path string, stdin io.Reader) (*kwmds.Graph, error) {
+	if path == "-" {
+		if stdin == nil {
+			stdin = os.Stdin
 		}
-		return graphio.ReadEdgeList(in)
+		return graphio.ReadEdgeList(stdin)
 	}
-	f, err := os.Open(cfg.GraphPath)
+	if spec, ok := strings.CutPrefix(path, "gen:"); ok {
+		return ParseGenSpec(spec)
+	}
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
 	return graphio.ReadEdgeList(f)
+}
+
+// ParseGenSpec generates a graph from a colon-separated spec:
+//
+//	udg:<n>:<radius>:<seed>    unit-disk graph in the unit square
+//	gnp:<n>:<p>:<seed>         Erdős–Rényi G(n,p)
+//	grid:<rows>:<cols>         grid graph
+//	tree:<n>:<seed>            uniformly-attached random tree
+func ParseGenSpec(spec string) (*kwmds.Graph, error) {
+	parts := strings.Split(spec, ":")
+	fail := func() (*kwmds.Graph, error) {
+		return nil, fmt.Errorf("bad graph spec %q (want udg:n:radius:seed, gnp:n:p:seed, grid:rows:cols, or tree:n:seed)", spec)
+	}
+	atoi := func(s string) (int, bool) {
+		v, err := strconv.Atoi(s)
+		return v, err == nil
+	}
+	atof := func(s string) (float64, bool) {
+		v, err := strconv.ParseFloat(s, 64)
+		return v, err == nil
+	}
+	switch parts[0] {
+	case "udg", "gnp":
+		if len(parts) != 4 {
+			return fail()
+		}
+		n, ok1 := atoi(parts[1])
+		p, ok2 := atof(parts[2])
+		seed, ok3 := atoi(parts[3])
+		if !ok1 || !ok2 || !ok3 {
+			return fail()
+		}
+		if parts[0] == "udg" {
+			return kwmds.UnitDisk(n, p, int64(seed))
+		}
+		return kwmds.GNP(n, p, int64(seed))
+	case "grid":
+		if len(parts) != 3 {
+			return fail()
+		}
+		rows, ok1 := atoi(parts[1])
+		cols, ok2 := atoi(parts[2])
+		if !ok1 || !ok2 {
+			return fail()
+		}
+		return kwmds.Grid(rows, cols)
+	case "tree":
+		if len(parts) != 3 {
+			return fail()
+		}
+		n, ok1 := atoi(parts[1])
+		seed, ok2 := atoi(parts[2])
+		if !ok1 || !ok2 {
+			return fail()
+		}
+		return kwmds.RandomTree(n, int64(seed))
+	}
+	return fail()
 }

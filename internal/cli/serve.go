@@ -1,0 +1,65 @@
+package cli
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"kwmds/internal/graph"
+	"kwmds/internal/server"
+)
+
+// ServeConfig is the parsed command line of `kwmds serve`.
+type ServeConfig struct {
+	Addr         string
+	Workers      int
+	CacheEntries int
+	// Preload entries have the form name=<source>, where <source> is
+	// anything LoadGraph accepts (an edge-list file or a gen: spec).
+	Preload []string
+}
+
+// BuildServer resolves the preload specs and constructs the HTTP service.
+func BuildServer(cfg ServeConfig) (*server.Server, error) {
+	graphs := make(map[string]*graph.Graph, len(cfg.Preload))
+	for _, entry := range cfg.Preload {
+		name, src, ok := strings.Cut(entry, "=")
+		if !ok || name == "" || src == "" {
+			return nil, fmt.Errorf("bad -preload %q (want name=file or name=gen:spec)", entry)
+		}
+		if _, dup := graphs[name]; dup {
+			return nil, fmt.Errorf("duplicate -preload name %q", name)
+		}
+		g, err := LoadGraph(src, nil)
+		if err != nil {
+			return nil, fmt.Errorf("preload %q: %w", name, err)
+		}
+		graphs[name] = g
+	}
+	return server.New(server.Config{
+		Workers:      cfg.Workers,
+		CacheEntries: cfg.CacheEntries,
+		Graphs:       graphs,
+	}), nil
+}
+
+// RunServe builds the server and blocks serving on cfg.Addr. ready, when
+// non-nil, receives the bound address once the listener is up (tests use it
+// with addr ":0").
+func RunServe(cfg ServeConfig, ready chan<- string) error {
+	srv, err := BuildServer(cfg)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	hs := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	return hs.Serve(ln)
+}

@@ -39,6 +39,10 @@ const (
 	maxK = 64
 )
 
+// MaxK is the largest accepted trade-off parameter k. The facade exposes it
+// so option validation can reject out-of-range values before dispatch.
+const MaxK = maxK
+
 // Result is the outcome of one fractional-LP approximation run.
 type Result struct {
 	// X is the computed fractional dominating set (indexed by vertex).

@@ -16,6 +16,13 @@ import (
 	"kwmds/internal/stats"
 )
 
+// finite reports whether x is neither NaN nor ±Inf. Parameter guards must
+// use it explicitly: a plain `x < 0` check lets NaN through, because every
+// comparison against NaN is false.
+func finite(x float64) bool {
+	return !math.IsNaN(x) && !math.IsInf(x, 0)
+}
+
 // GNP returns an Erdős–Rényi random graph G(n,p): every unordered pair is an
 // edge independently with probability p. Uses geometric skipping, so the
 // cost is proportional to the number of edges generated rather than n².
@@ -23,7 +30,7 @@ func GNP(n int, p float64, seed int64) (*graph.Graph, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("gen: GNP n = %d < 0", n)
 	}
-	if p < 0 || p > 1 {
+	if !finite(p) || p < 0 || p > 1 {
 		return nil, fmt.Errorf("gen: GNP p = %v outside [0,1]", p)
 	}
 	rng := stats.NewRand(seed)
@@ -63,8 +70,8 @@ func UnitDisk(n int, radius float64, seed int64) (*graph.Graph, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("gen: UnitDisk n = %d < 0", n)
 	}
-	if radius < 0 {
-		return nil, fmt.Errorf("gen: UnitDisk radius = %v < 0", radius)
+	if !finite(radius) || radius < 0 {
+		return nil, fmt.Errorf("gen: UnitDisk radius = %v outside [0, ∞)", radius)
 	}
 	g, _, err := UnitDiskPoints(n, radius, seed)
 	return g, err
@@ -76,7 +83,7 @@ type Point struct{ X, Y float64 }
 // UnitDiskPoints is UnitDisk but also returns the node coordinates, which
 // the ad-hoc routing example uses for visualization.
 func UnitDiskPoints(n int, radius float64, seed int64) (*graph.Graph, []Point, error) {
-	if n < 0 || radius < 0 {
+	if n < 0 || !finite(radius) || radius < 0 {
 		return nil, nil, fmt.Errorf("gen: UnitDiskPoints invalid n=%d radius=%v", n, radius)
 	}
 	rng := stats.NewRand(seed)
@@ -95,8 +102,8 @@ func UnitDiskPoints(n int, radius float64, seed int64) (*graph.Graph, []Point, e
 // (edge ⇔ Euclidean distance ≤ radius) with a bucket grid in O(n + m).
 // The mobility harness uses it to rebuild topologies as nodes move.
 func UnitDiskFromPoints(pts []Point, radius float64) (*graph.Graph, error) {
-	if radius < 0 {
-		return nil, fmt.Errorf("gen: UnitDiskFromPoints radius = %v < 0", radius)
+	if !finite(radius) || radius < 0 {
+		return nil, fmt.Errorf("gen: UnitDiskFromPoints radius = %v outside [0, ∞)", radius)
 	}
 	var edges [][2]int
 	r2 := radius * radius
@@ -394,7 +401,7 @@ func CliqueChain(count, size int) (*graph.Graph, error) {
 // Bipartite returns a random bipartite graph with sides of size a and b and
 // independent edge probability p across the cut.
 func Bipartite(a, b int, p float64, seed int64) (*graph.Graph, error) {
-	if a < 0 || b < 0 || p < 0 || p > 1 {
+	if a < 0 || b < 0 || !finite(p) || p < 0 || p > 1 {
 		return nil, fmt.Errorf("gen: Bipartite a=%d b=%d p=%v invalid", a, b, p)
 	}
 	rng := stats.NewRand(seed)

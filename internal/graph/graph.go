@@ -71,6 +71,13 @@ func New(n int, edges [][2]int) (*Graph, error) {
 		}
 	}
 	newOff[n] = w
+	// Dedup left the tail of adj unused but still pinned by the slice
+	// header. When the shrink is material (> 1/8 of the allocation — e.g.
+	// an input listing both edge orientations wastes half), clone down so
+	// a long-lived graph (the serve cache holds many) releases the tail.
+	if int(w) < len(adj)-len(adj)/8 {
+		adj = append(make([]int32, 0, w), adj[:w]...)
+	}
 	g := &Graph{off: newOff, adj: adj[:w]}
 	for v := 0; v < n; v++ {
 		if d := g.Degree(v); d > g.maxDeg {

@@ -1,0 +1,35 @@
+package graph
+
+import "testing"
+
+// TestNewReleasesDedupTail checks that New does not pin the full
+// 2×len(edges) scratch array when deduplication shrank the adjacency
+// materially — long-lived graphs (e.g. entries in the serve cache) would
+// otherwise hold ~2× their true footprint.
+func TestNewReleasesDedupTail(t *testing.T) {
+	// Every edge listed 4× (twice per orientation): dedup keeps 1/4.
+	var edges [][2]int
+	for v := 0; v < 100; v++ {
+		e := [2]int{v, (v + 1) % 101}
+		edges = append(edges, e, e, [2]int{e[1], e[0]}, [2]int{e[1], e[0]})
+	}
+	g, err := New(101, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 100 {
+		t.Fatalf("M = %d, want 100", g.M())
+	}
+	if got, want := cap(g.adj), 2*g.M(); got != want {
+		t.Errorf("cap(adj) = %d after heavy dedup, want %d (tail not released)", got, want)
+	}
+
+	// A duplicate-free input must keep the original array (no extra copy).
+	g2, err := New(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := cap(g2.adj), 6; got != want {
+		t.Errorf("cap(adj) = %d for duplicate-free input, want %d", got, want)
+	}
+}

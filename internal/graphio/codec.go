@@ -1,0 +1,141 @@
+package graphio
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"kwmds/internal/graph"
+)
+
+// This file defines the wire format of the serve subsystem (POST /v1/solve).
+// It lives in graphio rather than internal/server so the load-generator
+// bench and any future clients share one codec with the handlers.
+
+// SolveRequest is the JSON body of a solve call. Exactly one of Graph or
+// GraphRef selects the topology.
+type SolveRequest struct {
+	// Graph is an inline topology (same shape as the JSON graph format).
+	// It stays raw at decode time so the edge-list materialization —
+	// the expensive part of a request — can run under the server's
+	// worker pool (BuildGraph) instead of on the request goroutine.
+	Graph json.RawMessage `json:"graph,omitempty"`
+	// GraphRef names a graph preloaded into the server.
+	GraphRef string `json:"graph_ref,omitempty"`
+	// Algo is the pipeline to run: kw | kw2 | kwcds | frac (default kw).
+	Algo string `json:"algo,omitempty"`
+	// K is the trade-off parameter (0 = k = log ∆).
+	K int `json:"k,omitempty"`
+	// Seed drives the rounding stage's coin flips.
+	Seed int64 `json:"seed,omitempty"`
+	// Variant is the rounding scaling: "ln" (default) | "ln-lnln".
+	Variant string `json:"variant,omitempty"`
+	// Weights, when non-empty, runs the weighted variant (len must equal n).
+	Weights []float64 `json:"weights,omitempty"`
+	// Sequential runs the sequential reference instead of the simulator.
+	Sequential bool `json:"sequential,omitempty"`
+	// Members asks for the chosen vertex ids in the response (off by
+	// default: on large graphs the id list dominates the payload).
+	Members bool `json:"members,omitempty"`
+}
+
+// SolveResponse is the JSON body of a successful solve call.
+type SolveResponse struct {
+	// Digest identifies the topology that was solved (hex SHA-256 of the
+	// canonical CSR form); requests carrying an identical topology hit the
+	// same cache entry.
+	Digest string `json:"digest"`
+	Algo   string `json:"algo"`
+	K      int    `json:"k"`
+	N      int    `json:"n"`
+	M      int    `json:"m"`
+	// Size is |DS| (for algo=frac it is 0 and LPObjective carries the
+	// result).
+	Size         int     `json:"size"`
+	WeightedCost float64 `json:"weighted_cost,omitempty"`
+	LPObjective  float64 `json:"lp_objective"`
+	Bound        float64 `json:"bound,omitempty"`
+	Rounds       int     `json:"rounds"`
+	Messages     int64   `json:"messages"`
+	Bits         int64   `json:"bits"`
+	JoinedRandom int     `json:"joined_random,omitempty"`
+	JoinedFixup  int     `json:"joined_fixup,omitempty"`
+	Connectors   int     `json:"connectors,omitempty"`
+	Members      []int   `json:"members,omitempty"`
+	// Cached reports whether the result came from the server's LRU cache.
+	Cached bool `json:"cached"`
+	// ElapsedMS is the in-process compute time (0 for cache hits).
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx serve reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// DecodeSolveRequest parses and structurally validates a solve body: valid
+// JSON with no unknown fields, exactly one topology source, and a known
+// algo/variant. Graph construction and option validation happen later (the
+// facade owns those rules); this layer only rejects malformed envelopes.
+func DecodeSolveRequest(r io.Reader) (*SolveRequest, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var req SolveRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("graphio: solve request: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("graphio: solve request: trailing data after JSON body")
+	}
+	if string(req.Graph) == "null" {
+		req.Graph = nil
+	}
+	if (len(req.Graph) == 0) == (req.GraphRef == "") {
+		return nil, fmt.Errorf("graphio: solve request: exactly one of \"graph\" and \"graph_ref\" is required")
+	}
+	if req.Algo == "" {
+		req.Algo = "kw"
+	}
+	switch req.Algo {
+	case "kw", "kw2", "kwcds", "frac":
+	default:
+		return nil, fmt.Errorf("graphio: solve request: unknown algo %q (want kw|kw2|kwcds|frac)", req.Algo)
+	}
+	switch req.Variant {
+	case "", "ln", "ln-lnln":
+	default:
+		return nil, fmt.Errorf("graphio: solve request: unknown variant %q (want ln|ln-lnln)", req.Variant)
+	}
+	// The weighted variant is defined only for the unknown-∆ LP stage
+	// (the facade dispatches on Weights before KnownDelta); accepting the
+	// combination would mislabel a weighted run as kw2.
+	if req.Algo == "kw2" && len(req.Weights) > 0 {
+		return nil, fmt.Errorf("graphio: solve request: weights are not supported with algo \"kw2\" (use kw)")
+	}
+	return &req, nil
+}
+
+// BuildGraph materializes the request's inline topology. maxVertices caps
+// the declared vertex count before the O(n) CSR allocation: without it a
+// 40-byte body declaring n=2e9 would OOM the process. The edge-list decode
+// itself is bounded by the body-size limit upstream.
+func (req *SolveRequest) BuildGraph(maxVertices int) (*graph.Graph, error) {
+	if len(req.Graph) == 0 {
+		return nil, fmt.Errorf("graphio: solve request: no inline graph")
+	}
+	dec := json.NewDecoder(bytes.NewReader(req.Graph))
+	dec.DisallowUnknownFields()
+	var jg JSONGraph
+	if err := dec.Decode(&jg); err != nil {
+		return nil, fmt.Errorf("graphio: solve request: graph: %w", err)
+	}
+	if maxVertices > 0 && jg.N > maxVertices {
+		return nil, fmt.Errorf("graphio: solve request: inline graph n=%d exceeds the server limit of %d vertices", jg.N, maxVertices)
+	}
+	g, err := graph.New(jg.N, jg.Edges)
+	if err != nil {
+		return nil, fmt.Errorf("graphio: solve request: %w", err)
+	}
+	return g, nil
+}

@@ -1,0 +1,42 @@
+package graphio
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+
+	"kwmds/internal/graph"
+)
+
+// Digest returns a hex SHA-256 over the graph's canonical CSR form (vertex
+// count, offsets, sorted adjacency). Two graphs share a digest iff they are
+// identical, regardless of the edge order or orientation they were built
+// from, so the digest is a stable cache key for topology-addressed caches.
+func Digest(g *graph.Graph) string {
+	h := sha256.New()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(g.N()))
+	h.Write(buf[:])
+	off, adj := g.CSR()
+	writeInt32s(h, off)
+	writeInt32s(h, adj)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// writeInt32s hashes xs through a chunk buffer — one Write per 64 KiB, not
+// per entry, which matters on the serve path where digesting an inline
+// graph holds a worker-pool slot.
+func writeInt32s(h interface{ Write([]byte) (int, error) }, xs []int32) {
+	const chunk = 64 << 10
+	buf := make([]byte, 0, chunk)
+	for _, x := range xs {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(x))
+		if len(buf) == chunk {
+			h.Write(buf)
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		h.Write(buf)
+	}
+}

@@ -32,9 +32,10 @@ func WriteEdgeList(w io.Writer, g *graph.Graph) error {
 	return bw.Flush()
 }
 
-// ReadEdgeList parses the plain text format. Vertices referenced by edges
-// must fit in the declared "n" header; without a header, n is inferred as
-// max vertex id + 1.
+// ReadEdgeList parses the plain text format. The "n" header, when present,
+// must appear exactly once and before any edge; vertices referenced by
+// edges must fit in the declared count. Without a header, n is inferred as
+// max vertex id + 1. Malformed lines are rejected with their line number.
 func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<24)
@@ -50,6 +51,12 @@ func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
 		}
 		fields := strings.Fields(line)
 		if fields[0] == "n" {
+			if n >= 0 {
+				return nil, fmt.Errorf("graphio: line %d: duplicate \"n\" header (already declared n=%d)", lineNo, n)
+			}
+			if len(edges) > 0 {
+				return nil, fmt.Errorf("graphio: line %d: \"n\" header after %d edge lines (header must come first)", lineNo, len(edges))
+			}
 			if len(fields) != 2 {
 				return nil, fmt.Errorf("graphio: line %d: malformed header %q", lineNo, line)
 			}
@@ -70,6 +77,12 @@ func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
 		v, err := strconv.Atoi(fields[1])
 		if err != nil {
 			return nil, fmt.Errorf("graphio: line %d: bad vertex %q", lineNo, fields[1])
+		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("graphio: line %d: negative vertex id in edge (%d,%d)", lineNo, u, v)
+		}
+		if n >= 0 && (u >= n || v >= n) {
+			return nil, fmt.Errorf("graphio: line %d: edge (%d,%d) out of range for declared n=%d", lineNo, u, v, n)
 		}
 		edges = append(edges, [2]int{u, v})
 		if u > maxID {

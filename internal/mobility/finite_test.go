@@ -1,0 +1,24 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+)
+
+// TestRandomWalkRejectsNonFinite checks the NaN/Inf guards: with the old
+// `< 0` comparisons a NaN radius or speed slipped through (NaN fails every
+// comparison) and a NaN coordinate then hung the reflect loop forever.
+func TestRandomWalkRejectsNonFinite(t *testing.T) {
+	bads := []float64{math.NaN(), math.Inf(1), math.Inf(-1)}
+	for _, bad := range bads {
+		if _, err := RandomWalk(10, bad, 0.01, 2, 1); err == nil {
+			t.Errorf("RandomWalk accepted radius=%v", bad)
+		}
+		if _, err := RandomWalk(10, 0.2, bad, 2, 1); err == nil {
+			t.Errorf("RandomWalk accepted speed=%v", bad)
+		}
+	}
+	if _, err := RandomWalk(10, 0.2, 0, 2, 1); err != nil {
+		t.Errorf("RandomWalk rejected speed=0: %v", err)
+	}
+}

@@ -7,6 +7,7 @@ package mobility
 
 import (
 	"fmt"
+	"math"
 
 	"kwmds/internal/gen"
 	"kwmds/internal/graph"
@@ -29,6 +30,12 @@ type Trace struct {
 // speed = 0 yields identical snapshots. The trace is a pure function of
 // its parameters and seed.
 func RandomWalk(n int, radius, speed float64, epochs int, seed int64) (*Trace, error) {
+	// The range checks must reject NaN explicitly: NaN fails every
+	// comparison, so `radius < 0` alone would let it through (and a NaN
+	// coordinate would then spin the reflect loop forever).
+	if math.IsNaN(radius) || math.IsInf(radius, 0) || math.IsNaN(speed) || math.IsInf(speed, 0) {
+		return nil, fmt.Errorf("mobility: non-finite parameters radius=%v speed=%v", radius, speed)
+	}
 	if n < 0 || radius < 0 || speed < 0 || epochs < 1 {
 		return nil, fmt.Errorf("mobility: invalid parameters n=%d radius=%v speed=%v epochs=%d",
 			n, radius, speed, epochs)

@@ -1,0 +1,94 @@
+// Package server implements the kwmds serve subsystem: an HTTP JSON
+// service that runs any pipeline configuration on posted or preloaded
+// graphs through a bounded worker pool, with an LRU result cache keyed on
+// (graph digest, options) so repeated queries on the same topology are
+// answered without recomputation.
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"kwmds/internal/graphio"
+)
+
+// resultCache is a thread-safe LRU of solve results with single-flight
+// computation: concurrent misses on the same key run the solver once and
+// share the result. Errors are never cached.
+type resultCache struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recent; values are *cacheEntry
+	items    map[string]*list.Element
+	inflight map[string]*inflightCall
+
+	hits   int64
+	misses int64
+}
+
+type cacheEntry struct {
+	key string
+	val *graphio.SolveResponse
+}
+
+type inflightCall struct {
+	done chan struct{}
+	val  *graphio.SolveResponse
+	err  error
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[string]*list.Element),
+		inflight: make(map[string]*inflightCall),
+	}
+}
+
+// getOrCompute returns the cached response for key, or runs compute once —
+// also on behalf of any concurrent callers with the same key — and caches
+// its result. hit reports whether the caller got a previously computed
+// response (including one computed by the call it piggybacked on).
+func (c *resultCache) getOrCompute(key string, compute func() (*graphio.SolveResponse, error)) (val *graphio.SolveResponse, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		c.mu.Unlock()
+		return el.Value.(*cacheEntry).val, true, nil
+	}
+	if call, ok := c.inflight[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		<-call.done
+		return call.val, true, call.err
+	}
+	call := &inflightCall{done: make(chan struct{})}
+	c.inflight[key] = call
+	c.misses++
+	c.mu.Unlock()
+
+	call.val, call.err = compute()
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if call.err == nil && c.capacity > 0 {
+		c.items[key] = c.order.PushFront(&cacheEntry{key: key, val: call.val})
+		for c.order.Len() > c.capacity {
+			oldest := c.order.Back()
+			c.order.Remove(oldest)
+			delete(c.items, oldest.Value.(*cacheEntry).key)
+		}
+	}
+	c.mu.Unlock()
+	close(call.done)
+	return call.val, false, call.err
+}
+
+// stats returns the entry count and cumulative hit/miss counters.
+func (c *resultCache) stats() (entries int, hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len(), c.hits, c.misses
+}

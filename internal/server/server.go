@@ -1,0 +1,307 @@
+package server
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"net/http"
+	"runtime"
+	"sort"
+	"time"
+
+	"kwmds"
+	"kwmds/internal/graph"
+	"kwmds/internal/graphio"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers bounds the number of pipeline runs executing concurrently;
+	// excess requests queue. Default GOMAXPROCS.
+	Workers int
+	// CacheEntries is the LRU capacity in results. 0 selects the default
+	// of 256; a negative value disables caching (single-flight coalescing
+	// still applies).
+	CacheEntries int
+	// Graphs are the preloaded topologies addressable via "graph_ref".
+	Graphs map[string]*graph.Graph
+	// MaxBodyBytes caps the request body. Default 64 MiB.
+	MaxBodyBytes int64
+	// MaxInlineVertices caps the "n" of inline graphs. The body limit
+	// already bounds the edge list, but a tiny body can declare an
+	// enormous vertex count and graph.New allocates O(n) regardless —
+	// unchecked, a 40-byte request could OOM the process. Default 2e6.
+	MaxInlineVertices int
+}
+
+// Server answers dominating-set queries over HTTP. It is safe for
+// concurrent use; every pipeline run goes through the bounded worker pool.
+type Server struct {
+	cfg    Config
+	sem    chan struct{}
+	cache  *resultCache
+	mux    *http.ServeMux
+	graphs map[string]preloaded
+	names  []string
+}
+
+type preloaded struct {
+	g      *graph.Graph
+	digest string
+}
+
+// New builds a Server from cfg, applying defaults for zero fields.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.CacheEntries == 0 {
+		cfg.CacheEntries = 256
+	}
+	if cfg.CacheEntries < 0 {
+		cfg.CacheEntries = 0
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 64 << 20
+	}
+	if cfg.MaxInlineVertices <= 0 {
+		cfg.MaxInlineVertices = 2_000_000
+	}
+	s := &Server{
+		cfg:    cfg,
+		sem:    make(chan struct{}, cfg.Workers),
+		cache:  newResultCache(cfg.CacheEntries),
+		mux:    http.NewServeMux(),
+		graphs: make(map[string]preloaded, len(cfg.Graphs)),
+	}
+	for name, g := range cfg.Graphs {
+		s.graphs[name] = preloaded{g: g, digest: graphio.Digest(g)}
+		s.names = append(s.names, name)
+	}
+	sort.Strings(s.names)
+	s.mux.HandleFunc("/v1/solve", s.handleSolve)
+	s.mux.HandleFunc("/v1/graphs", s.handleGraphs)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// httpError carries a status code alongside the client-facing message.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, graphio.ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	req, err := graphio.DecodeSolveRequest(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp, err := s.solve(req)
+	if err != nil {
+		var he *httpError
+		if errors.As(err, &he) {
+			writeError(w, he.status, "%s", he.msg)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// solve resolves the topology, validates the options, and answers from the
+// cache or by a pooled pipeline run. The returned response is the caller's
+// to keep (never an aliased cache entry).
+func (s *Server) solve(req *graphio.SolveRequest) (*graphio.SolveResponse, error) {
+	var g *graph.Graph
+	var digest string
+	if req.GraphRef != "" {
+		p, ok := s.graphs[req.GraphRef]
+		if !ok {
+			return nil, &httpError{http.StatusNotFound, fmt.Sprintf("unknown graph_ref %q (see /v1/graphs)", req.GraphRef)}
+		}
+		g, digest = p.g, p.digest
+	} else {
+		// Materialize and digest under the worker semaphore: decoding a
+		// body-sized edge list and building its CSR is real allocation
+		// and CPU, and must not run unbounded on N request goroutines
+		// (the envelope decode upstream keeps the graph as raw bytes).
+		var err error
+		s.sem <- struct{}{}
+		g, err = req.BuildGraph(s.cfg.MaxInlineVertices)
+		if err == nil {
+			digest = graphio.Digest(g)
+		}
+		<-s.sem
+		if err != nil {
+			return nil, &httpError{http.StatusBadRequest, err.Error()}
+		}
+	}
+
+	opts := kwmds.Options{K: req.K, Seed: req.Seed, Sequential: req.Sequential}
+	if req.Algo == "kw2" {
+		opts.KnownDelta = true
+	}
+	if req.Variant == "ln-lnln" {
+		opts.Variant = kwmds.VariantLnMinusLnLn
+	}
+	if len(req.Weights) > 0 {
+		opts.Weights = req.Weights
+	}
+	// Reject invalid options before touching the pool: a malformed request
+	// body must never panic or occupy a worker.
+	if err := opts.Validate(g); err != nil {
+		return nil, &httpError{http.StatusBadRequest, err.Error()}
+	}
+
+	key := cacheKey(digest, req, opts)
+	cached, hit, err := s.cache.getOrCompute(key, func() (*graphio.SolveResponse, error) {
+		s.sem <- struct{}{}
+		defer func() { <-s.sem }()
+		return s.run(g, digest, req.Algo, opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Copy before customizing: the cache entry is shared across requests.
+	resp := *cached
+	resp.Cached = hit
+	if hit {
+		resp.ElapsedMS = 0
+	}
+	if !req.Members {
+		resp.Members = nil
+	}
+	return &resp, nil
+}
+
+// run executes one pipeline configuration. Members are always materialized
+// into the cached response; solve strips them per request.
+func (s *Server) run(g *graph.Graph, digest, algo string, opts kwmds.Options) (*graphio.SolveResponse, error) {
+	resp := &graphio.SolveResponse{Digest: digest, Algo: algo, N: g.N(), M: g.M()}
+	start := time.Now()
+	switch algo {
+	case "frac":
+		res, err := kwmds.FractionalDominatingSet(g, opts)
+		if err != nil {
+			return nil, err
+		}
+		resp.K = res.K
+		resp.LPObjective = res.Objective
+		resp.Bound = res.Bound
+		resp.Rounds, resp.Messages, resp.Bits = res.Rounds, res.Messages, res.Bits
+	case "kwcds":
+		res, err := kwmds.ConnectedDominatingSet(g, opts)
+		if err != nil {
+			return nil, err
+		}
+		fillResult(resp, res)
+	default: // kw, kw2 (KnownDelta already folded into opts)
+		res, err := kwmds.DominatingSet(g, opts)
+		if err != nil {
+			return nil, err
+		}
+		fillResult(resp, res)
+	}
+	resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+	return resp, nil
+}
+
+func fillResult(resp *graphio.SolveResponse, res *kwmds.Result) {
+	resp.K = res.K
+	resp.Size = res.Size
+	resp.WeightedCost = res.WeightedCost
+	resp.LPObjective = res.LPObjective
+	resp.Rounds, resp.Messages, resp.Bits = res.Rounds, res.Messages, res.Bits
+	resp.JoinedRandom, resp.JoinedFixup = res.JoinedRandom, res.JoinedFixup
+	resp.Connectors = res.Connectors
+	resp.Members = kwmds.SetMembers(res.InDS)
+}
+
+// cacheKey folds the topology digest and every result-affecting option into
+// one string. The Members flag is deliberately excluded: the cached value
+// carries the member list and solve strips it per request.
+func cacheKey(digest string, req *graphio.SolveRequest, opts kwmds.Options) string {
+	variant := req.Variant
+	if variant == "" {
+		variant = "ln"
+	}
+	return fmt.Sprintf("%s|%s|%d|%d|%s|%t|%s",
+		digest, req.Algo, opts.K, opts.Seed, variant, opts.Sequential, weightsKey(opts.Weights))
+}
+
+// weightsKey hashes the cost vector (FNV-64 over the IEEE bits); "-" for
+// unweighted runs.
+func weightsKey(ws []float64) string {
+	if ws == nil {
+		return "-"
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, w := range ws {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(w))
+		h.Write(buf[:])
+	}
+	return fmt.Sprintf("w%016x", h.Sum64())
+}
+
+type graphInfo struct {
+	Name   string `json:"name"`
+	N      int    `json:"n"`
+	M      int    `json:"m"`
+	MaxDeg int    `json:"max_degree"`
+	Digest string `json:"digest"`
+}
+
+func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	infos := make([]graphInfo, 0, len(s.names))
+	for _, name := range s.names {
+		p := s.graphs[name]
+		infos = append(infos, graphInfo{Name: name, N: p.g.N(), M: p.g.M(), MaxDeg: p.g.MaxDegree(), Digest: p.digest})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"graphs": infos})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	entries, hits, misses := s.cache.stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ok",
+		"workers":       s.cfg.Workers,
+		"graphs":        len(s.graphs),
+		"cache_entries": entries,
+		"cache_hits":    hits,
+		"cache_misses":  misses,
+	})
+}

@@ -42,7 +42,9 @@ type Options struct {
 	// Weights, when non-nil, runs the weighted fractional variant from
 	// the remark after Theorem 4 with node costs c_i ∈ [1, ∞). The
 	// rounding stage is unchanged (the paper gives no weighted rounding);
-	// Result.WeightedCost reports the resulting set's cost.
+	// Result.WeightedCost reports the resulting set's cost. Weights takes
+	// precedence over KnownDelta: the weighted variant is defined only
+	// for the unknown-∆ LP stage.
 	Weights []float64
 	// Sequential runs the sequential reference implementations instead of
 	// the message-passing simulation. The output is bit-identical; round
@@ -112,8 +114,8 @@ func effectiveK(k int, g *Graph) int {
 // FractionalDominatingSet runs only the LP stage (Section 5 of the paper)
 // and returns the fractional solution with its guarantee.
 func FractionalDominatingSet(g *Graph, opts Options) (*FractionalResult, error) {
-	if g == nil {
-		return nil, fmt.Errorf("kwmds: nil graph")
+	if err := opts.Validate(g); err != nil {
+		return nil, fmt.Errorf("kwmds: %w", err)
 	}
 	k := effectiveK(opts.K, g)
 	out := &FractionalResult{K: k}

@@ -1,0 +1,72 @@
+package kwmds
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestOptionsValidate drives every rejection path of the facade's option
+// validation. Each case must surface as ErrInvalidOptions so request
+// handlers can map it to a client error, and must be descriptive enough to
+// name the offending field.
+func TestOptionsValidate(t *testing.T) {
+	g, err := UnitDisk(40, 0.3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodW := make([]float64, g.N())
+	for i := range goodW {
+		goodW[i] = 1
+	}
+	badEntry := make([]float64, g.N())
+	copy(badEntry, goodW)
+	badEntry[7] = math.NaN()
+	subUnit := make([]float64, g.N())
+	copy(subUnit, goodW)
+	subUnit[3] = 0.5
+
+	cases := []struct {
+		name string
+		opts Options
+		want string // substring of the error message
+	}{
+		{"negative K", Options{K: -3}, "K = -3"},
+		{"huge K", Options{K: MaxK + 1}, "outside [0, 64]"},
+		{"short weights", Options{Weights: []float64{1, 1, 1}}, "3 weights for 40 vertices"},
+		{"long weights", Options{Weights: make([]float64, 1000)}, "1000 weights for 40 vertices"},
+		{"NaN weight", Options{Weights: badEntry}, "weight[7]"},
+		{"sub-unit weight", Options{Weights: subUnit}, "weight[3]"},
+		{"unknown variant", Options{Variant: RoundingVariant(9)}, "variant"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.opts.Validate(g)
+			if !errors.Is(err, ErrInvalidOptions) {
+				t.Fatalf("Validate = %v, want ErrInvalidOptions", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+			// Every facade entry point must reject the same way, without
+			// panicking, since server request bodies flow through them.
+			for name, run := range map[string]func() error{
+				"FractionalDominatingSet": func() error { _, err := FractionalDominatingSet(g, tc.opts); return err },
+				"DominatingSet":           func() error { _, err := DominatingSet(g, tc.opts); return err },
+				"ConnectedDominatingSet":  func() error { _, err := ConnectedDominatingSet(g, tc.opts); return err },
+			} {
+				if err := run(); !errors.Is(err, ErrInvalidOptions) {
+					t.Errorf("%s = %v, want ErrInvalidOptions", name, err)
+				}
+			}
+		})
+	}
+
+	if err := (Options{K: -1}).Validate(nil); !errors.Is(err, ErrInvalidOptions) {
+		t.Errorf("Validate(nil graph) = %v, want ErrInvalidOptions", err)
+	}
+	if err := (Options{K: 3, Seed: 9, Weights: goodW, Variant: VariantLnMinusLnLn}).Validate(g); err != nil {
+		t.Errorf("valid options rejected: %v", err)
+	}
+}
