@@ -42,7 +42,7 @@ func main() {
 	flag.Int64Var(&cfg.Seed, "seed", 1, "random seed")
 	flag.BoolVar(&cfg.LnMinusLn, "lnlnln", false, "use the ln−lnln rounding variant")
 	flag.BoolVar(&cfg.Members, "members", false, "print the chosen vertex ids")
-	flag.BoolVar(&cfg.Sequential, "sequential", false, "run the sequential reference (no message stats)")
+	flag.BoolVar(&cfg.Sequential, "sequential", false, "run the fastpath solver instead of the simulation (same output, no message stats)")
 	flag.Parse()
 
 	if err := cli.Run(cfg, os.Stdout); err != nil {

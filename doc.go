@@ -41,6 +41,36 @@
 // rounding variant) with an error matching ErrInvalidOptions, so untrusted
 // request bodies can never panic the pipeline.
 //
+// # Execution backends
+//
+// Every algorithm exists in three executions bound by one contract — for
+// equal inputs (graph, k, seed, variant) all three produce bit-identical
+// x-vectors and dominating sets:
+//
+//   - Simulation (the default): the message-passing programs on the
+//     round-driven scheduler. The only backend that measures rounds,
+//     messages and bits — choose it to study the distributed behavior.
+//   - Reference (internal/core Reference*): sequential line-by-line
+//     transcriptions of the paper's pseudocode. The oracle the other two
+//     backends are differential-tested against; with core.Instrument they
+//     additionally record the proofs' z-account invariants (skipped by
+//     default since the bookkeeping costs more than the algorithm).
+//   - Fastpath (Options.Sequential, internal/fastpath): the production
+//     solver — frontier-driven over the graph's flat CSR arrays,
+//     phase-parallel on a worker pool, zero steady-state allocations via
+//     pooled solvers. Selected by Options.Sequential, by the serve
+//     subsystem for every cold solve (request engine "fast", the
+//     default), and by the million-vertex benchmark tier. Round and
+//     message statistics are zero on this backend.
+//
+// The contract is enforced by cross-backend determinism tests (multiple
+// workloads × algorithms × seeds × worker counts, under the race
+// detector) and a differential fuzzer with a checked-in corpus
+// (internal/fastpath). BENCH_solve.json records the backend timings:
+// the fastpath runs the full pipeline on a million-vertex unit-disk
+// graph in ~0.5 s, a 2M-vertex G(n,p) in ~1.2 s, and serves uncached
+// 10k-vertex solves at interactive latency (~30 ms).
+//
 // The `kwmds serve` subcommand (internal/server) runs the pipelines as a
 // long-lived HTTP JSON service: clients POST a graph (inline edge list or a
 // reference to a preloaded topology) plus any pipeline configuration to

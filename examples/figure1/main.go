@@ -36,7 +36,7 @@ func main() {
 	fmt.Printf("instance: n=%d, Δ=%d (Δ+1 = 3⁴ so thresholds are exact), k=%d\n\n",
 		g.N(), g.MaxDegree(), k)
 
-	res, err := core.ReferenceKnownDelta(g, k)
+	res, err := core.ReferenceKnownDelta(g, k, core.Instrument())
 	if err != nil {
 		log.Fatal(err)
 	}

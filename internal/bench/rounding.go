@@ -149,7 +149,7 @@ func T7() []*stats.Table {
 func F1() []*stats.Table {
 	g, tiers := cascadeGraph()
 	const k = 4
-	res, err := core.ReferenceKnownDelta(g, k)
+	res, err := core.ReferenceKnownDelta(g, k, core.Instrument())
 	if err != nil {
 		panic(err)
 	}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -37,6 +38,9 @@ type ServeLoadConfig struct {
 	// Algo and K select the pipeline configuration (default kw, k=0).
 	Algo string
 	K    int
+	// Engine selects the execution backend ("" = the server default,
+	// "fast" or "sim").
+	Engine string
 }
 
 // ServeLoadReport summarizes a run.
@@ -58,6 +62,16 @@ type ServeLoadReport struct {
 	P99MS float64 `json:"p99_ms"`
 	// HitRate is the fraction of timed requests answered from the cache.
 	HitRate float64 `json:"hit_rate"`
+	// AllocsPerReq is the measured number of heap allocations per timed
+	// request across the whole in-process stack (client, HTTP transport,
+	// JSON codec, handler, solver). For uncached runs it is the number
+	// that the fastpath solver's buffer pooling drives down: the solver
+	// itself contributes zero steady-state allocations, so what remains
+	// is request-path overhead — measured, not asserted.
+	AllocsPerReq float64 `json:"allocs_per_req"`
+	// Engine records the backend the requests selected ("" = server
+	// default).
+	Engine string `json:"engine,omitempty"`
 }
 
 // ServeLoad stands up an in-process serve instance preloaded with cfg.G and
@@ -85,7 +99,7 @@ func ServeLoad(cfg ServeLoadConfig) (*ServeLoadReport, error) {
 
 	body := func(seed int64) []byte {
 		b, _ := json.Marshal(graphio.SolveRequest{
-			GraphRef: cfg.Workload, Algo: cfg.Algo, K: cfg.K, Seed: seed,
+			GraphRef: cfg.Workload, Algo: cfg.Algo, K: cfg.K, Seed: seed, Engine: cfg.Engine,
 		})
 		return b
 	}
@@ -109,6 +123,7 @@ func ServeLoad(cfg ServeLoadConfig) (*ServeLoadReport, error) {
 	report := &ServeLoadReport{
 		Workload: cfg.Workload, N: cfg.G.N(), M: cfg.G.M(),
 		Concurrency: cfg.Concurrency, Requests: cfg.Requests, Seeds: cfg.Seeds,
+		Engine: cfg.Engine,
 	}
 	// Warm-up: populate the cache for every seed the timed phase will use
 	// (for Seeds == Requests this instead pre-verifies nothing — each timed
@@ -147,6 +162,8 @@ func ServeLoad(cfg ServeLoadConfig) (*ServeLoadReport, error) {
 		}
 		return i
 	}
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 	start := time.Now()
 	for c := 0; c < cfg.Concurrency; c++ {
 		wg.Add(1)
@@ -180,6 +197,9 @@ func ServeLoad(cfg ServeLoadConfig) (*ServeLoadReport, error) {
 	if firstErr != nil {
 		return nil, firstErr
 	}
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
+	report.AllocsPerReq = float64(msAfter.Mallocs-msBefore.Mallocs) / float64(cfg.Requests)
 	report.ReqPerSec = float64(cfg.Requests) / report.ElapsedSec
 	sort.Float64s(latencies)
 	report.P50MS = percentile(latencies, 0.50)

@@ -1,0 +1,197 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"kwmds/internal/core"
+	"kwmds/internal/fastpath"
+	"kwmds/internal/gen"
+	"kwmds/internal/graph"
+	"kwmds/internal/rounding"
+)
+
+// This file benchmarks the *solve* path — the compute that backs
+// Options.Sequential and every uncached serve request — across the
+// sequential backends:
+//
+//   - "reference+instr": the core references with core.Instrument, i.e.
+//     what every sequential solve paid before the instrumentation was
+//     gated (the pre-gating baseline).
+//   - "reference": the core references as they run today (bookkeeping
+//     skipped).
+//   - "fastpath/wN": the internal/fastpath solver at N workers.
+//
+// All backends produce bit-identical output; SolveBench cross-checks |DS|
+// on every run and fails loudly on a mismatch, so the numbers can't drift
+// away from the correctness story. cmd/solvebench writes the results to
+// BENCH_solve.json.
+
+// SolveBenchConfig scales a solve-benchmark sweep.
+type SolveBenchConfig struct {
+	// Quick shrinks the workload sizes (CI smoke).
+	Quick bool
+	// K is the trade-off parameter (default 3).
+	K int
+	// Workers are the fastpath worker counts to sweep (default 1, 2, 4, 8).
+	Workers []int
+}
+
+// SolveRun is one (workload, backend) measurement.
+type SolveRun struct {
+	Workload string  `json:"workload"`
+	N        int     `json:"n"`
+	M        int     `json:"m"`
+	MaxDeg   int     `json:"max_degree"`
+	K        int     `json:"k"`
+	Backend  string  `json:"backend"`
+	WallMS   float64 `json:"wall_ms"`
+	Size     int     `json:"size"`
+	// Skipped marks configurations not run at this scale (the
+	// instrumented reference at n ≥ 10⁶ would dominate the suite's
+	// runtime without adding information).
+	Skipped bool `json:"skipped,omitempty"`
+}
+
+// solveWorkloads are the benchmark's graph instances, spanning the serving
+// scale (10⁴), the Large tier (10⁵) and the XL tier (10⁶+).
+func solveWorkloads(quick bool) []Workload {
+	if quick {
+		return []Workload{
+			{"udg-2k", mustG(gen.UnitDisk(2000, 0.04, 106))},
+			{"udg-20k", mustG(gen.UnitDisk(20000, 0.014, 109))},
+		}
+	}
+	ws := []Workload{
+		{"udg-10k", mustG(gen.UnitDisk(10000, 0.02, 1))},
+		{"udg-100k", mustG(gen.UnitDisk(100000, 0.0065, 109))},
+	}
+	return append(ws, XL()...)
+}
+
+// SolveBench sweeps every backend over every solve workload and returns
+// one row per measurement. Each run is the full pipeline (LP stage +
+// rounding) at the config's k, seed 1, Ln variant.
+func SolveBench(cfg SolveBenchConfig) ([]SolveRun, error) {
+	if cfg.K == 0 {
+		cfg.K = 3
+	}
+	if len(cfg.Workers) == 0 {
+		cfg.Workers = []int{1, 2, 4, 8}
+	}
+	var runs []SolveRun
+	for _, w := range solveWorkloads(cfg.Quick) {
+		base := SolveRun{Workload: w.Name, N: w.G.N(), M: w.G.M(), MaxDeg: w.G.MaxDegree(), K: cfg.K}
+		wantSize := -1
+		check := func(backend string, size int) error {
+			if wantSize == -1 {
+				wantSize = size
+				return nil
+			}
+			if size != wantSize {
+				return fmt.Errorf("bench: %s %s |DS| = %d, other backends got %d (bit-identical contract broken)",
+					w.Name, backend, size, wantSize)
+			}
+			return nil
+		}
+
+		// Instrumented reference: the pre-gating cost of a sequential
+		// solve. Quadratic-ish bookkeeping makes it pointless past 10⁵.
+		r := base
+		r.Backend = "reference+instr"
+		if w.G.N() <= 100_000 {
+			wall, size, err := timeReference(w.G, cfg.K, true)
+			if err != nil {
+				return nil, err
+			}
+			r.WallMS, r.Size = wall, size
+			if err := check(r.Backend, size); err != nil {
+				return nil, err
+			}
+		} else {
+			r.Skipped = true
+		}
+		runs = append(runs, r)
+
+		r = base
+		r.Backend = "reference"
+		wall, size, err := timeReference(w.G, cfg.K, false)
+		if err != nil {
+			return nil, err
+		}
+		r.WallMS, r.Size = wall, size
+		if err := check(r.Backend, size); err != nil {
+			return nil, err
+		}
+		runs = append(runs, r)
+
+		for _, workers := range cfg.Workers {
+			r = base
+			r.Backend = fmt.Sprintf("fastpath/w%d", workers)
+			wall, size, err := timeFastpath(w.G, cfg.K, workers)
+			if err != nil {
+				return nil, err
+			}
+			r.WallMS, r.Size = wall, size
+			if err := check(r.Backend, size); err != nil {
+				return nil, err
+			}
+			runs = append(runs, r)
+		}
+	}
+	return runs, nil
+}
+
+// reps picks the repetition count: small graphs are timed best-of-3, the
+// larger tiers once.
+func reps(n int) int {
+	if n <= 100_000 {
+		return 3
+	}
+	return 1
+}
+
+func timeReference(g *graph.Graph, k int, instrument bool) (wallMS float64, size int, err error) {
+	best := time.Duration(0)
+	for i := 0; i < reps(g.N()); i++ {
+		start := time.Now()
+		var ref *core.RefResult
+		if instrument {
+			ref, err = core.Reference(g, k, core.Instrument())
+		} else {
+			ref, err = core.Reference(g, k)
+		}
+		if err != nil {
+			return 0, 0, err
+		}
+		rres, err := rounding.Reference(g, ref.X, rounding.Options{Seed: 1})
+		if err != nil {
+			return 0, 0, err
+		}
+		elapsed := time.Since(start)
+		if best == 0 || elapsed < best {
+			best = elapsed
+		}
+		size = rres.Size
+	}
+	return float64(best) / float64(time.Millisecond), size, nil
+}
+
+func timeFastpath(g *graph.Graph, k, workers int) (wallMS float64, size int, err error) {
+	s := fastpath.Acquire(g.N())
+	defer fastpath.Release(s)
+	best := time.Duration(0)
+	for i := 0; i < reps(g.N()); i++ {
+		start := time.Now()
+		res, err := s.Solve(g, fastpath.Options{K: k, Seed: 1, Workers: workers})
+		if err != nil {
+			return 0, 0, err
+		}
+		elapsed := time.Since(start)
+		if best == 0 || elapsed < best {
+			best = elapsed
+		}
+		size = res.Size
+	}
+	return float64(best) / float64(time.Millisecond), size, nil
+}

@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"testing"
+
+	"kwmds/internal/core"
+	"kwmds/internal/fastpath"
+	"kwmds/internal/gen"
+	"kwmds/internal/rounding"
+)
+
+// TestSolveSmoke is the CI smoke run of the solve benchmark: the quick
+// workloads through every backend, with the cross-backend |DS| check that
+// SolveBench performs on every row. A bit-identity regression in the
+// fastpath solver fails this test even before the dedicated determinism
+// suites run.
+func TestSolveSmoke(t *testing.T) {
+	runs, err := SolveBench(SolveBenchConfig{Quick: true, Workers: []int{1, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perWorkload := map[string]int{}
+	for _, r := range runs {
+		if r.Skipped {
+			continue
+		}
+		if r.WallMS <= 0 {
+			t.Errorf("%s %s: non-positive wall time %v", r.Workload, r.Backend, r.WallMS)
+		}
+		if r.Size <= 0 {
+			t.Errorf("%s %s: empty dominating set", r.Workload, r.Backend)
+		}
+		perWorkload[r.Workload]++
+	}
+	for w, n := range perWorkload {
+		if n != 4 { // reference+instr, reference, fastpath/w1, fastpath/w4
+			t.Errorf("%s: %d backends measured, want 4", w, n)
+		}
+	}
+}
+
+// BenchmarkSolveFastpath is the perf-regression tripwire CI runs with
+// -benchtime 1x: one full pooled-solver pipeline run on a 20k-vertex
+// unit-disk graph. b.ReportAllocs keeps the zero-steady-state-allocation
+// property visible in the output.
+func BenchmarkSolveFastpath(b *testing.B) {
+	g := mustG(gen.UnitDisk(20000, 0.014, 109))
+	s := fastpath.Acquire(g.N())
+	defer fastpath.Release(s)
+	opt := fastpath.Options{K: 3, Seed: 1, Workers: 1}
+	if _, err := s.Solve(g, opt); err != nil { // warm the buffers
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Solve(g, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveReference is the matching baseline row: the sequential
+// reference (instrumentation gated off) on the same workload.
+func BenchmarkSolveReference(b *testing.B) {
+	g := mustG(gen.UnitDisk(20000, 0.014, 109))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ref, err := core.Reference(g, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rounding.Reference(g, ref.X, rounding.Options{Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

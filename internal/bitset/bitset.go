@@ -24,6 +24,40 @@ func New(n int) *Set {
 // Len returns the capacity in bits.
 func (s *Set) Len() int { return s.n }
 
+// Words exposes the backing word array: bit i lives at words[i>>6] bit
+// (i & 63). The fastpath solver iterates and combines word ranges directly
+// (including with atomic ORs for commutative marking); everyone else should
+// stick to the bit-level API. Bits at positions ≥ Len() in the last word are
+// kept clear by the mutating methods of this package, and callers writing
+// words directly must preserve that invariant.
+func (s *Set) Words() []uint64 { return s.words }
+
+// Reset reuses the set's storage for capacity n bits, all clear. It
+// allocates only when the existing backing array is too small, which lets
+// pooled solvers re-target sets across graphs without steady-state garbage.
+func (s *Set) Reset(n int) {
+	w := (n + 63) / 64
+	if cap(s.words) < w {
+		s.words = make([]uint64, w)
+	} else {
+		s.words = s.words[:w]
+		for i := range s.words {
+			s.words[i] = 0
+		}
+	}
+	s.n = n
+}
+
+// SetAll sets every bit in [0, Len()).
+func (s *Set) SetAll() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	if tail := uint(s.n) & 63; tail != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] = (1 << tail) - 1
+	}
+}
+
 // Set sets bit i.
 func (s *Set) Set(i int) { s.words[i>>6] |= 1 << (uint(i) & 63) }
 

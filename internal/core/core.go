@@ -43,6 +43,15 @@ const (
 // so option validation can reject out-of-range values before dispatch.
 const MaxK = maxK
 
+// CovTol and ThrSlack re-export the comparison tolerances for alternative
+// execution backends (internal/fastpath): every backend must test the
+// covering condition and the activity thresholds with the exact same
+// constants or outputs stop being bit-identical.
+const (
+	CovTol   = covTol
+	ThrSlack = thrSlack
+)
+
 // Result is the outcome of one fractional-LP approximation run.
 type Result struct {
 	// X is the computed fractional dominating set (indexed by vertex).
@@ -96,11 +105,35 @@ type OuterReport struct {
 }
 
 // RefResult is the outcome of a sequential reference run: the same X as the
-// distributed execution plus the analysis instrumentation.
+// distributed execution plus, when Instrument was requested, the analysis
+// instrumentation.
 type RefResult struct {
 	X     []float64
-	Trace []InnerSnapshot // one per inner-loop iteration
-	Outer []OuterReport   // one per outer-loop iteration
+	Trace []InnerSnapshot // one per inner-loop iteration (Instrument only)
+	Outer []OuterReport   // one per outer-loop iteration (Instrument only)
+}
+
+// RefOption configures a sequential reference run.
+type RefOption func(*refConfig)
+
+type refConfig struct{ instrument bool }
+
+// Instrument turns on the proof bookkeeping of the sequential references:
+// the per-inner-iteration InnerSnapshot trace (which clones the Gray state)
+// and the per-outer-iteration z-account OuterReport (which performs an
+// O(n·∆) neighborhood scan). Both exist to check the paper's invariants and
+// regenerate Figure 1; they are pure overhead for production solves, so the
+// references skip them unless this option is passed.
+func Instrument() RefOption {
+	return func(c *refConfig) { c.instrument = true }
+}
+
+func applyRefOptions(opts []RefOption) refConfig {
+	var c refConfig
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
 }
 
 // Objective returns Σx.
@@ -119,6 +152,22 @@ func validateK(k int) error {
 	}
 	return nil
 }
+
+// ValidateK exposes the iteration-parameter check so alternative execution
+// backends (internal/fastpath) enforce exactly the rules the references do.
+func ValidateK(k int) error { return validateK(k) }
+
+// ValidateCosts exposes the weighted-variant cost check (every c_i finite
+// and ≥ 1) and returns c_max; shared with internal/fastpath for identical
+// validation and identical c_max derivation.
+func ValidateCosts(n int, costs []float64) (float64, error) {
+	return validateCosts(n, costs)
+}
+
+// PowTable exposes the (∆+1)^{i/k} threshold table of Algorithm 2 so other
+// backends compute thresholds through the same math.Pow calls — a
+// prerequisite for bit-identical cross-backend output.
+func PowTable(delta, k int) []float64 { return powTable(delta, k) }
 
 // KnownDeltaBound returns the Theorem 4 approximation guarantee
 // k(∆+1)^{2/k} for a graph with maximum degree delta.

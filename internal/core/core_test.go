@@ -214,7 +214,7 @@ func TestSimMatchesReference(t *testing.T) {
 func TestLemma2Invariant(t *testing.T) {
 	for name, g := range families(t) {
 		for _, k := range []int{2, 4, 5} {
-			res, err := ReferenceKnownDelta(g, k)
+			res, err := ReferenceKnownDelta(g, k, Instrument())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -227,7 +227,7 @@ func TestLemma2Invariant(t *testing.T) {
 func TestLemma5Invariant(t *testing.T) {
 	for name, g := range families(t) {
 		for _, k := range []int{2, 4, 5} {
-			res, err := Reference(g, k)
+			res, err := Reference(g, k, Instrument())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -256,10 +256,10 @@ func checkDtilInvariant(t *testing.T, name string, g *graph.Graph, k int, res *R
 func TestLemma3And6Invariant(t *testing.T) {
 	for name, g := range families(t) {
 		for _, k := range []int{2, 4, 5} {
-			for alg, run := range map[string]func(*graph.Graph, int) (*RefResult, error){
+			for alg, run := range map[string]func(*graph.Graph, int, ...RefOption) (*RefResult, error){
 				"alg2": ReferenceKnownDelta, "alg3": Reference,
 			} {
-				res, err := run(g, k)
+				res, err := run(g, k, Instrument())
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -287,7 +287,7 @@ func TestLemma3And6Invariant(t *testing.T) {
 func TestLemma4ZInvariant(t *testing.T) {
 	for name, g := range families(t) {
 		for _, k := range []int{2, 3, 5} {
-			res, err := ReferenceKnownDelta(g, k)
+			res, err := ReferenceKnownDelta(g, k, Instrument())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -323,7 +323,7 @@ func TestLemma4ZInvariant(t *testing.T) {
 func TestLemma7ZInvariant(t *testing.T) {
 	for name, g := range families(t) {
 		for _, k := range []int{2, 3, 5} {
-			res, err := Reference(g, k)
+			res, err := Reference(g, k, Instrument())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -417,7 +417,7 @@ func TestEdgelessAndEmptyGraphs(t *testing.T) {
 	}
 
 	iso := graph.MustNew(5, nil)
-	for _, run := range []func(*graph.Graph, int) (*RefResult, error){ReferenceKnownDelta, Reference} {
+	for _, run := range []func(*graph.Graph, int, ...RefOption) (*RefResult, error){ReferenceKnownDelta, Reference} {
 		res, err := run(iso, 3)
 		if err != nil {
 			t.Fatal(err)
@@ -480,7 +480,7 @@ func TestTraceShape(t *testing.T) {
 		t.Fatal(err)
 	}
 	k := 3
-	res, err := ReferenceKnownDelta(g, k)
+	res, err := ReferenceKnownDelta(g, k, Instrument())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -27,7 +27,7 @@ func TestQuickFeasibility(t *testing.T) {
 	f := func(nRaw uint8, rawEdges [][2]uint8, kRaw uint8) bool {
 		g := randomGraphFrom(nRaw, rawEdges)
 		k := int(kRaw%7) + 1
-		for _, run := range []func(*graph.Graph, int) (*RefResult, error){
+		for _, run := range []func(*graph.Graph, int, ...RefOption) (*RefResult, error){
 			ReferenceKnownDelta, Reference,
 		} {
 			res, err := run(g, k)
@@ -87,10 +87,10 @@ func TestQuickZConservation(t *testing.T) {
 	f := func(nRaw uint8, rawEdges [][2]uint8, kRaw uint8) bool {
 		g := randomGraphFrom(nRaw, rawEdges)
 		k := int(kRaw%6) + 1
-		for _, run := range []func(*graph.Graph, int) (*RefResult, error){
+		for _, run := range []func(*graph.Graph, int, ...RefOption) (*RefResult, error){
 			ReferenceKnownDelta, Reference,
 		} {
-			res, err := run(g, k)
+			res, err := run(g, k, Instrument())
 			if err != nil {
 				return false
 			}

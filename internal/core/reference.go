@@ -11,9 +11,13 @@ import (
 // including the information lag inherent to the message-passing execution
 // (a value "received" in iteration t was computed from state at the time it
 // was sent) — so their output is bit-identical to the distributed programs
-// in alg2.go / alg3.go. On top of that they maintain the z-value bookkeeping
-// that the proofs of Lemmas 4 and 7 introduce, letting tests check the
-// paper's invariants directly.
+// in alg2.go / alg3.go. When Instrument is requested they additionally
+// maintain the z-value bookkeeping that the proofs of Lemmas 4 and 7
+// introduce, letting tests check the paper's invariants directly; by
+// default that bookkeeping (Gray snapshots every inner iteration, an
+// O(n·∆) z-neighborhood scan every outer iteration) is skipped, so the
+// reference doubles as an honest single-thread baseline for the fastpath
+// solver.
 
 // zAccount tracks the per-outer-iteration dual bookkeeping of the proofs.
 type zAccount struct {
@@ -143,11 +147,13 @@ func snapshot(g *graph.Graph, l, m int, gray, active []bool, x []float64) InnerS
 }
 
 // ReferenceKnownDelta runs Algorithm 2 (nodes know ∆) sequentially and
-// returns the fractional solution plus the per-iteration instrumentation.
-func ReferenceKnownDelta(g *graph.Graph, k int) (*RefResult, error) {
+// returns the fractional solution, plus the per-iteration instrumentation
+// when Instrument is among the options.
+func ReferenceKnownDelta(g *graph.Graph, k int, opts ...RefOption) (*RefResult, error) {
 	if err := validateK(k); err != nil {
 		return nil, err
 	}
+	cfg := applyRefOptions(opts)
 	n := g.N()
 	delta := g.MaxDegree()
 	pw := powTable(delta, k)
@@ -158,7 +164,10 @@ func ReferenceKnownDelta(g *graph.Graph, k int) (*RefResult, error) {
 	active := make([]bool, n)
 	cov := make([]float64, n)
 	res := &RefResult{X: x}
-	za := newZAccount(n)
+	var za *zAccount
+	if cfg.instrument {
+		za = newZAccount(n)
+	}
 
 	// Round schedule note: the paper's listing exchanges colors (lines 9-10)
 	// *after* the activity test (lines 6-8), which makes the test use a
@@ -169,7 +178,9 @@ func ReferenceKnownDelta(g *graph.Graph, k int) (*RefResult, error) {
 	// journal version's Algorithm 3 uses (its lines 20-21 refresh δ̃ at the
 	// iteration end). The round count is unchanged: 2 per inner iteration.
 	for l := k - 1; l >= 0; l-- {
-		za.reset()
+		if za != nil {
+			za.reset()
+		}
 		thr := pw[l] * (1 - thrSlack)
 		for m := k - 1; m >= 0; m-- {
 			// Lines 9-10 (reordered): exchange colors, recompute δ̃.
@@ -180,11 +191,15 @@ func ReferenceKnownDelta(g *graph.Graph, k int) (*RefResult, error) {
 			for v := 0; v < n; v++ {
 				active[v] = float64(dtil[v]) >= thr
 			}
-			res.Trace = append(res.Trace, snapshot(g, l, m, gray, active, x))
+			if cfg.instrument {
+				res.Trace = append(res.Trace, snapshot(g, l, m, gray, active, x))
+			}
 			xval := 1 / pw[m]
 			for v := 0; v < n; v++ {
 				if active[v] && xval > x[v] {
-					za.distribute(g, gray, v, xval-x[v])
+					if za != nil {
+						za.distribute(g, gray, v, xval-x[v])
+					}
 					x[v] = xval
 				}
 			}
@@ -196,16 +211,19 @@ func ReferenceKnownDelta(g *graph.Graph, k int) (*RefResult, error) {
 				}
 			}
 		}
-		res.Outer = append(res.Outer, za.report(g, l))
+		if za != nil {
+			res.Outer = append(res.Outer, za.report(g, l))
+		}
 	}
 	return res, nil
 }
 
 // Reference runs Algorithm 3 (∆ unknown) sequentially.
-func Reference(g *graph.Graph, k int) (*RefResult, error) {
+func Reference(g *graph.Graph, k int, opts ...RefOption) (*RefResult, error) {
 	if err := validateK(k); err != nil {
 		return nil, err
 	}
+	cfg := applyRefOptions(opts)
 	n := g.N()
 	x := make([]float64, n)
 	gray := make([]bool, n)
@@ -225,10 +243,15 @@ func Reference(g *graph.Graph, k int) (*RefResult, error) {
 	}
 
 	res := &RefResult{X: x}
-	za := newZAccount(n)
+	var za *zAccount
+	if cfg.instrument {
+		za = newZAccount(n)
+	}
 
 	for l := k - 1; l >= 0; l-- {
-		za.reset()
+		if za != nil {
+			za.reset()
+		}
 		expL := float64(l) / float64(l+1)
 		for m := k - 1; m >= 0; m-- {
 			// Lines 7-9: activity test against the local 2-hop threshold.
@@ -238,7 +261,9 @@ func Reference(g *graph.Graph, k int) (*RefResult, error) {
 				active[v] = dtil[v] >= 1 &&
 					float64(dtil[v]) >= math.Pow(float64(gamma2[v]), expL)*(1-thrSlack)
 			}
-			res.Trace = append(res.Trace, snapshot(g, l, m, gray, active, x))
+			if cfg.instrument {
+				res.Trace = append(res.Trace, snapshot(g, l, m, gray, active, x))
+			}
 			// Lines 10-12: a(v) = active nodes in N[v], zero for gray nodes.
 			for v := 0; v < n; v++ {
 				if gray[v] {
@@ -274,7 +299,9 @@ func Reference(g *graph.Graph, k int) (*RefResult, error) {
 				}
 				xval := math.Pow(float64(a1[v]), expM)
 				if xval > x[v] {
-					za.distribute(g, gray, v, xval-x[v])
+					if za != nil {
+						za.distribute(g, gray, v, xval-x[v])
+					}
 					x[v] = xval
 				}
 			}
@@ -290,7 +317,9 @@ func Reference(g *graph.Graph, k int) (*RefResult, error) {
 				dtil[v] = trueDtil(g, gray, v)
 			}
 		}
-		res.Outer = append(res.Outer, za.report(g, l))
+		if za != nil {
+			res.Outer = append(res.Outer, za.report(g, l))
+		}
 		// Lines 24-27: two rounds recompute γ⁽²⁾ from the new δ̃.
 		gamma1 := make([]int, n)
 		for v := 0; v < n; v++ {

@@ -35,10 +35,11 @@ func validateCosts(n int, costs []float64) (float64, error) {
 }
 
 // ReferenceWeighted runs the weighted variant sequentially.
-func ReferenceWeighted(g *graph.Graph, k int, costs []float64) (*RefResult, error) {
+func ReferenceWeighted(g *graph.Graph, k int, costs []float64, opts ...RefOption) (*RefResult, error) {
 	if err := validateK(k); err != nil {
 		return nil, err
 	}
+	cfg := applyRefOptions(opts)
 	n := g.N()
 	cmax, err := validateCosts(n, costs)
 	if err != nil {
@@ -62,11 +63,16 @@ func ReferenceWeighted(g *graph.Graph, k int, costs []float64) (*RefResult, erro
 		dtil[v] = g.Degree(v) + 1
 	}
 	res := &RefResult{X: x}
-	za := newZAccount(n)
+	var za *zAccount
+	if cfg.instrument {
+		za = newZAccount(n)
+	}
 
 	// Same reordered round schedule as ReferenceKnownDelta: fresh δ̃ first.
 	for l := k - 1; l >= 0; l-- {
-		za.reset()
+		if za != nil {
+			za.reset()
+		}
 		thr := wthr[l] * (1 - thrSlack)
 		for m := k - 1; m >= 0; m-- {
 			for v := 0; v < n; v++ {
@@ -75,11 +81,15 @@ func ReferenceWeighted(g *graph.Graph, k int, costs []float64) (*RefResult, erro
 			for v := 0; v < n; v++ {
 				active[v] = cmax/costs[v]*float64(dtil[v]) >= thr
 			}
-			res.Trace = append(res.Trace, snapshot(g, l, m, gray, active, x))
+			if cfg.instrument {
+				res.Trace = append(res.Trace, snapshot(g, l, m, gray, active, x))
+			}
 			xval := 1 / pw[m]
 			for v := 0; v < n; v++ {
 				if active[v] && xval > x[v] {
-					za.distribute(g, gray, v, xval-x[v])
+					if za != nil {
+						za.distribute(g, gray, v, xval-x[v])
+					}
 					x[v] = xval
 				}
 			}
@@ -90,7 +100,9 @@ func ReferenceWeighted(g *graph.Graph, k int, costs []float64) (*RefResult, erro
 				}
 			}
 		}
-		res.Outer = append(res.Outer, za.report(g, l))
+		if za != nil {
+			res.Outer = append(res.Outer, za.report(g, l))
+		}
 	}
 	return res, nil
 }

@@ -1,0 +1,50 @@
+// Package fastpath is the production execution backend of the
+// Kuhn–Wattenhofer pipeline: Algorithms 2 and 3, the weighted variant, and
+// both randomized-rounding variants executed directly over the graph's flat
+// CSR arrays.
+//
+// It exists next to two other backends with one contract between them —
+// for equal inputs all three produce bit-identical x-vectors and
+// dominating sets:
+//
+//   - internal/sim + internal/core programs: the message-passing execution.
+//     Measures rounds/messages/bits; the backend to study the *distributed*
+//     behavior.
+//   - internal/core references: sequential line-by-line transcriptions of
+//     the paper's pseudocode, optionally carrying the proofs' z-account
+//     instrumentation (core.Instrument). The oracle the other two are
+//     tested against.
+//   - this package: the backend that serves traffic. No instrumentation,
+//     no message accounting — just the answer, as fast as possible.
+//
+// # How it is fast
+//
+// Frontier-driven: the references rescan all n vertices in each of the
+// O(k²) inner iterations. The solver instead tracks the white set and the
+// support set (vertices whose closed neighborhood still contains a white
+// vertex) in internal/bitset sets, maintains the dynamic degree δ̃
+// incrementally (a vertex's δ̃ is decremented once for each neighbor that
+// turns gray — O(n+m) total over the whole run), and re-evaluates the
+// covering condition only for vertices whose neighborhood x-values actually
+// changed. Iterations after every vertex is covered are skipped outright —
+// the references prove (and the determinism tests confirm) they cannot
+// change x.
+//
+// Phase-parallel: within an inner iteration every vertex's update depends
+// only on the previous phase's state, so each phase runs over chunked
+// word-ranges of the frontier bitsets on a small worker pool started once
+// per solve. Determinism does not depend on the worker count: per-vertex
+// results are written to disjoint slots, shared marking uses commutative
+// atomic word-ORs, and per-chunk result lists are merged in chunk order.
+// Only integer and idempotent operations cross chunk boundaries; every
+// floating-point sum (the covering test) is recomputed per vertex in the
+// same self-then-sorted-neighbors order the references use, which is what
+// keeps the output bit-identical.
+//
+// Zero steady-state allocations: a Solver owns every scratch buffer and
+// re-slices them across solves; the package-level Acquire/Release pool
+// (keyed by vertex-capacity class) lets servers reuse whole solvers across
+// requests. After warm-up a Solve performs no heap allocation — returned
+// slices alias solver storage and must be copied by callers that outlive
+// the solver's next use (the kwmds facade does exactly that).
+package fastpath

@@ -1,0 +1,125 @@
+package fastpath
+
+import (
+	"testing"
+
+	"kwmds/internal/core"
+	"kwmds/internal/gen"
+	"kwmds/internal/rounding"
+)
+
+// FuzzDifferential is the three-backend differential fuzzer: a random small
+// graph is solved through the fastpath solver, the sequential references
+// and the sim engine, for every algorithm and rounding variant, and all
+// InDS vectors, x-vectors and objectives must agree bit for bit. The seed
+// corpus under testdata/fuzz/FuzzDifferential runs as part of plain
+// `go test`; `go test -fuzz=FuzzDifferential ./internal/fastpath` explores
+// beyond it.
+func FuzzDifferential(f *testing.F) {
+	f.Add(int64(1), uint8(12), uint8(30), uint8(2))
+	f.Add(int64(7), uint8(25), uint8(10), uint8(1))
+	f.Add(int64(42), uint8(5), uint8(80), uint8(3))
+	f.Add(int64(-9), uint8(31), uint8(55), uint8(2))
+	f.Fuzz(func(t *testing.T, gseed int64, nRaw, pRaw, kRaw uint8) {
+		n := 2 + int(nRaw)%30        // 2..31 vertices
+		p := float64(pRaw%101) / 100 // edge density 0..1
+		k := 1 + int(kRaw)%3         // k 1..3
+		g, err := gen.GNP(n, p, gseed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		costs := make([]float64, n)
+		for v := range costs {
+			costs[v] = 1 + float64((v*7+int(gseed&3))%5)
+		}
+		s := New()
+		checkLP := func(name string, fast []float64, ref *core.RefResult, simX []float64) {
+			t.Helper()
+			var refObj, fastObj float64
+			for v := 0; v < n; v++ {
+				if fast[v] != ref.X[v] || simX[v] != ref.X[v] {
+					t.Fatalf("%s n=%d p=%.2f k=%d: x[%d] fast=%v ref=%v sim=%v",
+						name, n, p, k, v, fast[v], ref.X[v], simX[v])
+				}
+				refObj += ref.X[v]
+				fastObj += fast[v]
+			}
+			if refObj != fastObj {
+				t.Fatalf("%s: objective fast=%v ref=%v", name, fastObj, refObj)
+			}
+		}
+
+		ref2, err := core.ReferenceKnownDelta(g, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim2, err := core.FractionalKnownDelta(g, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast2, err := s.Fractional(g, Options{K: k, Algorithm: Alg2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkLP("alg2", fast2, ref2, sim2.X)
+
+		ref3, err := core.Reference(g, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim3, err := core.Fractional(g, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast3, err := s.Fractional(g, Options{K: k, Algorithm: Alg3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkLP("alg3", fast3, ref3, sim3.X)
+
+		refW, err := core.ReferenceWeighted(g, k, costs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		simW, err := core.FractionalWeighted(g, k, costs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fastW, err := s.Fractional(g, Options{K: k, Algorithm: AlgWeighted, Costs: costs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkLP("weighted", fastW, refW, simW.X)
+
+		for _, variant := range []rounding.Variant{rounding.Ln, rounding.LnMinusLnLn} {
+			seed := gseed ^ int64(kRaw)
+			want, err := rounding.Reference(g, ref3.X, rounding.Options{Seed: seed, Variant: variant})
+			if err != nil {
+				t.Fatal(err)
+			}
+			simR, err := rounding.Round(g, ref3.X, rounding.Options{Seed: seed, Variant: variant})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := s.Solve(g, Options{K: k, Algorithm: Alg3, Seed: seed, Variant: variant})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Size != want.Size || got.JoinedRandom != want.JoinedRandom ||
+				got.JoinedFixup != want.JoinedFixup || simR.Size != want.Size {
+				t.Fatalf("rounding %v: fast (%d,%d,%d) sim size %d vs ref (%d,%d,%d)",
+					variant, got.Size, got.JoinedRandom, got.JoinedFixup, simR.Size,
+					want.Size, want.JoinedRandom, want.JoinedFixup)
+			}
+			for v := 0; v < n; v++ {
+				if got.InDS[v] != want.InDS[v] || simR.InDS[v] != want.InDS[v] {
+					t.Fatalf("rounding %v: InDS[%d] fast=%v sim=%v ref=%v",
+						variant, v, got.InDS[v], simR.InDS[v], want.InDS[v])
+				}
+			}
+			if !g.IsDominatingSet(got.InDS) {
+				t.Fatal("fastpath produced a non-dominating set")
+			}
+		}
+	})
+}

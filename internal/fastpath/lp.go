@@ -1,0 +1,450 @@
+package fastpath
+
+import (
+	"math"
+	"math/bits"
+
+	"kwmds/internal/core"
+	"kwmds/internal/graph"
+)
+
+// validateCosts delegates to core so both backends enforce identical rules
+// and derive an identical c_max.
+func validateCosts(n int, costs []float64) (float64, error) {
+	return core.ValidateCosts(n, costs)
+}
+
+// Fractional runs only the LP stage and returns the x-vector. The slice
+// aliases the solver's storage (see Result).
+func (s *Solver) Fractional(g *graph.Graph, opt Options) ([]float64, error) {
+	if err := core.ValidateK(opt.K); err != nil {
+		return nil, err
+	}
+	if err := s.prepare(g, opt, true); err != nil {
+		return nil, err
+	}
+	defer s.stopWorkers()
+	s.lpStage(g, opt)
+	return s.x[:s.n], nil
+}
+
+// Solve runs the full pipeline: LP stage then randomized rounding. All
+// result slices alias the solver's storage (see Result).
+func (s *Solver) Solve(g *graph.Graph, opt Options) (Result, error) {
+	if err := core.ValidateK(opt.K); err != nil {
+		return Result{}, err
+	}
+	if err := s.prepare(g, opt, true); err != nil {
+		return Result{}, err
+	}
+	defer s.stopWorkers()
+	s.lpStage(g, opt)
+	res := s.roundPhases(s.x[:s.n], opt)
+	res.X = s.x[:s.n]
+	return res, nil
+}
+
+func (s *Solver) lpStage(g *graph.Graph, opt Options) {
+	switch opt.Algorithm {
+	case Alg2:
+		pw := core.PowTable(g.MaxDegree(), opt.K)
+		s.lpThreshold(opt.K, pw, pw)
+	case AlgWeighted:
+		delta := g.MaxDegree()
+		pw := core.PowTable(delta, opt.K)
+		// Weighted activity thresholds [c_max(∆+1)]^{ℓ/k}.
+		wthr := make([]float64, opt.K+1)
+		base := s.curCmax * float64(delta+1)
+		for i := 0; i <= opt.K; i++ {
+			wthr[i] = math.Pow(base, float64(i)/float64(opt.K))
+		}
+		s.lpThreshold(opt.K, wthr, pw)
+	default:
+		s.lpAlg3(opt.K)
+	}
+}
+
+// lpThreshold is the shared driver of Algorithm 2 and the weighted variant:
+// per inner iteration, an activity test against thrTab[l] fused with the
+// x-raise to 1/pw[m], then the covering recheck. When the white set is
+// empty no vertex can pass the activity test (δ̃ = 0 < (…)⁰·(1−ε)), so the
+// remaining iterations are skipped — x is already final.
+func (s *Solver) lpThreshold(k int, thrTab, pw []float64) {
+	for l := k - 1; l >= 0; l-- {
+		if s.whiteCount == 0 {
+			return
+		}
+		s.curThr = thrTab[l] * (1 - core.ThrSlack)
+		for m := k - 1; m >= 0; m-- {
+			if s.whiteCount == 0 {
+				return
+			}
+			s.curXval = 1 / pw[m]
+			s.resetChunkLists()
+			s.dispatch(s.fnLPActivity)
+			s.recheckCoverage()
+		}
+	}
+}
+
+// recheckCoverage runs the covering re-evaluation for the iteration's
+// changed set. When few vertices changed, their neighborhoods are marked
+// (markNbhd) and only those are re-summed; when most of the graph changed,
+// marking would cost more than it saves, so every white vertex is
+// re-summed instead. The two paths give identical results — re-summing an
+// unchanged white vertex reproduces the very comparison that left it white
+// — so the cutover is pure heuristics, not semantics.
+func (s *Solver) recheckCoverage() {
+	changed := s.totalChanged()
+	if changed == 0 {
+		return
+	}
+	if changed*4 >= s.whiteCount {
+		s.dispatch(s.fnCovRecheckAll)
+	} else {
+		s.dispatch(s.fnMarkDirty)
+		s.dispatch(s.fnCovRecheck)
+	}
+	s.applyNewGray()
+}
+
+// lpAlg3 drives Algorithm 3. The threshold powers γ⁽²⁾^{ℓ/(ℓ+1)} and the
+// x-raise values a⁽¹⁾^{-m/(m+1)} both exponentiate integers bounded by
+// ∆+1, so each iteration fills a (∆+2)-entry table with the identical
+// math.Pow calls and the vertex loops only index it.
+func (s *Solver) lpAlg3(k int) {
+	s.ensureD2()
+	for v := 0; v < s.n; v++ {
+		s.gamma2[v] = s.d2[v] + 1
+	}
+	s.powTabL = growF64(s.powTabL, s.maxDeg+2)
+	s.powTabM = growF64(s.powTabM, s.maxDeg+2)
+	for l := k - 1; l >= 0; l-- {
+		if s.whiteCount == 0 {
+			return
+		}
+		expL := float64(l) / float64(l+1)
+		for i := range s.powTabL {
+			s.powTabL[i] = math.Pow(float64(i), expL)
+		}
+		for m := k - 1; m >= 0; m-- {
+			if s.whiteCount == 0 {
+				return
+			}
+			s.dispatch(s.fnA3Active)
+			s.dispatch(s.fnA3Count)
+			expM := -float64(m) / float64(m+1)
+			for i := range s.powTabM {
+				s.powTabM[i] = math.Pow(float64(i), expM)
+			}
+			s.resetChunkLists()
+			s.dispatch(s.fnA3Update)
+			s.recheckCoverage()
+			// The reference recomputes δ̃ here (its lines 20-21); the
+			// incremental decrements in applyNewGray leave dtil holding
+			// exactly those values.
+		}
+		if l > 0 && s.whiteCount > 0 {
+			// Lines 24-27: recompute γ⁽²⁾ from the new δ̃. Only vertices
+			// that can still pass a future activity test (the support set
+			// and its neighborhood) need fresh values; when the support
+			// still spans most of the graph, computing γ⁽¹⁾ everywhere
+			// beats marking the neighborhood set first.
+			if 2*s.support.Count() >= s.n {
+				s.dispatch(s.fnGamma1All)
+			} else {
+				s.dispatch(s.fnMarkSupportNbhd)
+				s.dispatch(s.fnGamma1)
+				s.dispatch(s.fnClearDirt)
+			}
+			s.dispatch(s.fnGamma2)
+		}
+	}
+}
+
+// --- phases -----------------------------------------------------------
+
+// phaseLPActivity fuses the activity test of Algorithm 2 / the weighted
+// variant with the x-raise. Only support vertices (δ̃ ≥ 1) can pass: the
+// thresholds are ≥ (…)⁰·(1−ε) > 0.
+func (s *Solver) phaseLPActivity(w int) {
+	words := s.support.Words()
+	x, dtil := s.x, s.dtil
+	costs, cmax := s.curCosts, s.curCmax
+	thr, xval := s.curThr, s.curXval
+	for wi := s.w0[w]; wi < s.w1[w]; wi++ {
+		wd := words[wi]
+		for wd != 0 {
+			v := wi<<6 + bits.TrailingZeros64(wd)
+			wd &= wd - 1
+			var act bool
+			if costs == nil {
+				act = float64(dtil[v]) >= thr
+			} else {
+				act = cmax/costs[v]*float64(dtil[v]) >= thr
+			}
+			if act && xval > x[v] {
+				x[v] = xval
+				s.changed[w] = append(s.changed[w], int32(v))
+			}
+		}
+	}
+}
+
+// phaseMarkDirty marks N[u] of every changed vertex for covering recheck.
+func (s *Solver) phaseMarkDirty(w int) {
+	words := s.dirty.Words()
+	for _, u := range s.changed[w] {
+		s.markNbhd(words, u)
+	}
+}
+
+// phaseCovRecheck re-evaluates the covering condition for dirty white
+// vertices. The sum runs self-first then neighbors in sorted CSR order —
+// the exact operation order of core.coverage — so the comparison against
+// 1−covTol is bit-identical to the references'. Processed words are
+// cleared in place (each chunk owns its word range).
+func (s *Solver) phaseCovRecheck(w int) {
+	dw, gw := s.dirty.Words(), s.gray.Words()
+	x, off, adj := s.x, s.off, s.adj
+	for wi := s.w0[w]; wi < s.w1[w]; wi++ {
+		wd := dw[wi] &^ gw[wi] // dirty ∧ white
+		dw[wi] = 0
+		for wd != 0 {
+			v := wi<<6 + bits.TrailingZeros64(wd)
+			wd &= wd - 1
+			sum := x[v]
+			for _, u := range adj[off[v]:off[v+1]] {
+				sum += x[u]
+			}
+			if sum >= 1-core.CovTol {
+				s.newGray[w] = append(s.newGray[w], int32(v))
+			}
+		}
+	}
+}
+
+// phaseCovRecheckAll is the dense-iteration variant: re-evaluate every
+// white vertex (see recheckCoverage). It leaves the dirty set untouched —
+// nothing was marked.
+func (s *Solver) phaseCovRecheckAll(w int) {
+	sw, gw := s.support.Words(), s.gray.Words()
+	x, off, adj := s.x, s.off, s.adj
+	for wi := s.w0[w]; wi < s.w1[w]; wi++ {
+		wd := sw[wi] &^ gw[wi] // the white set (white ⊆ support)
+		for wd != 0 {
+			v := wi<<6 + bits.TrailingZeros64(wd)
+			wd &= wd - 1
+			sum := x[v]
+			for _, u := range adj[off[v]:off[v+1]] {
+				sum += x[u]
+			}
+			if sum >= 1-core.CovTol {
+				s.newGray[w] = append(s.newGray[w], int32(v))
+			}
+		}
+	}
+}
+
+// phaseA3Active rebuilds the activity bitset: δ̃(v) ≥ 1 (implied by
+// support membership) and δ̃(v) ≥ γ⁽²⁾^{ℓ/(ℓ+1)}·(1−ε).
+func (s *Solver) phaseA3Active(w int) {
+	sw, aw := s.support.Words(), s.active.Words()
+	dtil, gamma2, powTabL := s.dtil, s.gamma2, s.powTabL
+	for wi := s.w0[w]; wi < s.w1[w]; wi++ {
+		src := sw[wi]
+		var dst uint64
+		for src != 0 {
+			b := bits.TrailingZeros64(src)
+			src &= src - 1
+			v := wi<<6 + b
+			if float64(dtil[v]) >= powTabL[gamma2[v]]*(1-core.ThrSlack) {
+				dst |= 1 << b
+			}
+		}
+		aw[wi] = dst
+	}
+}
+
+// phaseA3Count computes a(v) — the number of active vertices in N[v] — for
+// white vertices. Gray vertices keep a(v) = 0 (zeroed at init and on the
+// white→gray transition), as the paper defines.
+func (s *Solver) phaseA3Count(w int) {
+	sw, gw, aw := s.support.Words(), s.gray.Words(), s.active.Words()
+	off, adj, acnt := s.off, s.adj, s.acnt
+	for wi := s.w0[w]; wi < s.w1[w]; wi++ {
+		wd := sw[wi] &^ gw[wi] // white ⊆ support
+		for wd != 0 {
+			b := bits.TrailingZeros64(wd)
+			wd &= wd - 1
+			v := wi<<6 + b
+			c := int32(0)
+			if aw[wi]&(1<<b) != 0 {
+				c = 1
+			}
+			for _, u := range adj[off[v]:off[v+1]] {
+				if aw[u>>6]&(1<<(uint32(u)&63)) != 0 {
+					c++
+				}
+			}
+			acnt[v] = c
+		}
+	}
+}
+
+// phaseA3Update raises x of active vertices to a⁽¹⁾^{-m/(m+1)}, where
+// a⁽¹⁾(v) = max a over N[v].
+func (s *Solver) phaseA3Update(w int) {
+	aw := s.active.Words()
+	x, off, adj, acnt := s.x, s.off, s.adj, s.acnt
+	powTabM := s.powTabM
+	for wi := s.w0[w]; wi < s.w1[w]; wi++ {
+		wd := aw[wi]
+		for wd != 0 {
+			v := wi<<6 + bits.TrailingZeros64(wd)
+			wd &= wd - 1
+			m1 := acnt[v]
+			for _, u := range adj[off[v]:off[v+1]] {
+				if acnt[u] > m1 {
+					m1 = acnt[u]
+				}
+			}
+			if m1 < 1 {
+				continue
+			}
+			xval := powTabM[m1]
+			if xval > x[v] {
+				x[v] = xval
+				s.changed[w] = append(s.changed[w], int32(v))
+			}
+		}
+	}
+}
+
+// phaseMarkSupportNbhd marks support ∪ N(support) into dirty, the set that
+// needs fresh γ⁽¹⁾ values for the outer-boundary γ⁽²⁾ recomputation.
+func (s *Solver) phaseMarkSupportNbhd(w int) {
+	sw, dw := s.support.Words(), s.dirty.Words()
+	for wi := s.w0[w]; wi < s.w1[w]; wi++ {
+		wd := sw[wi]
+		for wd != 0 {
+			v := wi<<6 + bits.TrailingZeros64(wd)
+			wd &= wd - 1
+			s.markNbhd(dw, int32(v))
+		}
+	}
+}
+
+// phaseGamma1 computes γ⁽¹⁾(v) = max δ̃ over N[v] for marked vertices.
+func (s *Solver) phaseGamma1(w int) {
+	dw := s.dirty.Words()
+	off, adj, dtil, gamma1 := s.off, s.adj, s.dtil, s.gamma1
+	for wi := s.w0[w]; wi < s.w1[w]; wi++ {
+		wd := dw[wi]
+		for wd != 0 {
+			v := wi<<6 + bits.TrailingZeros64(wd)
+			wd &= wd - 1
+			m1 := dtil[v]
+			for _, u := range adj[off[v]:off[v+1]] {
+				if dtil[u] > m1 {
+					m1 = dtil[u]
+				}
+			}
+			gamma1[v] = m1
+		}
+	}
+}
+
+// phaseGamma1All is the dense variant of phaseGamma1: when the support
+// still spans most of the graph, sweep every vertex instead of marking the
+// support neighborhood first. Extra γ⁽¹⁾ values are never read — γ⁽²⁾ is
+// only evaluated over the support — so both variants yield identical runs.
+func (s *Solver) phaseGamma1All(w int) {
+	off, adj, dtil, gamma1 := s.off, s.adj, s.dtil, s.gamma1
+	v0, v1 := s.w0[w]<<6, s.w1[w]<<6
+	if v1 > s.n {
+		v1 = s.n
+	}
+	for v := v0; v < v1; v++ {
+		m1 := dtil[v]
+		for _, u := range adj[off[v]:off[v+1]] {
+			if dtil[u] > m1 {
+				m1 = dtil[u]
+			}
+		}
+		gamma1[v] = m1
+	}
+}
+
+// phaseGamma2 computes γ⁽²⁾(v) = max γ⁽¹⁾ over N[v] for support vertices —
+// the only ones whose thresholds are ever evaluated again.
+func (s *Solver) phaseGamma2(w int) {
+	sw := s.support.Words()
+	off, adj, gamma1, gamma2 := s.off, s.adj, s.gamma1, s.gamma2
+	for wi := s.w0[w]; wi < s.w1[w]; wi++ {
+		wd := sw[wi]
+		for wd != 0 {
+			v := wi<<6 + bits.TrailingZeros64(wd)
+			wd &= wd - 1
+			m2 := gamma1[v]
+			for _, u := range adj[off[v]:off[v+1]] {
+				if gamma1[u] > m2 {
+					m2 = gamma1[u]
+				}
+			}
+			gamma2[v] = m2
+		}
+	}
+}
+
+func (s *Solver) phaseClearDirty(w int) {
+	dw := s.dirty.Words()
+	for wi := s.w0[w]; wi < s.w1[w]; wi++ {
+		dw[wi] = 0
+	}
+}
+
+// phaseD1 computes the static δ⁽¹⁾ (max degree over N[v]).
+func (s *Solver) phaseD1(w int) {
+	off, adj, d1 := s.off, s.adj, s.d1
+	v0, v1 := s.w0[w]<<6, s.w1[w]<<6
+	if v1 > s.n {
+		v1 = s.n
+	}
+	for v := v0; v < v1; v++ {
+		m1 := off[v+1] - off[v]
+		for _, u := range adj[off[v]:off[v+1]] {
+			if d := off[u+1] - off[u]; d > m1 {
+				m1 = d
+			}
+		}
+		d1[v] = m1
+	}
+}
+
+// phaseD2 computes the static δ⁽²⁾ (max δ⁽¹⁾ over N[v]).
+func (s *Solver) phaseD2(w int) {
+	off, adj, d1, d2 := s.off, s.adj, s.d1, s.d2
+	v0, v1 := s.w0[w]<<6, s.w1[w]<<6
+	if v1 > s.n {
+		v1 = s.n
+	}
+	for v := v0; v < v1; v++ {
+		m2 := d1[v]
+		for _, u := range adj[off[v]:off[v+1]] {
+			if d1[u] > m2 {
+				m2 = d1[u]
+			}
+		}
+		d2[v] = m2
+	}
+}
+
+func (s *Solver) ensureD2() {
+	if s.d2done {
+		return
+	}
+	s.dispatch(s.fnD1)
+	s.dispatch(s.fnD2)
+	s.d2done = true
+}

@@ -1,0 +1,380 @@
+package fastpath
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"kwmds/internal/bitset"
+	"kwmds/internal/graph"
+	"kwmds/internal/rounding"
+)
+
+// Algorithm selects the LP stage.
+type Algorithm int8
+
+const (
+	// Alg3 is Algorithm 3: no global knowledge, thresholds from the local
+	// 2-hop maximum dynamic degree γ⁽²⁾ (the facade default).
+	Alg3 Algorithm = iota
+	// Alg2 is Algorithm 2: every node knows the global maximum degree ∆.
+	Alg2
+	// AlgWeighted is the weighted variant from the remark after Theorem 4
+	// (requires Options.Costs).
+	AlgWeighted
+)
+
+// Options configures a fastpath run.
+type Options struct {
+	// K is the trade-off parameter, already resolved (1..core.MaxK); the
+	// facade owns the K=0 → Θ(log ∆) defaulting.
+	K int
+	// Algorithm selects the LP stage.
+	Algorithm Algorithm
+	// Costs are the per-vertex costs of AlgWeighted (ignored otherwise).
+	Costs []float64
+	// Seed drives the rounding stage's coin flips.
+	Seed int64
+	// Variant selects the rounding scaling.
+	Variant rounding.Variant
+	// Workers bounds the phase parallelism; 0 selects GOMAXPROCS. Output
+	// is bit-identical for every worker count.
+	Workers int
+}
+
+// Result is the outcome of Solve or Round. All slices alias the solver's
+// internal storage: they are valid until the solver's next run (or its
+// Release back to the pool) and must be copied by callers that keep them.
+type Result struct {
+	// X is the LP stage's fractional solution (nil for standalone Round).
+	X []float64
+	// InDS marks the dominating set members.
+	InDS []bool
+	// Size is the number of members.
+	Size int
+	// JoinedRandom and JoinedFixup split the set by join reason.
+	JoinedRandom int
+	JoinedFixup  int
+}
+
+// Solver executes the pipeline over reusable buffers. The zero value is
+// ready to use (buffers grow on first solve); a Solver is NOT safe for
+// concurrent use by multiple goroutines.
+type Solver struct {
+	workers int
+	n       int // vertices of the current graph
+	nw      int // bitset words covering n
+	off     []int32
+	adj     []int32
+
+	// per-vertex state (re-sliced to n each solve)
+	x      []float64
+	dtil   []int32 // dynamic degree δ̃(v): white vertices in N[v]
+	acnt   []int32 // Algorithm 3's a(v): active vertices in N[v] (white v)
+	gamma1 []int32
+	gamma2 []int32
+	d1, d2 []int32 // static δ⁽¹⁾/δ⁽²⁾ (rounding + Algorithm 3 init)
+	inDS   []bool
+
+	// Power/log tables, exploiting that every exponentiated quantity —
+	// γ⁽²⁾, a⁽¹⁾, δ⁽²⁾ — is an integer in [0, ∆+1]: instead of one
+	// math.Pow/Log per vertex per iteration, each iteration fills a
+	// (∆+2)-entry table with the identical math calls and the phases look
+	// values up. Bit-identical by construction (same function, same
+	// arguments), and it removes the transcendental calls from the
+	// per-vertex hot loops entirely.
+	maxDeg   int
+	powTabL  []float64 // γ⁽²⁾^{ℓ/(ℓ+1)}, refilled per outer iteration
+	powTabM  []float64 // a⁽¹⁾^{-m/(m+1)}, refilled per inner iteration
+	scaleTab []float64 // rounding Variant.Scale(δ⁽²⁾), refilled per Round
+
+	gray    *bitset.Set // covered vertices
+	support *bitset.Set // vertices with δ̃ ≥ 1 (superset of the white set)
+	active  *bitset.Set // Algorithm 3's activity set, rebuilt per iteration
+	dirty   *bitset.Set // vertices whose covering sum must be re-evaluated
+	flipped *bitset.Set // rounding line-3 coin-flip winners
+
+	whiteCount int
+	d2done     bool
+
+	// per-worker chunking and scratch
+	w0, w1  []int // word-range bounds per worker
+	changed [][]int32
+	newGray [][]int32
+	joinCnt [][2]int // per-worker {random, fixup} join counters
+
+	// per-phase parameters, set by the drivers before dispatch
+	curThr     float64
+	curXval    float64
+	curCosts   []float64
+	curCmax    float64
+	curSeed    int64
+	curVariant rounding.Variant
+	curX       []float64 // rounding input
+
+	// phase dispatch: method values bound once, so dispatching a phase
+	// performs no allocation
+	fnBound                                            bool
+	fnLPActivity, fnMarkDirty, fnCovRecheck            func(int)
+	fnCovRecheckAll                                    func(int)
+	fnA3Active, fnA3Count, fnA3Update                  func(int)
+	fnMarkSupportNbhd, fnGamma1, fnGamma1All, fnGamma2 func(int)
+	fnClearDirt                                        func(int)
+	fnD1, fnD2, fnFlip, fnFixup                        func(int)
+
+	phaseFn  func(int)
+	sig      []chan struct{}
+	wg       sync.WaitGroup
+	stopping bool
+}
+
+// New returns an empty solver; buffers are allocated on first use.
+func New() *Solver { return &Solver{} }
+
+// Cap returns the solver's current vertex capacity (for pool classing).
+func (s *Solver) Cap() int { return cap(s.x) }
+
+// prepare validates the options, sizes the buffers for g, resets the
+// per-solve state and starts the worker pool. Callers must stopWorkers
+// when the run ends. resetLP reinitializes the LP-stage state (x, δ̃,
+// a-counts, the white count); standalone Round passes false, both because
+// rounding never reads that state and because the caller's x input may
+// legitimately alias s.x — the vector a prior Fractional on this solver
+// returned — which a reset would zero out from under it.
+func (s *Solver) prepare(g *graph.Graph, opt Options, resetLP bool) error {
+	if g == nil {
+		return fmt.Errorf("fastpath: nil graph")
+	}
+	n := g.N()
+	if opt.Algorithm == AlgWeighted {
+		cmax, err := validateCosts(n, opt.Costs)
+		if err != nil {
+			return err
+		}
+		s.curCosts, s.curCmax = opt.Costs, cmax
+	} else {
+		s.curCosts, s.curCmax = nil, 0
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	nw := (n + 63) / 64
+	if workers > nw {
+		workers = nw
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	off, adj := g.CSR()
+	// δ⁽¹⁾/δ⁽²⁾ are static graph properties; keep them across solves when
+	// the pooled solver sees the same graph again (a server answering many
+	// requests on one preloaded topology). Slice identity is a sound key:
+	// s.off keeps the previous graph's array alive, so no new graph can
+	// occupy that address while the solver holds it.
+	sameGraph := s.n == n && len(s.off) == len(off) && len(s.adj) == len(adj) &&
+		(len(off) == 0 || &s.off[0] == &off[0])
+	if !sameGraph {
+		s.d2done = false
+	}
+	s.ensure(n, workers)
+	s.off, s.adj = off, adj
+	s.maxDeg = g.MaxDegree()
+	if resetLP {
+		s.whiteCount = n
+		for v := 0; v < n; v++ {
+			s.x[v] = 0
+			s.dtil[v] = int32(s.off[v+1]-s.off[v]) + 1
+			s.acnt[v] = 0
+		}
+	}
+	s.startWorkers()
+	return nil
+}
+
+// growF64 re-slices buf to hold size entries, allocating only on growth.
+func growF64(buf []float64, size int) []float64 {
+	if cap(buf) < size {
+		return make([]float64, size)
+	}
+	return buf[:size]
+}
+
+// ensure grows the buffers to hold n vertices and reconfigures the worker
+// chunking. Growth rounds the capacity up to the next power of two so
+// pooled solvers settle into stable capacity classes.
+func (s *Solver) ensure(n, workers int) {
+	if cap(s.x) < n {
+		c := 1 << bits.Len(uint(n-1))
+		s.x = make([]float64, c)
+		s.dtil = make([]int32, c)
+		s.acnt = make([]int32, c)
+		s.gamma1 = make([]int32, c)
+		s.gamma2 = make([]int32, c)
+		s.d1 = make([]int32, c)
+		s.d2 = make([]int32, c)
+		s.inDS = make([]bool, c)
+	}
+	s.x = s.x[:cap(s.x)]
+	s.n = n
+	s.nw = (n + 63) / 64
+	if s.gray == nil {
+		s.gray = bitset.New(n)
+		s.support = bitset.New(n)
+		s.active = bitset.New(n)
+		s.dirty = bitset.New(n)
+		s.flipped = bitset.New(n)
+	} else {
+		s.gray.Reset(n)
+		s.support.Reset(n)
+		s.active.Reset(n)
+		s.dirty.Reset(n)
+		s.flipped.Reset(n)
+	}
+	s.support.SetAll()
+	if workers != s.workers {
+		s.workers = workers
+		s.sig = make([]chan struct{}, workers)
+		for i := range s.sig {
+			s.sig[i] = make(chan struct{})
+		}
+		s.w0 = make([]int, workers)
+		s.w1 = make([]int, workers)
+		s.changed = make([][]int32, workers)
+		s.newGray = make([][]int32, workers)
+		s.joinCnt = make([][2]int, workers)
+	}
+	for w := 0; w < s.workers; w++ {
+		s.w0[w] = w * s.nw / s.workers
+		s.w1[w] = (w + 1) * s.nw / s.workers
+	}
+	if !s.fnBound {
+		s.fnBound = true
+		s.fnLPActivity = s.phaseLPActivity
+		s.fnMarkDirty = s.phaseMarkDirty
+		s.fnCovRecheck = s.phaseCovRecheck
+		s.fnCovRecheckAll = s.phaseCovRecheckAll
+		s.fnA3Active = s.phaseA3Active
+		s.fnA3Count = s.phaseA3Count
+		s.fnA3Update = s.phaseA3Update
+		s.fnMarkSupportNbhd = s.phaseMarkSupportNbhd
+		s.fnGamma1 = s.phaseGamma1
+		s.fnGamma1All = s.phaseGamma1All
+		s.fnGamma2 = s.phaseGamma2
+		s.fnClearDirt = s.phaseClearDirty
+		s.fnD1 = s.phaseD1
+		s.fnD2 = s.phaseD2
+		s.fnFlip = s.phaseFlip
+		s.fnFixup = s.phaseFixup
+	}
+}
+
+// startWorkers launches the pool for one solve. Workers live only for the
+// duration of the run — a pooled Solver parks no goroutines.
+func (s *Solver) startWorkers() {
+	if s.workers <= 1 {
+		return
+	}
+	for w := 1; w < s.workers; w++ {
+		go func(w int) {
+			for range s.sig[w] {
+				if s.stopping {
+					s.wg.Done()
+					return
+				}
+				s.phaseFn(w)
+				s.wg.Done()
+			}
+		}(w)
+	}
+}
+
+func (s *Solver) stopWorkers() {
+	if s.workers <= 1 {
+		return
+	}
+	s.stopping = true
+	s.wg.Add(s.workers - 1)
+	for w := 1; w < s.workers; w++ {
+		s.sig[w] <- struct{}{}
+	}
+	s.wg.Wait()
+	s.stopping = false
+}
+
+// dispatch runs one phase across all workers and blocks until every chunk
+// is done. The channel send/receive pairs give each worker a happens-before
+// edge on phaseFn and on all state written by earlier phases.
+func (s *Solver) dispatch(fn func(int)) {
+	if s.workers == 1 {
+		fn(0)
+		return
+	}
+	s.phaseFn = fn
+	s.wg.Add(s.workers - 1)
+	for w := 1; w < s.workers; w++ {
+		s.sig[w] <- struct{}{}
+	}
+	fn(0)
+	s.wg.Wait()
+}
+
+func (s *Solver) resetChunkLists() {
+	for w := 0; w < s.workers; w++ {
+		s.changed[w] = s.changed[w][:0]
+		s.newGray[w] = s.newGray[w][:0]
+	}
+}
+
+func (s *Solver) totalChanged() int {
+	t := 0
+	for w := 0; w < s.workers; w++ {
+		t += len(s.changed[w])
+	}
+	return t
+}
+
+// markNbhd sets the dirty bits of N[u]. With one worker it is a plain OR;
+// with several, word-level atomic OR — commutative and idempotent, so the
+// resulting set is identical for every worker count and interleaving.
+func (s *Solver) markNbhd(words []uint64, u int32) {
+	if s.workers == 1 {
+		words[u>>6] |= 1 << (uint32(u) & 63)
+		for _, nb := range s.adj[s.off[u]:s.off[u+1]] {
+			words[nb>>6] |= 1 << (uint32(nb) & 63)
+		}
+		return
+	}
+	atomic.OrUint64(&words[u>>6], 1<<(uint32(u)&63))
+	for _, nb := range s.adj[s.off[u]:s.off[u+1]] {
+		atomic.OrUint64(&words[nb>>6], 1<<(uint32(nb)&63))
+	}
+}
+
+// applyNewGray performs the white→gray transitions collected by the
+// covering recheck: the only serial step of an iteration. Each vertex turns
+// gray exactly once over the whole run, so the total cost of the δ̃
+// decrements is O(n + m) — this is what replaces the references'
+// trueDtil full rescans.
+func (s *Solver) applyNewGray() {
+	for w := 0; w < s.workers; w++ {
+		for _, v := range s.newGray[w] {
+			s.gray.Set(int(v))
+			s.whiteCount--
+			s.acnt[v] = 0 // a(v) is defined as 0 for gray vertices
+			s.decDtil(v)
+			for _, u := range s.adj[s.off[v]:s.off[v+1]] {
+				s.decDtil(u)
+			}
+		}
+	}
+}
+
+func (s *Solver) decDtil(v int32) {
+	s.dtil[v]--
+	if s.dtil[v] == 0 {
+		s.support.Clear(int(v))
+	}
+}

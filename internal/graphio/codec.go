@@ -33,7 +33,14 @@ type SolveRequest struct {
 	Variant string `json:"variant,omitempty"`
 	// Weights, when non-empty, runs the weighted variant (len must equal n).
 	Weights []float64 `json:"weights,omitempty"`
-	// Sequential runs the sequential reference instead of the simulator.
+	// Engine selects the execution backend: "fast" (default — the
+	// internal/fastpath flat-CSR solver; rounds/messages/bits are 0 in the
+	// response) or "sim" (the message-passing simulation, which costs an
+	// order of magnitude more compute but reports the distributed-round
+	// statistics). Both produce bit-identical sets.
+	Engine string `json:"engine,omitempty"`
+	// Sequential is the pre-engine spelling of Engine = "fast", kept for
+	// request compatibility.
 	Sequential bool `json:"sequential,omitempty"`
 	// Members asks for the chosen vertex ids in the response (off by
 	// default: on large graphs the id list dominates the payload).
@@ -47,6 +54,8 @@ type SolveResponse struct {
 	// same cache entry.
 	Digest string `json:"digest"`
 	Algo   string `json:"algo"`
+	// Engine is the backend that computed the result ("fast" or "sim").
+	Engine string `json:"engine"`
 	K      int    `json:"k"`
 	N      int    `json:"n"`
 	M      int    `json:"m"`
@@ -106,6 +115,17 @@ func DecodeSolveRequest(r io.Reader) (*SolveRequest, error) {
 	case "", "ln", "ln-lnln":
 	default:
 		return nil, fmt.Errorf("graphio: solve request: unknown variant %q (want ln|ln-lnln)", req.Variant)
+	}
+	switch req.Engine {
+	case "":
+		req.Engine = "fast"
+	case "fast":
+	case "sim":
+		if req.Sequential {
+			return nil, fmt.Errorf("graphio: solve request: \"sequential\": true conflicts with \"engine\": \"sim\"")
+		}
+	default:
+		return nil, fmt.Errorf("graphio: solve request: unknown engine %q (want fast|sim)", req.Engine)
 	}
 	// The weighted variant is defined only for the unknown-∆ LP stage
 	// (the facade dispatches on Weights before KnownDelta); accepting the

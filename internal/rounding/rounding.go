@@ -101,7 +101,9 @@ func validate(g *graph.Graph, x []float64) error {
 }
 
 // flip decides membership for a node: the first draw of its per-node stream
-// against p. Shared by both executions so they agree bit for bit.
+// against p. Shared by both executions so they agree bit for bit; the
+// fastpath backend performs the same comparison against the same
+// StreamFloat64 draw (heap-free by construction — see stats.StreamFloat64).
 func flip(seed int64, id int, p float64) bool {
 	if p >= 1 {
 		return true
@@ -109,7 +111,7 @@ func flip(seed int64, id int, p float64) bool {
 	if p <= 0 {
 		return false
 	}
-	return stats.NewStreamRand(seed, int64(id)).Float64() < p
+	return stats.StreamFloat64(seed, int64(id)) < p
 }
 
 // Reference runs Algorithm 1 sequentially.

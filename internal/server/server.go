@@ -166,7 +166,19 @@ func (s *Server) solve(req *graphio.SolveRequest) (*graphio.SolveResponse, error
 		}
 	}
 
-	opts := kwmds.Options{K: req.K, Seed: req.Seed, Sequential: req.Sequential}
+	// Engine dispatch: the default "fast" engine maps to the facade's
+	// Sequential path — the pooled internal/fastpath solver, which reuses
+	// one set of buffers across all cold solves of this capacity class.
+	// "sim" (opt-in) runs the message-passing simulation for callers who
+	// want the rounds/messages/bits accounting. SolverWorkers splits the
+	// machine between the request pool and the per-solve phase pools:
+	// with Workers requests in flight, each solver gets its share of
+	// GOMAXPROCS instead of every solve spawning a full-width pool.
+	opts := kwmds.Options{
+		K: req.K, Seed: req.Seed,
+		Sequential:    req.Engine != "sim",
+		SolverWorkers: max(1, runtime.GOMAXPROCS(0)/s.cfg.Workers),
+	}
 	if req.Algo == "kw2" {
 		opts.KnownDelta = true
 	}
@@ -186,7 +198,7 @@ func (s *Server) solve(req *graphio.SolveRequest) (*graphio.SolveResponse, error
 	cached, hit, err := s.cache.getOrCompute(key, func() (*graphio.SolveResponse, error) {
 		s.sem <- struct{}{}
 		defer func() { <-s.sem }()
-		return s.run(g, digest, req.Algo, opts)
+		return s.run(g, digest, req.Algo, req.Engine, opts)
 	})
 	if err != nil {
 		return nil, err
@@ -205,8 +217,8 @@ func (s *Server) solve(req *graphio.SolveRequest) (*graphio.SolveResponse, error
 
 // run executes one pipeline configuration. Members are always materialized
 // into the cached response; solve strips them per request.
-func (s *Server) run(g *graph.Graph, digest, algo string, opts kwmds.Options) (*graphio.SolveResponse, error) {
-	resp := &graphio.SolveResponse{Digest: digest, Algo: algo, N: g.N(), M: g.M()}
+func (s *Server) run(g *graph.Graph, digest, algo, engine string, opts kwmds.Options) (*graphio.SolveResponse, error) {
+	resp := &graphio.SolveResponse{Digest: digest, Algo: algo, Engine: engine, N: g.N(), M: g.M()}
 	start := time.Now()
 	switch algo {
 	case "frac":
@@ -248,14 +260,16 @@ func fillResult(resp *graphio.SolveResponse, res *kwmds.Result) {
 
 // cacheKey folds the topology digest and every result-affecting option into
 // one string. The Members flag is deliberately excluded: the cached value
-// carries the member list and solve strips it per request.
+// carries the member list and solve strips it per request. The engine is
+// included not because the sets differ (they are bit-identical) but because
+// the responses do: only "sim" carries round/message statistics.
 func cacheKey(digest string, req *graphio.SolveRequest, opts kwmds.Options) string {
 	variant := req.Variant
 	if variant == "" {
 		variant = "ln"
 	}
-	return fmt.Sprintf("%s|%s|%d|%d|%s|%t|%s",
-		digest, req.Algo, opts.K, opts.Seed, variant, opts.Sequential, weightsKey(opts.Weights))
+	return fmt.Sprintf("%s|%s|%d|%d|%s|%s|%s",
+		digest, req.Algo, opts.K, opts.Seed, variant, req.Engine, weightsKey(opts.Weights))
 }
 
 // weightsKey hashes the cost vector (FNV-64 over the IEEE bits); "-" for

@@ -40,3 +40,17 @@ func NewStreamRand(seed int64, stream int64) *rand.Rand {
 	s := Mix(seed, stream)
 	return rand.New(rand.NewPCG(s, SplitMix64(s)))
 }
+
+// StreamFloat64 returns the first Float64 of NewStreamRand(seed, stream)
+// without allocating: the PCG state lives on the stack instead of behind a
+// *rand.Rand. The rounding stage flips one coin per vertex from a fresh
+// per-node stream, so on large graphs the two-allocation constructor above
+// dominated the fastpath solver's garbage; this is the same draw, heap-free
+// (TestStreamFloat64MatchesNewStreamRand pins the equivalence).
+func StreamFloat64(seed int64, stream int64) float64 {
+	s := Mix(seed, stream)
+	var p rand.PCG
+	p.Seed(s, SplitMix64(s))
+	// rand.Rand.Float64 on a 64-bit source: top 53 bits over 2⁵³.
+	return float64(p.Uint64()<<11>>11) / (1 << 53)
+}

@@ -1,0 +1,28 @@
+package stats
+
+import "testing"
+
+// TestStreamFloat64MatchesNewStreamRand pins the contract the rounding
+// fastpath relies on: StreamFloat64(seed, stream) is bit-identical to the
+// first Float64 drawn from NewStreamRand(seed, stream).
+func TestStreamFloat64MatchesNewStreamRand(t *testing.T) {
+	for _, seed := range []int64{0, 1, 7, 42, -3, 1 << 40} {
+		for stream := int64(0); stream < 500; stream++ {
+			want := NewStreamRand(seed, stream).Float64()
+			got := StreamFloat64(seed, stream)
+			if got != want {
+				t.Fatalf("StreamFloat64(%d, %d) = %v, want %v", seed, stream, got, want)
+			}
+		}
+	}
+}
+
+// TestStreamFloat64NoAlloc keeps the fast flip genuinely heap-free.
+func TestStreamFloat64NoAlloc(t *testing.T) {
+	allocs := testing.AllocsPerRun(100, func() {
+		StreamFloat64(7, 123)
+	})
+	if allocs != 0 {
+		t.Fatalf("StreamFloat64 allocates %.1f objects per call, want 0", allocs)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"kwmds/internal/cds"
 	"kwmds/internal/core"
+	"kwmds/internal/fastpath"
 	"kwmds/internal/graph"
 	"kwmds/internal/lp"
 	"kwmds/internal/rounding"
@@ -46,10 +47,21 @@ type Options struct {
 	// precedence over KnownDelta: the weighted variant is defined only
 	// for the unknown-∆ LP stage.
 	Weights []float64
-	// Sequential runs the sequential reference implementations instead of
-	// the message-passing simulation. The output is bit-identical; round
-	// and message statistics are zero. Use it for very large graphs.
+	// Sequential runs the fastpath solver (internal/fastpath) instead of
+	// the message-passing simulation: the same pipeline executed
+	// frontier-driven and phase-parallel directly over the graph's CSR
+	// arrays, drawing its buffers from a pool shared across calls. The
+	// output is bit-identical to the simulated execution; round and
+	// message statistics are zero. This is the path for large graphs and
+	// for serving — the serve subsystem's cold solves run through it.
 	Sequential bool
+	// SolverWorkers bounds the fastpath solver's phase parallelism for
+	// Sequential runs (≤ 0 selects GOMAXPROCS). The output is
+	// bit-identical for every worker count; the knob exists so callers
+	// that already run many solves concurrently — the serve subsystem's
+	// worker pool — can stop the per-solve pools from oversubscribing
+	// the machine. Ignored for simulated runs.
+	SolverWorkers int
 }
 
 // Result is the outcome of DominatingSet.
@@ -62,7 +74,9 @@ type Result struct {
 	// otherwise equal to Size.
 	WeightedCost float64
 	// Fractional is the LP stage's x-vector (a feasible fractional
-	// dominating set).
+	// dominating set). The slice is owned by the caller: it never aliases
+	// solver-internal or pooled storage, so callers (and cache entries
+	// holding a Result) may keep or mutate it freely.
 	Fractional []float64
 	// LPObjective is Σx of the fractional stage.
 	LPObjective float64
@@ -104,22 +118,18 @@ type FractionalResult struct {
 }
 
 // effectiveK resolves Options.K, defaulting to the paper's k = Θ(log ∆).
-func effectiveK(k int, g *Graph) int {
+// Callers pass the graph's maximum degree so it is computed once per entry
+// point and shared with the bound derivation.
+func effectiveK(k, delta int) int {
 	if k != 0 {
 		return k
 	}
-	return core.LogDeltaK(g.MaxDegree())
+	return core.LogDeltaK(delta)
 }
 
-// FractionalDominatingSet runs only the LP stage (Section 5 of the paper)
-// and returns the fractional solution with its guarantee.
-func FractionalDominatingSet(g *Graph, opts Options) (*FractionalResult, error) {
-	if err := opts.Validate(g); err != nil {
-		return nil, fmt.Errorf("kwmds: %w", err)
-	}
-	k := effectiveK(opts.K, g)
-	out := &FractionalResult{K: k}
-	delta := g.MaxDegree()
+// lpBound returns the approximation guarantee matching the selected LP
+// variant.
+func lpBound(opts Options, k, delta int) float64 {
 	switch {
 	case opts.Weights != nil:
 		cmax := 1.0
@@ -128,50 +138,62 @@ func FractionalDominatingSet(g *Graph, opts Options) (*FractionalResult, error) 
 				cmax = c
 			}
 		}
-		out.Bound = core.WeightedBound(k, delta, cmax)
-		if opts.Sequential {
-			ref, err := core.ReferenceWeighted(g, k, opts.Weights)
-			if err != nil {
-				return nil, err
-			}
-			out.X = ref.X
-		} else {
-			res, err := core.FractionalWeighted(g, k, opts.Weights)
-			if err != nil {
-				return nil, err
-			}
-			out.X, out.Rounds, out.Messages, out.Bits = res.X, res.Rounds, res.Messages, res.Bits
-		}
+		return core.WeightedBound(k, delta, cmax)
 	case opts.KnownDelta:
-		out.Bound = core.KnownDeltaBound(k, delta)
-		if opts.Sequential {
-			ref, err := core.ReferenceKnownDelta(g, k)
-			if err != nil {
-				return nil, err
-			}
-			out.X = ref.X
-		} else {
-			res, err := core.FractionalKnownDelta(g, k)
-			if err != nil {
-				return nil, err
-			}
-			out.X, out.Rounds, out.Messages, out.Bits = res.X, res.Rounds, res.Messages, res.Bits
-		}
+		return core.KnownDeltaBound(k, delta)
 	default:
-		out.Bound = core.UnknownDeltaBound(k, delta)
-		if opts.Sequential {
-			ref, err := core.Reference(g, k)
-			if err != nil {
-				return nil, err
-			}
-			out.X = ref.X
-		} else {
-			res, err := core.Fractional(g, k)
-			if err != nil {
-				return nil, err
-			}
-			out.X, out.Rounds, out.Messages, out.Bits = res.X, res.Rounds, res.Messages, res.Bits
+		return core.UnknownDeltaBound(k, delta)
+	}
+}
+
+// fastOptions maps facade options onto the fastpath solver's.
+func fastOptions(opts Options, k int) fastpath.Options {
+	fo := fastpath.Options{K: k, Seed: opts.Seed, Variant: opts.Variant, Workers: opts.SolverWorkers}
+	switch {
+	case opts.Weights != nil:
+		fo.Algorithm = fastpath.AlgWeighted
+		fo.Costs = opts.Weights
+	case opts.KnownDelta:
+		fo.Algorithm = fastpath.Alg2
+	}
+	return fo
+}
+
+// FractionalDominatingSet runs only the LP stage (Section 5 of the paper)
+// and returns the fractional solution with its guarantee. The returned X
+// is owned by the caller.
+func FractionalDominatingSet(g *Graph, opts Options) (*FractionalResult, error) {
+	if err := opts.Validate(g); err != nil {
+		return nil, fmt.Errorf("kwmds: %w", err)
+	}
+	delta := g.MaxDegree()
+	k := effectiveK(opts.K, delta)
+	out := &FractionalResult{K: k, Bound: lpBound(opts, k, delta)}
+	if opts.Sequential {
+		s := fastpath.Acquire(g.N())
+		x, err := s.Fractional(g, fastOptions(opts, k))
+		if err != nil {
+			fastpath.Release(s)
+			return nil, err
 		}
+		// Copy before releasing: x aliases the pooled solver's buffer.
+		out.X = append(make([]float64, 0, len(x)), x...)
+		fastpath.Release(s)
+	} else {
+		var res *core.Result
+		var err error
+		switch {
+		case opts.Weights != nil:
+			res, err = core.FractionalWeighted(g, k, opts.Weights)
+		case opts.KnownDelta:
+			res, err = core.FractionalKnownDelta(g, k)
+		default:
+			res, err = core.Fractional(g, k)
+		}
+		if err != nil {
+			return nil, err
+		}
+		out.X, out.Rounds, out.Messages, out.Bits = res.X, res.Rounds, res.Messages, res.Bits
 	}
 	out.Objective = lp.Objective(out.X)
 	return out, nil
@@ -182,17 +204,14 @@ func FractionalDominatingSet(g *Graph, opts Options) (*FractionalResult, error) 
 // set is always a valid dominating set; its expected size is within
 // O(k·∆^{2/k}·log ∆) of optimal (Theorem 6).
 func DominatingSet(g *Graph, opts Options) (*Result, error) {
+	if opts.Sequential {
+		return fastDominatingSet(g, opts)
+	}
 	frac, err := FractionalDominatingSet(g, opts)
 	if err != nil {
 		return nil, err
 	}
-	ropts := rounding.Options{Seed: opts.Seed, Variant: opts.Variant}
-	var rres *rounding.Result
-	if opts.Sequential {
-		rres, err = rounding.Reference(g, frac.X, ropts)
-	} else {
-		rres, err = rounding.Round(g, frac.X, ropts)
-	}
+	rres, err := rounding.Round(g, frac.X, rounding.Options{Seed: opts.Seed, Variant: opts.Variant})
 	if err != nil {
 		return nil, err
 	}
@@ -209,15 +228,51 @@ func DominatingSet(g *Graph, opts Options) (*Result, error) {
 		JoinedRandom: rres.JoinedRandom,
 		JoinedFixup:  rres.JoinedFixup,
 	}
-	if opts.Weights != nil {
-		res.WeightedCost = 0
-		for v, in := range rres.InDS {
-			if in {
-				res.WeightedCost += opts.Weights[v]
-			}
+	res.WeightedCost = weightedCost(opts.Weights, res.InDS, res.Size)
+	return res, nil
+}
+
+// fastDominatingSet is the Sequential execution of the full pipeline: one
+// pooled fastpath solver runs LP stage and rounding back to back over
+// reused buffers, and only the final vectors are copied out.
+func fastDominatingSet(g *Graph, opts Options) (*Result, error) {
+	if err := opts.Validate(g); err != nil {
+		return nil, fmt.Errorf("kwmds: %w", err)
+	}
+	delta := g.MaxDegree()
+	k := effectiveK(opts.K, delta)
+	s := fastpath.Acquire(g.N())
+	fres, err := s.Solve(g, fastOptions(opts, k))
+	if err != nil {
+		fastpath.Release(s)
+		return nil, err
+	}
+	res := &Result{
+		InDS:         append(make([]bool, 0, len(fres.InDS)), fres.InDS...),
+		Size:         fres.Size,
+		Fractional:   append(make([]float64, 0, len(fres.X)), fres.X...),
+		K:            k,
+		JoinedRandom: fres.JoinedRandom,
+		JoinedFixup:  fres.JoinedFixup,
+	}
+	fastpath.Release(s)
+	res.LPObjective = lp.Objective(res.Fractional)
+	res.WeightedCost = weightedCost(opts.Weights, res.InDS, res.Size)
+	return res, nil
+}
+
+// weightedCost is Σ_{v∈DS} c_v, or |DS| when costs are nil.
+func weightedCost(weights []float64, inDS []bool, size int) float64 {
+	if weights == nil {
+		return float64(size)
+	}
+	var c float64
+	for v, in := range inDS {
+		if in {
+			c += weights[v]
 		}
 	}
-	return res, nil
+	return c
 }
 
 // ConnectedDominatingSet runs the full pipeline and then upgrades the
@@ -239,16 +294,7 @@ func ConnectedDominatingSet(g *Graph, opts Options) (*Result, error) {
 	res.InDS = cres.InCDS
 	res.Size = cres.Size
 	res.Connectors = cres.Connectors
-	if opts.Weights != nil {
-		res.WeightedCost = 0
-		for v, in := range res.InDS {
-			if in {
-				res.WeightedCost += opts.Weights[v]
-			}
-		}
-	} else {
-		res.WeightedCost = float64(res.Size)
-	}
+	res.WeightedCost = weightedCost(opts.Weights, res.InDS, res.Size)
 	return res, nil
 }
 
