@@ -1,7 +1,9 @@
 // Command kwmds runs a dominating set algorithm on a graph read from a
 // file (or stdin) in the plain edge-list format and prints the resulting
 // set together with quality and communication statistics. With the serve
-// subcommand it instead runs as a long-lived HTTP JSON service.
+// subcommand it instead runs as a long-lived HTTP JSON service; with the
+// bench subcommand it executes declarative benchmark scenarios
+// (internal/kwbench) and merges the results into BENCH_kwbench.json.
 //
 // Usage:
 //
@@ -9,13 +11,16 @@
 //	graphgen -family udg -n 500 -r 0.08 | kwmds -algo greedy
 //	kwmds -graph gen:udg:500:0.08:1 -algo kwcds
 //	kwmds serve -addr :8080 -workers 8 -preload udg-10k=gen:udg:10000:0.02:1
+//	kwmds bench -scenario scenarios/serve-cached.json
+//	kwmds bench -validate BENCH_kwbench.json
 //
 // Algorithms: kw (Algorithm 3 + rounding, the paper's pipeline), kw2
 // (Algorithm 2 + rounding, assumes global ∆), kwcds (kw + connected
 // dominating set), frac (LP stage only), greedy, jrs, wuli, mis, trivial,
 // exact (small graphs only). The implementation lives in internal/cli so
-// it is fully unit-tested; the HTTP service lives in internal/server (see
-// the README for its JSON schema).
+// it is fully unit-tested; the HTTP service lives in internal/server and
+// the benchmark harness in internal/kwbench (see docs/ARCHITECTURE.md and
+// docs/BENCHMARKS.md).
 package main
 
 import (
@@ -30,6 +35,13 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "serve" {
 		if err := serveMain(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "kwmds serve:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "bench" {
+		if err := benchMain(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "kwmds bench:", err)
 			os.Exit(1)
 		}
 		return
@@ -67,4 +79,21 @@ func serveMain(args []string) error {
 	ready := make(chan string, 1)
 	go func() { fmt.Fprintln(os.Stderr, "kwmds serve: listening on", <-ready) }()
 	return cli.RunServe(cfg, ready)
+}
+
+func benchMain(args []string) error {
+	var cfg cli.BenchConfig
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	fs.Func("scenario", "scenario spec file (.json or .toml), repeatable", func(v string) error {
+		cfg.Scenarios = append(cfg.Scenarios, v)
+		return nil
+	})
+	fs.StringVar(&cfg.Out, "out", "BENCH_kwbench.json", "unified report path (results merge by scenario name)")
+	fs.StringVar(&cfg.Legacy, "legacy", "", "also export http-serve results in the BENCH_serve.json row shape to this path")
+	fs.BoolVar(&cfg.Quick, "quick", false, "shrink the load for a smoke run (graphs unchanged)")
+	fs.StringVar(&cfg.Validate, "validate", "", "validate an existing report file against the kwbench schema and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	return cli.RunBench(cfg, os.Stdout)
 }

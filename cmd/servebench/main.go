@@ -1,9 +1,10 @@
-// Command servebench runs the serve-subsystem load generator against
-// in-process instances and writes BENCH_serve.json: sustained req/s and
-// latency percentiles on 1k/10k-node unit-disk graphs at concurrency
-// 1/8/64, for both the cached workload (one seed, repeated queries) and an
-// uncached workload (a fresh seed per request, every request a full
-// pipeline run through the bounded pool).
+// Command servebench is the legacy serve load-generator binary, kept as a
+// thin compatibility wrapper over internal/bench.ServeBenchMain: cached +
+// uncached sweeps on 1k/10k-node unit-disk graphs at concurrency 1/8/64,
+// written to BENCH_serve.json. New measurements should prefer `kwmds bench`
+// with an http-serve scenario (see docs/BENCHMARKS.md), which subsumes this
+// sweep and adds declarative workloads, open-loop rates and a unified
+// report.
 //
 // Usage:
 //
@@ -11,96 +12,19 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 
 	"kwmds/internal/bench"
-	"kwmds/internal/gen"
-	"kwmds/internal/graph"
 )
-
-type workload struct {
-	name string
-	g    *graph.Graph
-}
 
 func main() {
 	out := flag.String("out", "BENCH_serve.json", "output path")
 	quick := flag.Bool("quick", false, "smaller request counts (smoke run)")
 	flag.Parse()
-
-	mk := func(name string, n int, radius float64) workload {
-		g, err := gen.UnitDisk(n, radius, 1)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "servebench:", err)
-			os.Exit(1)
-		}
-		return workload{name, g}
-	}
-	workloads := []workload{
-		mk("udg-1k", 1000, 0.05),
-		mk("udg-10k", 10000, 0.02),
-	}
-	cachedReqs, uncachedReqs := 2000, 64
-	if *quick {
-		cachedReqs, uncachedReqs = 200, 16
-	}
-
-	type run struct {
-		Mode string `json:"mode"`
-		*bench.ServeLoadReport
-	}
-	var runs []run
-	for _, w := range workloads {
-		for _, conc := range []int{1, 8, 64} {
-			r, err := bench.ServeLoad(bench.ServeLoadConfig{
-				Workload: w.name, G: w.g, Concurrency: conc,
-				Requests: cachedReqs, Seeds: 1, Workers: runtime.GOMAXPROCS(0),
-			})
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "servebench:", err)
-				os.Exit(1)
-			}
-			runs = append(runs, run{"cached", r})
-			fmt.Printf("%-8s conc=%-3d cached:   %8.0f req/s  p50=%6.2fms p99=%6.2fms cold=%7.1fms hit=%.2f\n",
-				w.name, conc, r.ReqPerSec, r.P50MS, r.P99MS, r.ColdMS, r.HitRate)
-
-			u, err := bench.ServeLoad(bench.ServeLoadConfig{
-				Workload: w.name, G: w.g, Concurrency: conc,
-				Requests: uncachedReqs, Seeds: uncachedReqs, Workers: runtime.GOMAXPROCS(0),
-			})
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "servebench:", err)
-				os.Exit(1)
-			}
-			runs = append(runs, run{"uncached", u})
-			fmt.Printf("%-8s conc=%-3d uncached: %8.1f req/s  p50=%6.1fms p99=%6.1fms\n",
-				w.name, conc, u.ReqPerSec, u.P50MS, u.P99MS)
-		}
-	}
-
-	doc := map[string]any{
-		"description": "kwmds serve load-generator results (cmd/servebench). 'cached' issues repeated identical (graph_ref, options) queries — after one cold pipeline run every request is an LRU hit; 'uncached' rotates the seed per request so every request is a full pipeline run through the bounded worker pool. Latencies are client-observed over loopback HTTP.",
-		"environment": map[string]any{
-			"goos": runtime.GOOS, "goarch": runtime.GOARCH,
-			"go": runtime.Version(), "gomaxprocs": runtime.GOMAXPROCS(0),
-		},
-		"runs": runs,
-	}
-	f, err := os.Create(*out)
-	if err != nil {
+	if err := bench.ServeBenchMain(*out, *quick, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "servebench:", err)
 		os.Exit(1)
 	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(doc); err != nil {
-		fmt.Fprintln(os.Stderr, "servebench:", err)
-		os.Exit(1)
-	}
-	f.Close()
-	fmt.Println("wrote", *out)
 }

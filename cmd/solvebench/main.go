@@ -1,9 +1,9 @@
-// Command solvebench benchmarks the sequential solve path across backends
-// and writes BENCH_solve.json: the pre-gating instrumented reference, the
-// gated reference, and the internal/fastpath solver at several worker
-// counts, over workloads from 10⁴ up to the million-vertex XL tier —
-// plus a refreshed uncached serve measurement comparing the old "sim"
-// cold-solve engine against the fastpath default.
+// Command solvebench is the legacy solve-backend benchmark binary, kept as
+// a thin compatibility wrapper over internal/bench.SolveBenchMain: the
+// instrumented/gated references and the fastpath solver at several worker
+// counts over 10⁴..10⁶⁺-vertex workloads, plus the uncached serve engine
+// comparison, written to BENCH_solve.json. New measurements should prefer
+// `kwmds bench` with an inproc-fast scenario (see docs/BENCHMARKS.md).
 //
 // Usage:
 //
@@ -11,112 +11,19 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 
 	"kwmds/internal/bench"
-	"kwmds/internal/gen"
 )
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "solvebench:", err)
-	os.Exit(1)
-}
 
 func main() {
 	out := flag.String("out", "BENCH_solve.json", "output path")
 	quick := flag.Bool("quick", false, "smaller workloads (smoke run)")
 	flag.Parse()
-
-	runs, err := bench.SolveBench(bench.SolveBenchConfig{Quick: *quick})
-	if err != nil {
-		fail(err)
+	if err := bench.SolveBenchMain(*out, *quick, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "solvebench:", err)
+		os.Exit(1)
 	}
-	// Per-workload speedups against both reference baselines.
-	instr := map[string]float64{}
-	plain := map[string]float64{}
-	for _, r := range runs {
-		if r.Skipped {
-			continue
-		}
-		switch r.Backend {
-		case "reference+instr":
-			instr[r.Workload] = r.WallMS
-		case "reference":
-			plain[r.Workload] = r.WallMS
-		}
-	}
-	type row struct {
-		bench.SolveRun
-		SpeedupVsInstr float64 `json:"speedup_vs_instrumented_ref,omitempty"`
-		SpeedupVsRef   float64 `json:"speedup_vs_ref,omitempty"`
-	}
-	var rows []row
-	for _, r := range runs {
-		rw := row{SolveRun: r}
-		if !r.Skipped && r.WallMS > 0 {
-			if base, ok := instr[r.Workload]; ok && base > 0 {
-				rw.SpeedupVsInstr = base / r.WallMS
-			}
-			if base, ok := plain[r.Workload]; ok && base > 0 {
-				rw.SpeedupVsRef = base / r.WallMS
-			}
-		}
-		rows = append(rows, rw)
-		if r.Skipped {
-			fmt.Printf("%-10s %-16s skipped\n", r.Workload, r.Backend)
-			continue
-		}
-		fmt.Printf("%-10s %-16s %10.1f ms  |DS|=%-6d  vs instr %6.2fx  vs ref %6.2fx\n",
-			r.Workload, r.Backend, r.WallMS, r.Size, rw.SpeedupVsInstr, rw.SpeedupVsRef)
-	}
-
-	// Refreshed uncached serve bench: the cold-solve path before (engine
-	// "sim", the pre-PR default) and after (engine "fast").
-	g, err := gen.UnitDisk(10000, 0.02, 1)
-	if err != nil {
-		fail(err)
-	}
-	uncached := 64
-	if *quick {
-		uncached = 8
-	}
-	var serveRuns []*bench.ServeLoadReport
-	for _, engine := range []string{"sim", "fast"} {
-		r, err := bench.ServeLoad(bench.ServeLoadConfig{
-			Workload: "udg-10k", G: g, Concurrency: 8,
-			Requests: uncached, Seeds: uncached,
-			Workers: runtime.GOMAXPROCS(0), Engine: engine,
-		})
-		if err != nil {
-			fail(err)
-		}
-		serveRuns = append(serveRuns, r)
-		fmt.Printf("serve udg-10k conc=8 engine=%-4s uncached: %8.1f req/s  p50=%7.1fms p99=%7.1fms  allocs/req=%.0f\n",
-			engine, r.ReqPerSec, r.P50MS, r.P99MS, r.AllocsPerReq)
-	}
-
-	doc := map[string]any{
-		"description": "Sequential solve-path benchmarks (cmd/solvebench). Each solve row is one full pipeline run (LP stage + rounding, k=3, seed 1): 'reference+instr' is the core reference with proof instrumentation (what every sequential solve paid before the Instrument gate), 'reference' is the gated reference, 'fastpath/wN' the internal/fastpath frontier solver at N workers. All backends are bit-identical (|DS| cross-checked per row). The serve section replays the uncached cold-solve load with the old 'sim' engine vs the new 'fast' default.",
-		"environment": map[string]any{
-			"goos": runtime.GOOS, "goarch": runtime.GOARCH,
-			"go": runtime.Version(), "gomaxprocs": runtime.GOMAXPROCS(0),
-		},
-		"solve":          rows,
-		"serve_uncached": serveRuns,
-	}
-	f, err := os.Create(*out)
-	if err != nil {
-		fail(err)
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(doc); err != nil {
-		fail(err)
-	}
-	f.Close()
-	fmt.Println("wrote", *out)
 }

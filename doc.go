@@ -81,6 +81,18 @@
 // README for the JSON schema and BENCH_serve.json for throughput and
 // latency under load.
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// reproduction of every quantitative claim in the paper.
+// The `kwmds bench` subcommand (internal/kwbench) is the measurement
+// layer: declarative scenario specs (JSON/TOML files under scenarios/)
+// drive closed- or open-loop load through any backend — in-process
+// fastpath or simulation, or the HTTP service — with warmup/measure
+// phases, zipfian or uniform graph selection, dynamic-graph mobility
+// replays and a sim-vs-fast cross-check mode, exporting HDR-histogram
+// latency percentiles, throughput and allocation counts into the unified
+// BENCH_kwbench.json.
+//
+// Architecture notes live in docs/ARCHITECTURE.md (layers, data flow, the
+// three-backend contract) and docs/BENCHMARKS.md (benchmark methodology
+// and the schema of every BENCH_*.json artifact). See DESIGN.md for the
+// system inventory and EXPERIMENTS.md for the reproduction of every
+// quantitative claim in the paper.
 package kwmds

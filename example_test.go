@@ -1,6 +1,7 @@
 package kwmds_test
 
 import (
+	"errors"
 	"fmt"
 
 	"kwmds"
@@ -57,6 +58,31 @@ func ExampleConnectedDominatingSet() {
 	fmt.Println("connected dominating:", kwmds.IsConnectedDominatingSet(g, res.InDS))
 	// Output:
 	// connected dominating: true
+}
+
+// ExampleOptions_Validate shows how malformed options are rejected before
+// any pipeline work: every facade entry point performs these checks, and
+// all failures match kwmds.ErrInvalidOptions so untrusted request bodies
+// can be mapped to client errors.
+func ExampleOptions_Validate() {
+	g, err := kwmds.Grid(3, 3) // 9 vertices
+	if err != nil {
+		panic(err)
+	}
+	for _, opts := range []kwmds.Options{
+		{K: -1},                             // K outside [0, MaxK]
+		{Weights: []float64{1, 2}},          // wrong length for g.N()
+		{Weights: make([]float64, 9)},       // entries below 1
+		{Variant: kwmds.RoundingVariant(7)}, // unknown rounding variant
+	} {
+		err := opts.Validate(g)
+		fmt.Println(errors.Is(err, kwmds.ErrInvalidOptions), err)
+	}
+	// Output:
+	// true invalid options: K = -1 outside [0, 64] (0 selects k = log ∆)
+	// true invalid options: 2 weights for 9 vertices
+	// true invalid options: weight[0] = 0 outside [1, ∞)
+	// true invalid options: unknown rounding variant 7
 }
 
 // ExampleDualLowerBound evaluates the paper's Lemma 1 on a clique, where

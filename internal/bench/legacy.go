@@ -1,0 +1,182 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+
+	"kwmds/internal/gen"
+	"kwmds/internal/graph"
+	"kwmds/internal/kwbench"
+)
+
+// This file holds the full bodies of the pre-kwbench benchmark binaries.
+// cmd/servebench and cmd/solvebench are now thin wrappers over these two
+// functions, kept for command-line compatibility; new measurements should
+// use `kwmds bench` with a scenario spec (internal/kwbench), which
+// subsumes both. The BENCH_serve.json / BENCH_solve.json shapes written
+// here are frozen so existing trajectory tooling keeps working.
+
+// ServeBenchMain runs the serve load-generator sweep (cached + uncached at
+// concurrency 1/8/64 over udg-1k and udg-10k) and writes the legacy
+// BENCH_serve.json document to outPath.
+func ServeBenchMain(outPath string, quick bool, stdout io.Writer) error {
+	type workload struct {
+		name string
+		g    *graph.Graph
+	}
+	mk := func(name string, n int, radius float64) (workload, error) {
+		g, err := gen.UnitDisk(n, radius, 1)
+		return workload{name, g}, err
+	}
+	var workloads []workload
+	for _, spec := range []struct {
+		name   string
+		n      int
+		radius float64
+	}{{"udg-1k", 1000, 0.05}, {"udg-10k", 10000, 0.02}} {
+		w, err := mk(spec.name, spec.n, spec.radius)
+		if err != nil {
+			return err
+		}
+		workloads = append(workloads, w)
+	}
+	cachedReqs, uncachedReqs := 2000, 64
+	if quick {
+		cachedReqs, uncachedReqs = 200, 16
+	}
+
+	type run struct {
+		Mode string `json:"mode"`
+		*ServeLoadReport
+	}
+	var runs []run
+	for _, w := range workloads {
+		for _, conc := range []int{1, 8, 64} {
+			r, err := ServeLoad(ServeLoadConfig{
+				Workload: w.name, G: w.g, Concurrency: conc,
+				Requests: cachedReqs, Seeds: 1, Workers: runtime.GOMAXPROCS(0),
+			})
+			if err != nil {
+				return err
+			}
+			runs = append(runs, run{"cached", r})
+			fmt.Fprintf(stdout, "%-8s conc=%-3d cached:   %8.0f req/s  p50=%6.2fms p99=%6.2fms cold=%7.1fms hit=%.2f\n",
+				w.name, conc, r.ReqPerSec, r.P50MS, r.P99MS, r.ColdMS, r.HitRate)
+
+			u, err := ServeLoad(ServeLoadConfig{
+				Workload: w.name, G: w.g, Concurrency: conc,
+				Requests: uncachedReqs, Seeds: uncachedReqs, Workers: runtime.GOMAXPROCS(0),
+			})
+			if err != nil {
+				return err
+			}
+			runs = append(runs, run{"uncached", u})
+			fmt.Fprintf(stdout, "%-8s conc=%-3d uncached: %8.1f req/s  p50=%6.1fms p99=%6.1fms\n",
+				w.name, conc, u.ReqPerSec, u.P50MS, u.P99MS)
+		}
+	}
+
+	doc := map[string]any{
+		"description": "kwmds serve load-generator results (cmd/servebench). 'cached' issues repeated identical (graph_ref, options) queries — after one cold pipeline run every request is an LRU hit; 'uncached' rotates the seed per request so every request is a full pipeline run through the bounded worker pool. Latencies are client-observed over loopback HTTP.",
+		"environment": envBlock(),
+		"runs":        runs,
+	}
+	if err := kwbench.WriteJSONFile(outPath, doc); err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, "wrote", outPath)
+	return nil
+}
+
+// SolveBenchMain runs the solve-backend sweep plus the uncached serve
+// engine comparison and writes the legacy BENCH_solve.json document to
+// outPath.
+func SolveBenchMain(outPath string, quick bool, stdout io.Writer) error {
+	runs, err := SolveBench(SolveBenchConfig{Quick: quick})
+	if err != nil {
+		return err
+	}
+	// Per-workload speedups against both reference baselines.
+	instr := map[string]float64{}
+	plain := map[string]float64{}
+	for _, r := range runs {
+		if r.Skipped {
+			continue
+		}
+		switch r.Backend {
+		case "reference+instr":
+			instr[r.Workload] = r.WallMS
+		case "reference":
+			plain[r.Workload] = r.WallMS
+		}
+	}
+	type row struct {
+		SolveRun
+		SpeedupVsInstr float64 `json:"speedup_vs_instrumented_ref,omitempty"`
+		SpeedupVsRef   float64 `json:"speedup_vs_ref,omitempty"`
+	}
+	var rows []row
+	for _, r := range runs {
+		rw := row{SolveRun: r}
+		if !r.Skipped && r.WallMS > 0 {
+			if base, ok := instr[r.Workload]; ok && base > 0 {
+				rw.SpeedupVsInstr = base / r.WallMS
+			}
+			if base, ok := plain[r.Workload]; ok && base > 0 {
+				rw.SpeedupVsRef = base / r.WallMS
+			}
+		}
+		rows = append(rows, rw)
+		if r.Skipped {
+			fmt.Fprintf(stdout, "%-10s %-16s skipped\n", r.Workload, r.Backend)
+			continue
+		}
+		fmt.Fprintf(stdout, "%-10s %-16s %10.1f ms  |DS|=%-6d  vs instr %6.2fx  vs ref %6.2fx\n",
+			r.Workload, r.Backend, r.WallMS, r.Size, rw.SpeedupVsInstr, rw.SpeedupVsRef)
+	}
+
+	// Refreshed uncached serve bench: the cold-solve path before (engine
+	// "sim", the pre-fastpath default) and after (engine "fast").
+	g, err := gen.UnitDisk(10000, 0.02, 1)
+	if err != nil {
+		return err
+	}
+	uncached := 64
+	if quick {
+		uncached = 8
+	}
+	var serveRuns []*ServeLoadReport
+	for _, engine := range []string{"sim", "fast"} {
+		r, err := ServeLoad(ServeLoadConfig{
+			Workload: "udg-10k", G: g, Concurrency: 8,
+			Requests: uncached, Seeds: uncached,
+			Workers: runtime.GOMAXPROCS(0), Engine: engine,
+		})
+		if err != nil {
+			return err
+		}
+		serveRuns = append(serveRuns, r)
+		fmt.Fprintf(stdout, "serve udg-10k conc=8 engine=%-4s uncached: %8.1f req/s  p50=%7.1fms p99=%7.1fms  allocs/req=%.0f\n",
+			engine, r.ReqPerSec, r.P50MS, r.P99MS, r.AllocsPerReq)
+	}
+
+	doc := map[string]any{
+		"description":    "Sequential solve-path benchmarks (cmd/solvebench). Each solve row is one full pipeline run (LP stage + rounding, k=3, seed 1): 'reference+instr' is the core reference with proof instrumentation (what every sequential solve paid before the Instrument gate), 'reference' is the gated reference, 'fastpath/wN' the internal/fastpath frontier solver at N workers. All backends are bit-identical (|DS| cross-checked per row). The serve section replays the uncached cold-solve load with the old 'sim' engine vs the new 'fast' default.",
+		"environment":    envBlock(),
+		"solve":          rows,
+		"serve_uncached": serveRuns,
+	}
+	if err := kwbench.WriteJSONFile(outPath, doc); err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, "wrote", outPath)
+	return nil
+}
+
+func envBlock() map[string]any {
+	return map[string]any{
+		"goos": runtime.GOOS, "goarch": runtime.GOARCH,
+		"go": runtime.Version(), "gomaxprocs": runtime.GOMAXPROCS(0),
+	}
+}

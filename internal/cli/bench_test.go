@@ -1,0 +1,76 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kwmds/internal/kwbench"
+)
+
+func writeScenario(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunBenchEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	scenario := writeScenario(t, dir, "tiny.toml", `
+name = "cli-tiny"
+driver = "inproc-fast"
+seeds = 2
+
+[[graphs]]
+gen = "udg:150:0.2:1"
+
+[closed]
+concurrency = 2
+ops = 10
+`)
+	out := filepath.Join(dir, "BENCH_kwbench.json")
+	var buf strings.Builder
+	err := RunBench(BenchConfig{Scenarios: []string{scenario}, Out: out}, &buf)
+	if err != nil {
+		t.Fatalf("RunBench: %v\noutput:\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "cli-tiny") || !strings.Contains(buf.String(), "wrote") {
+		t.Errorf("missing summary output:\n%s", buf.String())
+	}
+	if err := kwbench.ValidateReportFile(out); err != nil {
+		t.Fatalf("produced report invalid: %v", err)
+	}
+
+	// Validate-only mode over the file just produced.
+	buf.Reset()
+	if err := RunBench(BenchConfig{Validate: out}, &buf); err != nil {
+		t.Fatalf("validate mode: %v", err)
+	}
+	if !strings.Contains(buf.String(), "valid kwbench report") {
+		t.Errorf("validate output: %s", buf.String())
+	}
+}
+
+func TestRunBenchErrors(t *testing.T) {
+	var buf strings.Builder
+	if err := RunBench(BenchConfig{}, &buf); err == nil {
+		t.Error("no scenarios accepted")
+	}
+	if err := RunBench(BenchConfig{Scenarios: []string{"/does/not/exist.json"}}, &buf); err == nil {
+		t.Error("missing scenario file accepted")
+	}
+	dir := t.TempDir()
+	bad := writeScenario(t, dir, "bad.json", `{"name":"x","driver":"nope"}`)
+	if err := RunBench(BenchConfig{Scenarios: []string{bad}, Out: filepath.Join(dir, "o.json")}, &buf); err == nil ||
+		!strings.Contains(err.Error(), "unknown driver") {
+		t.Errorf("bad driver: %v", err)
+	}
+	garbage := writeScenario(t, dir, "garbage.json", `{"oops`)
+	if err := RunBench(BenchConfig{Validate: garbage}, &buf); err == nil {
+		t.Error("garbage report validated")
+	}
+}

@@ -8,12 +8,12 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strconv"
 	"strings"
 
 	"kwmds"
 	"kwmds/internal/baseline"
 	"kwmds/internal/exact"
+	"kwmds/internal/gen"
 	"kwmds/internal/graph"
 	"kwmds/internal/graphio"
 	"kwmds/internal/lp"
@@ -183,54 +183,9 @@ func LoadGraph(path string, stdin io.Reader) (*kwmds.Graph, error) {
 //	gnp:<n>:<p>:<seed>         Erdős–Rényi G(n,p)
 //	grid:<rows>:<cols>         grid graph
 //	tree:<n>:<seed>            uniformly-attached random tree
+//
+// The grammar lives in gen.FromSpec so the CLI, the serve preloads and the
+// kwbench scenario loader accept identical specs.
 func ParseGenSpec(spec string) (*kwmds.Graph, error) {
-	parts := strings.Split(spec, ":")
-	fail := func() (*kwmds.Graph, error) {
-		return nil, fmt.Errorf("bad graph spec %q (want udg:n:radius:seed, gnp:n:p:seed, grid:rows:cols, or tree:n:seed)", spec)
-	}
-	atoi := func(s string) (int, bool) {
-		v, err := strconv.Atoi(s)
-		return v, err == nil
-	}
-	atof := func(s string) (float64, bool) {
-		v, err := strconv.ParseFloat(s, 64)
-		return v, err == nil
-	}
-	switch parts[0] {
-	case "udg", "gnp":
-		if len(parts) != 4 {
-			return fail()
-		}
-		n, ok1 := atoi(parts[1])
-		p, ok2 := atof(parts[2])
-		seed, ok3 := atoi(parts[3])
-		if !ok1 || !ok2 || !ok3 {
-			return fail()
-		}
-		if parts[0] == "udg" {
-			return kwmds.UnitDisk(n, p, int64(seed))
-		}
-		return kwmds.GNP(n, p, int64(seed))
-	case "grid":
-		if len(parts) != 3 {
-			return fail()
-		}
-		rows, ok1 := atoi(parts[1])
-		cols, ok2 := atoi(parts[2])
-		if !ok1 || !ok2 {
-			return fail()
-		}
-		return kwmds.Grid(rows, cols)
-	case "tree":
-		if len(parts) != 3 {
-			return fail()
-		}
-		n, ok1 := atoi(parts[1])
-		seed, ok2 := atoi(parts[2])
-		if !ok1 || !ok2 {
-			return fail()
-		}
-		return kwmds.RandomTree(n, int64(seed))
-	}
-	return fail()
+	return gen.FromSpec(spec)
 }

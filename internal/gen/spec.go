@@ -1,0 +1,71 @@
+package gen
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"kwmds/internal/graph"
+)
+
+// FromSpec generates a graph from a colon-separated family spec:
+//
+//	udg:<n>:<radius>:<seed>    unit-disk graph in the unit square
+//	gnp:<n>:<p>:<seed>         Erdős–Rényi G(n,p)
+//	grid:<rows>:<cols>         grid graph
+//	tree:<n>:<seed>            uniformly-attached random tree
+//
+// The grammar is shared by every surface that accepts generated
+// topologies: the CLI's gen: graph sources, the serve subsystem's -preload
+// entries, and kwbench scenario specs.
+func FromSpec(spec string) (*graph.Graph, error) {
+	parts := strings.Split(spec, ":")
+	fail := func() (*graph.Graph, error) {
+		return nil, fmt.Errorf("bad graph spec %q (want udg:n:radius:seed, gnp:n:p:seed, grid:rows:cols, or tree:n:seed)", spec)
+	}
+	atoi := func(s string) (int, bool) {
+		v, err := strconv.Atoi(s)
+		return v, err == nil
+	}
+	atof := func(s string) (float64, bool) {
+		v, err := strconv.ParseFloat(s, 64)
+		return v, err == nil
+	}
+	switch parts[0] {
+	case "udg", "gnp":
+		if len(parts) != 4 {
+			return fail()
+		}
+		n, ok1 := atoi(parts[1])
+		p, ok2 := atof(parts[2])
+		seed, ok3 := atoi(parts[3])
+		if !ok1 || !ok2 || !ok3 {
+			return fail()
+		}
+		if parts[0] == "udg" {
+			return UnitDisk(n, p, int64(seed))
+		}
+		return GNP(n, p, int64(seed))
+	case "grid":
+		if len(parts) != 3 {
+			return fail()
+		}
+		rows, ok1 := atoi(parts[1])
+		cols, ok2 := atoi(parts[2])
+		if !ok1 || !ok2 {
+			return fail()
+		}
+		return Grid(rows, cols)
+	case "tree":
+		if len(parts) != 3 {
+			return fail()
+		}
+		n, ok1 := atoi(parts[1])
+		seed, ok2 := atoi(parts[2])
+		if !ok1 || !ok2 {
+			return fail()
+		}
+		return RandomTree(n, int64(seed))
+	}
+	return fail()
+}

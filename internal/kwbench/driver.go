@@ -1,0 +1,252 @@
+package kwbench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"time"
+
+	"kwmds"
+	"kwmds/internal/graph"
+	"kwmds/internal/graphio"
+	"kwmds/internal/server"
+)
+
+// LoadedGraph is one materialized member of a scenario's graph set.
+type LoadedGraph struct {
+	Name string
+	G    *graph.Graph
+}
+
+// Request is one operation of the workload: a graph selection plus one
+// matrix combination and a rounding seed. The runner precomputes the whole
+// request schedule so it is a pure function of the scenario spec.
+type Request struct {
+	Graph   int // index into the loaded graph set
+	Algo    string
+	K       int
+	Seed    int64
+	Variant string
+}
+
+// OpResult is what a driver reports per operation; the runner uses Size for
+// cross-checking, Cached for hit-rate accounting and InDS (inproc drivers
+// only) for the mobility replay's churn accounting.
+type OpResult struct {
+	Size   int
+	Cached bool
+	InDS   []bool
+}
+
+// Driver executes operations against one backend. Implementations must be
+// safe for concurrent Do calls — both loop modes issue them from many
+// goroutines.
+type Driver interface {
+	// Prepare receives the materialized graph set before any operation.
+	Prepare(graphs []LoadedGraph) error
+	// Do executes one operation.
+	Do(req Request) (OpResult, error)
+	// Close releases spawned resources (servers, clients).
+	Close() error
+}
+
+// newDriver constructs the scenario's driver. concurrency is the peak
+// number of in-flight operations, used to size per-solve parallelism and
+// HTTP connection pools.
+func newDriver(sc *Scenario, concurrency int) (Driver, error) {
+	switch sc.Driver {
+	case DriverInprocFast:
+		return &inprocDriver{sequential: true, concurrency: concurrency}, nil
+	case DriverInprocSim:
+		return &inprocDriver{sequential: false, concurrency: concurrency}, nil
+	case DriverHTTPServe:
+		d := &httpDriver{concurrency: concurrency, timeout: 120 * time.Second}
+		if sc.HTTP != nil {
+			d.url = sc.HTTP.URL
+			d.workers = sc.HTTP.Workers
+			d.cacheEntries = sc.HTTP.CacheEntries
+			if sc.HTTP.TimeoutSec > 0 {
+				d.timeout = time.Duration(sc.HTTP.TimeoutSec * float64(time.Second))
+			}
+		}
+		return d, nil
+	default:
+		return nil, fmt.Errorf("kwbench: unknown driver %q", sc.Driver)
+	}
+}
+
+// inprocDriver runs operations through the public facade: the fastpath
+// backend when sequential, the message-passing simulation otherwise. It is
+// the driver for measuring pure solve compute, with no protocol overhead on
+// the measured path.
+type inprocDriver struct {
+	sequential  bool
+	concurrency int
+	graphs      []LoadedGraph
+}
+
+func (d *inprocDriver) Prepare(graphs []LoadedGraph) error {
+	d.graphs = graphs
+	return nil
+}
+
+func (d *inprocDriver) options(req Request) kwmds.Options {
+	opts := kwmds.Options{
+		K:          req.K,
+		Seed:       req.Seed,
+		Sequential: d.sequential,
+		KnownDelta: req.Algo == "kw2",
+	}
+	if req.Variant == "ln-lnln" {
+		opts.Variant = kwmds.VariantLnMinusLnLn
+	}
+	if d.sequential {
+		// Split the machine between concurrent operations the same way
+		// the serve subsystem does: with C operations in flight each
+		// solver gets its share of GOMAXPROCS instead of a full-width
+		// phase pool.
+		opts.SolverWorkers = max(1, runtime.GOMAXPROCS(0)/max(1, d.concurrency))
+	}
+	return opts
+}
+
+func (d *inprocDriver) Do(req Request) (OpResult, error) {
+	g := d.graphs[req.Graph].G
+	opts := d.options(req)
+	switch req.Algo {
+	case "frac":
+		if _, err := kwmds.FractionalDominatingSet(g, opts); err != nil {
+			return OpResult{}, err
+		}
+		return OpResult{}, nil
+	case "kwcds":
+		res, err := kwmds.ConnectedDominatingSet(g, opts)
+		if err != nil {
+			return OpResult{}, err
+		}
+		return OpResult{Size: res.Size, InDS: res.InDS}, nil
+	default: // kw, kw2
+		res, err := kwmds.DominatingSet(g, opts)
+		if err != nil {
+			return OpResult{}, err
+		}
+		return OpResult{Size: res.Size, InDS: res.InDS}, nil
+	}
+}
+
+func (d *inprocDriver) Close() error { return nil }
+
+// httpDriver drives POST /v1/solve. With no URL it spawns an in-process
+// serve instance preloaded with the scenario's graph set — the whole stack
+// (HTTP transport, JSON codec, worker pool, LRU, single-flight) is on the
+// measured path, over loopback. With a URL it targets a remote server that
+// must already hold the graphs under the same names.
+type httpDriver struct {
+	url          string
+	workers      int
+	cacheEntries int
+	concurrency  int
+	timeout      time.Duration
+
+	graphs  []LoadedGraph
+	srv     *server.Server // nil when remote
+	ts      *httptest.Server
+	client  *http.Client
+	baseURL string
+	// hits0/misses0 snapshot the cache counters at the warmup/measure
+	// boundary (MarkWarm) so Stats reports measured-phase deltas.
+	hits0, misses0 int64
+}
+
+func (d *httpDriver) Prepare(graphs []LoadedGraph) error {
+	d.graphs = graphs
+	if d.url == "" {
+		m := make(map[string]*graph.Graph, len(graphs))
+		for _, lg := range graphs {
+			m[lg.Name] = lg.G
+		}
+		d.srv = server.New(server.Config{
+			Workers:      d.workers,
+			CacheEntries: d.cacheEntries,
+			Graphs:       m,
+		})
+		d.ts = httptest.NewServer(d.srv.Handler())
+		d.baseURL = d.ts.URL
+	} else {
+		d.baseURL = d.url
+	}
+	d.client = &http.Client{
+		Timeout: d.timeout, // a hung target fails the run instead of wedging it
+		Transport: &http.Transport{
+			MaxIdleConnsPerHost: max(2, d.concurrency),
+		},
+	}
+	return nil
+}
+
+func (d *httpDriver) Do(req Request) (OpResult, error) {
+	body, err := json.Marshal(graphio.SolveRequest{
+		GraphRef: d.graphs[req.Graph].Name,
+		Algo:     req.Algo,
+		K:        req.K,
+		Seed:     req.Seed,
+		Variant:  variantWire(req.Variant),
+	})
+	if err != nil {
+		return OpResult{}, err
+	}
+	resp, err := d.client.Post(d.baseURL+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return OpResult{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return OpResult{}, fmt.Errorf("kwbench: serve returned %d: %s", resp.StatusCode, msg)
+	}
+	var sr graphio.SolveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return OpResult{}, err
+	}
+	return OpResult{Size: sr.Size, Cached: sr.Cached}, nil
+}
+
+// MarkWarm snapshots the cache counters at the warmup/measure boundary;
+// Stats then reports measured-phase activity only.
+func (d *httpDriver) MarkWarm() {
+	if d.srv != nil {
+		_, d.hits0, d.misses0 = d.srv.Stats()
+	}
+}
+
+// Stats exposes the spawned server's cache counters since the last
+// MarkWarm (zero when remote).
+func (d *httpDriver) Stats() (hits, misses int64) {
+	if d.srv == nil {
+		return 0, 0
+	}
+	_, hits, misses = d.srv.Stats()
+	return hits - d.hits0, misses - d.misses0
+}
+
+func (d *httpDriver) Close() error {
+	if d.ts != nil {
+		d.ts.Close()
+	}
+	if d.client != nil {
+		d.client.CloseIdleConnections()
+	}
+	return nil
+}
+
+// variantWire maps the spec's variant to the wire default convention.
+func variantWire(v string) string {
+	if v == "ln" {
+		return "" // the wire default
+	}
+	return v
+}

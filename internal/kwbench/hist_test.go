@@ -1,0 +1,109 @@
+package kwbench
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestHistogramExactSmallValues(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 10; i++ {
+		h.Record(time.Duration(i))
+	}
+	if h.Count() != 10 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.MinMS(); got != 1e-6 {
+		t.Errorf("min = %v ns, want 1", got*1e6)
+	}
+	if got := h.MaxMS(); got != 10e-6 {
+		t.Errorf("max = %v ns, want 10", got*1e6)
+	}
+	// Sub-64ns values land in exact buckets: the median of 1..10 is 5.
+	if got := h.Quantile(0.5) * 1e6; got != 5 {
+		t.Errorf("p50 = %v ns, want 5", got)
+	}
+}
+
+// TestHistogramQuantileAccuracy checks the log-linear error bound: every
+// quantile must land within ~3.2% (one sub-bucket) of the exact
+// order-statistic value.
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var h Histogram
+	n := 20000
+	vals := make([]float64, n)
+	for i := range vals {
+		// Log-uniform over ~5 decades: 10µs .. 1s.
+		d := time.Duration(math.Pow(10, 4+5*rng.Float64()))
+		vals[i] = float64(d)
+		h.Record(d)
+	}
+	// Exact order statistics for comparison.
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exactNS := sorted[int(math.Ceil(q*float64(n)))-1]
+		gotNS := h.Quantile(q) * 1e6
+		if rel := math.Abs(gotNS-exactNS) / exactNS; rel > 0.032 {
+			t.Errorf("q=%v: got %.0f ns, exact %.0f ns, rel err %.4f > 0.032", q, gotNS, exactNS, rel)
+		}
+	}
+	if h.MaxMS()*1e6 != sorted[n-1] {
+		t.Errorf("max %.0f != exact %.0f", h.MaxMS()*1e6, sorted[n-1])
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b, both Histogram
+	for i := 0; i < 1000; i++ {
+		d := time.Duration(i) * time.Microsecond
+		if i%2 == 0 {
+			a.Record(d)
+		} else {
+			b.Record(d)
+		}
+		both.Record(d)
+	}
+	var merged Histogram
+	merged.Merge(&a)
+	merged.Merge(&b)
+	if merged.Count() != both.Count() {
+		t.Fatalf("count %d != %d", merged.Count(), both.Count())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		if m, w := merged.Quantile(q), both.Quantile(q); m != w {
+			t.Errorf("q=%v: merged %v != direct %v", q, m, w)
+		}
+	}
+	if merged.MinMS() != both.MinMS() || merged.MaxMS() != both.MaxMS() {
+		t.Errorf("extrema drift: merged [%v, %v], direct [%v, %v]",
+			merged.MinMS(), merged.MaxMS(), both.MinMS(), both.MaxMS())
+	}
+}
+
+func TestHistogramEmptyAndNegative(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.MeanMS() != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+	h.Record(-time.Second) // clamped to 0
+	if h.MinMS() != 0 || h.MaxMS() != 0 || h.Count() != 1 {
+		t.Errorf("negative record mishandled: %+v", h)
+	}
+}
+
+func TestHistogramSummaryMonotonic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h Histogram
+	for i := 0; i < 5000; i++ {
+		h.Record(time.Duration(rng.Int63n(int64(3 * time.Second))))
+	}
+	s := h.Summary()
+	if !(s.Min <= s.P50 && s.P50 <= s.P90 && s.P90 <= s.P99 && s.P99 <= s.P999 && s.P999 <= s.Max) {
+		t.Fatalf("non-monotonic summary: %+v", s)
+	}
+}

@@ -1,0 +1,164 @@
+package kwbench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"kwmds/internal/mobility"
+)
+
+// runMobility executes a dynamic-graph replay: a random-walk trace of
+// unit-disk snapshots is generated from the spec, and the pipeline
+// re-solves every epoch — the workload the paper motivates, where the
+// topology of an ad-hoc network changes underneath the algorithm. Epochs
+// replay sequentially (an epoch's solve cannot start before the topology
+// change that defines it), the first WarmupOps epochs are untimed, and the
+// result carries dominating-set and edge churn alongside the usual
+// latency/throughput/allocation block.
+func runMobility(sc *Scenario, opts RunOptions) (*ScenarioResult, error) {
+	m := sc.Mobility
+	epochs := m.Epochs
+	if opts.Quick {
+		if limit := max(sc.WarmupOps+2, 4); epochs > limit {
+			epochs = limit
+		}
+	}
+	seed := m.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	trace, err := mobility.RandomWalk(m.N, m.Radius, m.Speed, epochs, seed)
+	if err != nil {
+		return nil, fmt.Errorf("kwbench: scenario %q: %w", sc.Name, err)
+	}
+	graphs := make([]LoadedGraph, epochs)
+	for e, g := range trace.Graphs {
+		graphs[e] = LoadedGraph{Name: fmt.Sprintf("epoch-%d", e), G: g}
+	}
+
+	driver, err := newDriver(sc, 1)
+	if err != nil {
+		return nil, err
+	}
+	defer driver.Close()
+	if err := driver.Prepare(graphs); err != nil {
+		return nil, err
+	}
+
+	combos := sc.Matrix.combos()
+	seeds := effectiveSeeds(sc)
+	res := &ScenarioResult{
+		Name:        sc.Name,
+		Description: sc.Description,
+		Driver:      sc.Driver,
+		Loop:        "replay",
+		Graphs:      graphInfos(graphs[:1]), // the population's identity; every epoch shares n
+		Combos:      len(combos),
+		Seeds:       seeds,
+		WarmupOps:   sc.WarmupOps,
+	}
+
+	// prev[c] is combo c's elected set in the previous epoch; churn is
+	// accumulated over every consecutive-epoch transition, warmup
+	// included (the warmup boundary only gates *timing*, and churn at
+	// the first measured epoch needs its predecessor). Set sizes are
+	// recorded so the cross-check pass can run after the measurement
+	// windows close.
+	prev := make([][]bool, len(combos))
+	sizes := make([]int, epochs*len(combos))
+	var kept, added, removed, transitions int
+	hist := &Histogram{}
+	measuredOps := 0
+	var elapsed time.Duration
+	var msBefore, msAfter runtime.MemStats
+
+	req := func(e, c int) Request {
+		return Request{
+			Graph:   e,
+			Algo:    combos[c].Algo,
+			K:       combos[c].K,
+			Seed:    1 + int64(e%seeds),
+			Variant: combos[c].Variant,
+		}
+	}
+	for e := 0; e < epochs; e++ {
+		measuring := e >= sc.WarmupOps
+		if e == sc.WarmupOps {
+			runtime.ReadMemStats(&msBefore)
+		}
+		for c := range combos {
+			t0 := time.Now()
+			got, err := driver.Do(req(e, c))
+			lat := time.Since(t0)
+			if err != nil {
+				return nil, fmt.Errorf("kwbench: scenario %q epoch %d: %w", sc.Name, e, err)
+			}
+			if e == 0 && c == 0 {
+				res.ColdMS = float64(lat) / float64(time.Millisecond)
+			}
+			if measuring {
+				hist.Record(lat)
+				elapsed += lat
+				measuredOps++
+			}
+			sizes[e*len(combos)+c] = got.Size
+			if prev[c] != nil {
+				k, a, r := mobility.Churn(prev[c], got.InDS)
+				kept += k
+				added += a
+				removed += r
+				transitions++
+			}
+			prev[c] = got.InDS
+		}
+	}
+	runtime.ReadMemStats(&msAfter)
+
+	// Everything below runs outside the timing and allocation windows:
+	// edge-churn accounting (its edge-set map is a real allocation) and
+	// the cross-check pass.
+	var edgeChurn float64
+	for e := 1; e < epochs; e++ {
+		shared, onlyA, onlyB := mobility.EdgeChurn(trace.Graphs[e-1], trace.Graphs[e])
+		if total := shared + onlyA + onlyB; total > 0 {
+			edgeChurn += float64(onlyA+onlyB) / float64(total)
+		}
+	}
+	if sc.CrossCheck {
+		checker, err := crossCheckDriver(sc, graphs)
+		if err != nil {
+			return nil, err
+		}
+		defer checker.Close()
+		for e := 0; e < epochs; e++ {
+			for c := range combos {
+				want, err := checker.Do(req(e, c))
+				if err != nil {
+					return nil, fmt.Errorf("kwbench: scenario %q epoch %d cross-check: %w", sc.Name, e, err)
+				}
+				res.CrossChecked++
+				if want.Size != sizes[e*len(combos)+c] {
+					res.Mismatches++
+				}
+			}
+		}
+	}
+
+	fillCommon(res, hist, measuredOps, elapsed, &msBefore, &msAfter)
+	mr := &MobilityResult{Epochs: epochs}
+	if transitions > 0 {
+		mr.MeanKept = float64(kept) / float64(transitions)
+		mr.MeanAdded = float64(added) / float64(transitions)
+		mr.MeanRemoved = float64(removed) / float64(transitions)
+	}
+	if epochs > 1 {
+		mr.MeanEdgeChurn = edgeChurn / float64(epochs-1)
+	}
+	res.Mobility = mr
+	if res.Mismatches > 0 {
+		return nil, fmt.Errorf("kwbench: scenario %q: %d/%d cross-checked epochs disagreed between fast and sim backends",
+			sc.Name, res.Mismatches, res.CrossChecked)
+	}
+	return res, nil
+}

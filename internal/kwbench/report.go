@@ -1,0 +1,332 @@
+package kwbench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+)
+
+// SchemaVersion identifies the BENCH_kwbench.json layout. Bump only with a
+// migration note in docs/BENCHMARKS.md.
+const SchemaVersion = 1
+
+// Report is the unified BENCH_kwbench.json document. Scenario results are
+// keyed by name: re-running a scenario replaces its earlier entry and
+// leaves the rest untouched, so one file accumulates the whole trajectory.
+type Report struct {
+	Schema      int              `json:"kwbench_schema"`
+	Description string           `json:"description"`
+	Environment Environment      `json:"environment"`
+	Scenarios   []ScenarioResult `json:"scenarios"`
+}
+
+// Environment records where the numbers were produced.
+type Environment struct {
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GoVersion  string `json:"go"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// LatencySummary is the histogram extract every scenario reports, in ms.
+type LatencySummary struct {
+	P50  float64 `json:"p50_ms"`
+	P90  float64 `json:"p90_ms"`
+	P99  float64 `json:"p99_ms"`
+	P999 float64 `json:"p999_ms"`
+	Min  float64 `json:"min_ms"`
+	Max  float64 `json:"max_ms"`
+	Mean float64 `json:"mean_ms"`
+}
+
+// GraphInfo identifies one member of a scenario's graph set.
+type GraphInfo struct {
+	Name string `json:"name"`
+	N    int    `json:"n"`
+	M    int    `json:"m"`
+}
+
+// MobilityResult is the dynamic-graph extras of a mobility replay.
+type MobilityResult struct {
+	Epochs int `json:"epochs"`
+	// MeanKept/Added/Removed are per-epoch-transition dominating-set
+	// churn averages (mobility.Churn over consecutive epochs).
+	MeanKept    float64 `json:"mean_kept"`
+	MeanAdded   float64 `json:"mean_added"`
+	MeanRemoved float64 `json:"mean_removed"`
+	// MeanEdgeChurn is the mean fraction of edges NOT shared between
+	// consecutive snapshots — how fast the topology itself moves.
+	MeanEdgeChurn float64 `json:"mean_edge_churn"`
+}
+
+// ScenarioResult is one scenario's measured outcome.
+type ScenarioResult struct {
+	Name        string      `json:"name"`
+	Description string      `json:"description,omitempty"`
+	Driver      string      `json:"driver"`
+	Loop        string      `json:"loop"` // closed | open | replay
+	Graphs      []GraphInfo `json:"graphs"`
+	Combos      int         `json:"combos"`
+	Seeds       int         `json:"seeds"`
+
+	// Concurrency is the closed-loop worker count (0 for open loop and
+	// replay).
+	Concurrency int `json:"concurrency,omitempty"`
+
+	WarmupOps  int     `json:"warmup_ops"`
+	Ops        int     `json:"ops"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+
+	// ColdMS is the latency of the first warmup operation (for mobility
+	// replays, the first epoch's first solve): against a serve driver it
+	// is the cache-populating cold request. 0 when the scenario has no
+	// warmup phase. Operation errors abort the run — a written report
+	// only ever contains fully successful scenarios.
+	ColdMS float64 `json:"cold_ms,omitempty"`
+
+	// TargetRate/AchievedRate are set for open-loop scenarios.
+	TargetRate   float64 `json:"target_rate,omitempty"`
+	AchievedRate float64 `json:"achieved_rate,omitempty"`
+
+	Latency LatencySummary `json:"latency_ms"`
+
+	// AllocsPerOp/BytesPerOp cover the measured phase across the whole
+	// in-process stack (driver, codec, solver; for http-serve also the
+	// client and handlers).
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+
+	// HitRate is the fraction of measured operations answered from the
+	// serve cache (http-serve driver with a spawned server only).
+	HitRate *float64 `json:"hit_rate,omitempty"`
+
+	// CrossChecked/Mismatches report the sim-vs-fast verification pass.
+	CrossChecked int `json:"cross_checked,omitempty"`
+	Mismatches   int `json:"mismatches,omitempty"`
+
+	Mobility *MobilityResult `json:"mobility,omitempty"`
+}
+
+// CurrentEnvironment captures the running process's environment block.
+func CurrentEnvironment() Environment {
+	return Environment{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
+
+// reportDescription is the fixed preamble of BENCH_kwbench.json.
+const reportDescription = "Unified kwbench scenario results (kwmds bench). Each entry is one scenario run: a declarative spec (scenarios/*.json|*.toml) selecting graphs, a pipeline matrix, a driver (inproc-fast | inproc-sim | http-serve) and a loop mode (closed concurrency, open target-rate, or mobility replay). Latencies are HDR-histogram percentiles over the measured phase; open-loop latency is measured from the scheduled dispatch time, so queueing delay is included. See docs/BENCHMARKS.md for the methodology and field-by-field schema."
+
+// MergeInto folds results into the report at path: existing scenario
+// entries with matching names are replaced, others preserved, and the
+// environment block refreshed. A missing or unreadable-as-report file is
+// started fresh.
+func MergeInto(path string, results []ScenarioResult) (*Report, error) {
+	rep := &Report{
+		Schema:      SchemaVersion,
+		Description: reportDescription,
+		Environment: CurrentEnvironment(),
+	}
+	if data, err := os.ReadFile(path); err == nil {
+		var old Report
+		if json.Unmarshal(data, &old) == nil && old.Schema == SchemaVersion {
+			rep.Scenarios = old.Scenarios
+		}
+	}
+	for _, res := range results {
+		replaced := false
+		for i := range rep.Scenarios {
+			if rep.Scenarios[i].Name == res.Name {
+				rep.Scenarios[i] = res
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			rep.Scenarios = append(rep.Scenarios, res)
+		}
+	}
+	sort.SliceStable(rep.Scenarios, func(i, j int) bool {
+		return rep.Scenarios[i].Name < rep.Scenarios[j].Name
+	})
+	if err := ValidateReport(rep); err != nil {
+		return nil, err
+	}
+	if err := WriteJSONFile(path, rep); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// WriteJSONFile writes v to path as indented JSON — the one writer behind
+// every benchmark artifact, so close/encode error handling lives in one
+// place.
+func WriteJSONFile(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ValidateReport checks a report document against the schema: version,
+// required fields, non-degenerate counters and monotonic percentiles. CI
+// runs it (via `kwmds bench -validate`) over freshly produced output so a
+// schema regression fails the build rather than silently shipping an
+// unreadable trajectory file.
+func ValidateReport(rep *Report) error {
+	if rep.Schema != SchemaVersion {
+		return fmt.Errorf("kwbench: report schema %d, want %d", rep.Schema, SchemaVersion)
+	}
+	if rep.Description == "" {
+		return fmt.Errorf("kwbench: report missing description")
+	}
+	if rep.Environment.GoVersion == "" || rep.Environment.GOOS == "" {
+		return fmt.Errorf("kwbench: report missing environment block")
+	}
+	if len(rep.Scenarios) == 0 {
+		return fmt.Errorf("kwbench: report has no scenarios")
+	}
+	seen := map[string]bool{}
+	for i, s := range rep.Scenarios {
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("kwbench: scenario %d (%q): %s", i, s.Name, fmt.Sprintf(format, args...))
+		}
+		if s.Name == "" {
+			return fail("missing name")
+		}
+		if seen[s.Name] {
+			return fail("duplicate scenario name")
+		}
+		seen[s.Name] = true
+		switch s.Driver {
+		case DriverInprocFast, DriverInprocSim, DriverHTTPServe:
+		default:
+			return fail("unknown driver %q", s.Driver)
+		}
+		switch s.Loop {
+		case "closed", "open", "replay":
+		default:
+			return fail("unknown loop %q", s.Loop)
+		}
+		if s.Ops < 1 {
+			return fail("ops = %d, want ≥ 1", s.Ops)
+		}
+		if s.ElapsedSec <= 0 || s.OpsPerSec <= 0 {
+			return fail("degenerate timing elapsed=%v ops/s=%v", s.ElapsedSec, s.OpsPerSec)
+		}
+		if s.Mismatches < 0 || s.ColdMS < 0 {
+			return fail("negative counters")
+		}
+		if s.AllocsPerOp < 0 || s.BytesPerOp < 0 {
+			return fail("negative allocation counters")
+		}
+		l := s.Latency
+		if !(l.Min <= l.P50 && l.P50 <= l.P90 && l.P90 <= l.P99 && l.P99 <= l.P999 && l.P999 <= l.Max) {
+			return fail("non-monotonic percentiles: %+v", l)
+		}
+		if l.Min < 0 {
+			return fail("negative latency: %+v", l)
+		}
+		if s.Loop == "open" && s.TargetRate <= 0 {
+			return fail("open loop without target_rate")
+		}
+		if s.Loop == "replay" && s.Mobility == nil {
+			return fail("replay without a mobility block")
+		}
+		if len(s.Graphs) == 0 {
+			return fail("empty graph list")
+		}
+	}
+	return nil
+}
+
+// ValidateReportFile loads path and validates it.
+func ValidateReportFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("kwbench: %w", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var rep Report
+	if err := dec.Decode(&rep); err != nil {
+		return fmt.Errorf("kwbench: %s: %w", path, err)
+	}
+	if err := ValidateReport(&rep); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}
+
+// LegacyServeRun mirrors one row of the pre-kwbench BENCH_serve.json shape
+// ("mode" + the serve load-generator report fields), so serve-driver
+// scenario results can also be exported where existing tooling reads them.
+type LegacyServeRun struct {
+	Mode         string  `json:"mode"`
+	Workload     string  `json:"workload"`
+	N            int     `json:"n"`
+	M            int     `json:"m"`
+	Concurrency  int     `json:"concurrency"`
+	Requests     int     `json:"requests"`
+	Seeds        int     `json:"seeds"`
+	ElapsedSec   float64 `json:"elapsed_sec"`
+	ReqPerSec    float64 `json:"req_per_sec"`
+	ColdMS       float64 `json:"cold_ms"`
+	P50MS        float64 `json:"p50_ms"`
+	P99MS        float64 `json:"p99_ms"`
+	HitRate      float64 `json:"hit_rate"`
+	AllocsPerReq float64 `json:"allocs_per_req"`
+}
+
+// LegacyServeRuns converts http-serve closed-loop scenario results into the
+// legacy BENCH_serve.json row shape (one row per scenario, first graph's
+// identity). Non-serve and open-loop scenarios are skipped: the legacy
+// shape cannot express them.
+func LegacyServeRuns(results []ScenarioResult) []LegacyServeRun {
+	var runs []LegacyServeRun
+	for _, s := range results {
+		if s.Driver != DriverHTTPServe || s.Loop != "closed" || len(s.Graphs) == 0 {
+			continue
+		}
+		mode := "uncached"
+		hit := 0.0
+		if s.HitRate != nil {
+			hit = *s.HitRate
+			if hit > 0.5 {
+				mode = "cached"
+			}
+		}
+		runs = append(runs, LegacyServeRun{
+			Mode: mode, Workload: s.Graphs[0].Name,
+			N: s.Graphs[0].N, M: s.Graphs[0].M,
+			Concurrency: s.Concurrency, Requests: s.Ops, Seeds: s.Seeds,
+			ElapsedSec: s.ElapsedSec, ReqPerSec: s.OpsPerSec,
+			ColdMS: s.ColdMS, P50MS: s.Latency.P50, P99MS: s.Latency.P99,
+			HitRate: hit, AllocsPerReq: s.AllocsPerOp,
+		})
+	}
+	return runs
+}
+
+// WriteLegacyServe writes runs in the BENCH_serve.json document shape.
+func WriteLegacyServe(path string, runs []LegacyServeRun) error {
+	return WriteJSONFile(path, map[string]any{
+		"description": "Legacy-shaped serve rows exported by kwmds bench (see BENCH_kwbench.json for the full results).",
+		"environment": CurrentEnvironment(),
+		"runs":        runs,
+	})
+}

@@ -1,0 +1,155 @@
+package kwbench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleResult(name string) ScenarioResult {
+	return ScenarioResult{
+		Name:   name,
+		Driver: DriverInprocFast,
+		Loop:   "closed",
+		Graphs: []GraphInfo{{Name: "g", N: 10, M: 9}},
+		Combos: 1, Seeds: 1, Concurrency: 2,
+		Ops: 10, ElapsedSec: 0.5, OpsPerSec: 20,
+		Latency: LatencySummary{P50: 1, P90: 2, P99: 3, P999: 4, Min: 0.5, Max: 5, Mean: 1.5},
+	}
+}
+
+func TestMergeIntoReplacesByName(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_kwbench.json")
+	if _, err := MergeInto(path, []ScenarioResult{sampleResult("a"), sampleResult("b")}); err != nil {
+		t.Fatal(err)
+	}
+	updated := sampleResult("a")
+	updated.OpsPerSec = 99
+	rep, err := MergeInto(path, []ScenarioResult{updated})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Scenarios) != 2 {
+		t.Fatalf("scenarios = %d, want 2 (replace, not append)", len(rep.Scenarios))
+	}
+	for _, s := range rep.Scenarios {
+		if s.Name == "a" && s.OpsPerSec != 99 {
+			t.Errorf("scenario a not replaced: %+v", s)
+		}
+		if s.Name == "b" && s.OpsPerSec != 20 {
+			t.Errorf("scenario b clobbered: %+v", s)
+		}
+	}
+	if err := ValidateReportFile(path); err != nil {
+		t.Fatalf("written report fails validation: %v", err)
+	}
+}
+
+func TestValidateReportCatchesCorruption(t *testing.T) {
+	base := func() *Report {
+		return &Report{
+			Schema:      SchemaVersion,
+			Description: "d",
+			Environment: CurrentEnvironment(),
+			Scenarios:   []ScenarioResult{sampleResult("a")},
+		}
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*Report)
+		wantErr string
+	}{
+		{"wrong schema", func(r *Report) { r.Schema = 99 }, "schema"},
+		{"no scenarios", func(r *Report) { r.Scenarios = nil }, "no scenarios"},
+		{"missing env", func(r *Report) { r.Environment = Environment{} }, "environment"},
+		{"unnamed scenario", func(r *Report) { r.Scenarios[0].Name = "" }, "missing name"},
+		{"duplicate names", func(r *Report) {
+			r.Scenarios = append(r.Scenarios, sampleResult("a"))
+		}, "duplicate"},
+		{"bad driver", func(r *Report) { r.Scenarios[0].Driver = "x" }, "unknown driver"},
+		{"bad loop", func(r *Report) { r.Scenarios[0].Loop = "spiral" }, "unknown loop"},
+		{"zero ops", func(r *Report) { r.Scenarios[0].Ops = 0 }, "ops"},
+		{"zero elapsed", func(r *Report) { r.Scenarios[0].ElapsedSec = 0 }, "degenerate timing"},
+		{"inverted percentiles", func(r *Report) { r.Scenarios[0].Latency.P99 = 0.1 }, "non-monotonic"},
+		{"open without rate", func(r *Report) { r.Scenarios[0].Loop = "open" }, "target_rate"},
+		{"replay without mobility", func(r *Report) { r.Scenarios[0].Loop = "replay" }, "mobility"},
+		{"no graphs", func(r *Report) { r.Scenarios[0].Graphs = nil }, "empty graph list"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := base()
+			tc.mutate(rep)
+			err := ValidateReport(rep)
+			if err == nil {
+				t.Fatal("corrupt report validated")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+	if err := ValidateReport(base()); err != nil {
+		t.Fatalf("baseline report must validate: %v", err)
+	}
+}
+
+func TestValidateReportFileRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"kwbench_schema": 1, "bogus": true}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateReportFile(path); err == nil {
+		t.Fatal("unknown-field document validated")
+	}
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateReportFile(path); err == nil {
+		t.Fatal("non-JSON document validated")
+	}
+}
+
+func TestLegacyServeRuns(t *testing.T) {
+	serve := sampleResult("serve")
+	serve.Driver = DriverHTTPServe
+	hit := 0.97
+	serve.HitRate = &hit
+	inproc := sampleResult("inproc")
+	open := sampleResult("open-serve")
+	open.Driver = DriverHTTPServe
+	open.Loop = "open"
+
+	runs := LegacyServeRuns([]ScenarioResult{serve, inproc, open})
+	if len(runs) != 1 {
+		t.Fatalf("legacy rows = %d, want 1 (only closed http-serve qualifies)", len(runs))
+	}
+	r := runs[0]
+	if r.Mode != "cached" || r.Workload != "g" || r.ReqPerSec != 20 || r.Concurrency != 2 {
+		t.Errorf("legacy row mismatch: %+v", r)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	if err := WriteLegacyServe(path, runs); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Runs []map[string]any `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Runs) != 1 {
+		t.Fatalf("written legacy doc has %d runs", len(doc.Runs))
+	}
+	for _, field := range []string{"mode", "workload", "req_per_sec", "p50_ms", "p99_ms", "hit_rate", "allocs_per_req"} {
+		if _, ok := doc.Runs[0][field]; !ok {
+			t.Errorf("legacy row missing field %q", field)
+		}
+	}
+}

@@ -1,0 +1,445 @@
+package kwbench
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kwmds/internal/gen"
+	"kwmds/internal/graphio"
+)
+
+// RunOptions tune an execution without touching the spec.
+type RunOptions struct {
+	// Quick shrinks the load (ops ÷ 10 with a floor of 8, open-loop
+	// windows capped at 0.5 s, replays at 4 epochs) for smoke runs; the
+	// graphs themselves are untouched so the measured path is the real
+	// one.
+	Quick bool
+}
+
+// Run executes one validated scenario and returns its result. The request
+// schedule (graph choices, matrix combos, seeds) is precomputed from the
+// spec, so two runs of the same scenario issue identical operations.
+func Run(sc *Scenario, opts RunOptions) (*ScenarioResult, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if sc.Mobility != nil {
+		return runMobility(sc, opts)
+	}
+	graphs, err := loadGraphs(sc.Graphs)
+	if err != nil {
+		return nil, err
+	}
+	concurrency := 1
+	if sc.Closed != nil {
+		concurrency = sc.Closed.Concurrency
+	} else if sc.Open != nil {
+		concurrency = sc.Open.MaxInflight
+		if concurrency <= 0 {
+			concurrency = 256
+		}
+	}
+	driver, err := newDriver(sc, concurrency)
+	if err != nil {
+		return nil, err
+	}
+	defer driver.Close()
+	if err := driver.Prepare(graphs); err != nil {
+		return nil, err
+	}
+
+	res := &ScenarioResult{
+		Name:        sc.Name,
+		Description: sc.Description,
+		Driver:      sc.Driver,
+		Graphs:      graphInfos(graphs),
+		Combos:      len(sc.Matrix.combos()),
+		Seeds:       effectiveSeeds(sc),
+		WarmupOps:   sc.WarmupOps,
+	}
+	if sc.Closed != nil {
+		res.Loop = "closed"
+		res.Concurrency = sc.Closed.Concurrency
+		err = runClosed(sc, opts, driver, graphs, res)
+	} else {
+		res.Loop = "open"
+		err = runOpen(sc, opts, driver, graphs, res)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if hd, ok := driver.(*httpDriver); ok && hd.srv != nil {
+		hits, misses := hd.Stats()
+		if total := hits + misses; total > 0 {
+			rate := float64(hits) / float64(total)
+			res.HitRate = &rate
+		}
+	}
+	if res.Mismatches > 0 {
+		return nil, fmt.Errorf("kwbench: scenario %q: %d/%d cross-checked operations disagreed between fast and sim backends (bit-identical contract broken)",
+			sc.Name, res.Mismatches, res.CrossChecked)
+	}
+	return res, nil
+}
+
+// effectiveSeeds resolves the seed-rotation width.
+func effectiveSeeds(sc *Scenario) int {
+	if sc.Seeds < 1 {
+		return 1
+	}
+	return sc.Seeds
+}
+
+// loadGraphs materializes the scenario's graph set.
+func loadGraphs(specs []GraphSpec) ([]LoadedGraph, error) {
+	out := make([]LoadedGraph, 0, len(specs))
+	for _, s := range specs {
+		lg := LoadedGraph{Name: s.EffectiveName()}
+		switch {
+		case s.Gen != "":
+			g, err := gen.FromSpec(s.Gen)
+			if err != nil {
+				return nil, fmt.Errorf("kwbench: graph %q: %w", lg.Name, err)
+			}
+			lg.G = g
+		case s.Tier != "":
+			g, err := gen.FromSpec(Tiers[s.Tier])
+			if err != nil {
+				return nil, fmt.Errorf("kwbench: tier %q: %w", s.Tier, err)
+			}
+			lg.G = g
+		default:
+			f, err := os.Open(s.File)
+			if err != nil {
+				return nil, fmt.Errorf("kwbench: graph %q: %w", lg.Name, err)
+			}
+			g, err := graphio.ReadEdgeList(f)
+			f.Close()
+			if err != nil {
+				return nil, fmt.Errorf("kwbench: graph %q: %w", lg.Name, err)
+			}
+			lg.G = g
+		}
+		out = append(out, lg)
+	}
+	return out, nil
+}
+
+func graphInfos(graphs []LoadedGraph) []GraphInfo {
+	infos := make([]GraphInfo, len(graphs))
+	for i, lg := range graphs {
+		infos[i] = GraphInfo{Name: lg.Name, N: lg.G.N(), M: lg.G.M()}
+	}
+	return infos
+}
+
+// buildRequests precomputes n operations: graph selection via the
+// scenario's distribution, matrix combos cycled in order, seeds rotated
+// over the configured width.
+func buildRequests(sc *Scenario, nGraphs, n int) []Request {
+	combos := sc.Matrix.combos()
+	seeds := effectiveSeeds(sc)
+	selSeed := sc.SelectSeed
+	if selSeed == 0 {
+		selSeed = 1
+	}
+	rng := rand.New(rand.NewSource(selSeed))
+	var zipf *rand.Zipf
+	if sc.Select == "zipfian" && nGraphs > 1 {
+		theta := sc.Theta
+		if theta == 0 {
+			theta = 1.1
+		}
+		zipf = rand.NewZipf(rng, theta, 1, uint64(nGraphs-1))
+	}
+	reqs := make([]Request, n)
+	for i := range reqs {
+		gi := 0
+		if nGraphs > 1 {
+			if zipf != nil {
+				gi = int(zipf.Uint64())
+			} else {
+				gi = rng.Intn(nGraphs)
+			}
+		}
+		c := combos[i%len(combos)]
+		reqs[i] = Request{
+			Graph:   gi,
+			Algo:    c.Algo,
+			K:       c.K,
+			Seed:    1 + int64(i%seeds),
+			Variant: c.Variant,
+		}
+	}
+	return reqs
+}
+
+// crossCheckDriver builds the opposite inproc backend for verification.
+func crossCheckDriver(sc *Scenario, graphs []LoadedGraph) (Driver, error) {
+	other := DriverInprocSim
+	if sc.Driver == DriverInprocSim {
+		other = DriverInprocFast
+	}
+	mirror := *sc
+	mirror.Driver = other
+	d, err := newDriver(&mirror, 1)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Prepare(graphs); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// runClosed drives the fixed-concurrency loop: warmup ops round-robin, then
+// the measured ops pulled from a shared counter by Concurrency workers.
+func runClosed(sc *Scenario, opts RunOptions, driver Driver, graphs []LoadedGraph, res *ScenarioResult) error {
+	ops := sc.Closed.Ops
+	if opts.Quick {
+		ops = quickOps(ops)
+	}
+	warm := sc.WarmupOps
+	reqs := buildRequests(sc, len(graphs), warm+ops)
+	if err := runWarmup(driver, reqs[:warm], res); err != nil {
+		return err
+	}
+	measured := reqs[warm:]
+
+	workers := sc.Closed.Concurrency
+	hists := make([]*Histogram, workers)
+	sizes := make([]int, len(measured))
+	var next atomic.Int64
+	var stop atomic.Bool // any operation error aborts the run fast
+	var errMu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		h := &Histogram{}
+		hists[w] = h
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				i := next.Add(1) - 1
+				if i >= int64(len(measured)) {
+					return
+				}
+				t0 := time.Now()
+				got, err := driver.Do(measured[i])
+				h.Record(time.Since(t0))
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					stop.Store(true)
+					return
+				}
+				sizes[i] = got.Size
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
+
+	if firstErr != nil {
+		return fmt.Errorf("kwbench: scenario %q: %w", sc.Name, firstErr)
+	}
+	total := &Histogram{}
+	for _, h := range hists {
+		total.Merge(h)
+	}
+	fillCommon(res, total, len(measured), elapsed, &msBefore, &msAfter)
+
+	// Verification pass, strictly outside the timing and allocation
+	// windows: re-solve every measured request on the opposite backend
+	// and compare sizes.
+	if sc.CrossCheck {
+		checker, err := crossCheckDriver(sc, graphs)
+		if err != nil {
+			return err
+		}
+		defer checker.Close()
+		for i, req := range measured {
+			want, err := checker.Do(req)
+			if err != nil {
+				return fmt.Errorf("kwbench: scenario %q cross-check: %w", sc.Name, err)
+			}
+			res.CrossChecked++
+			if want.Size != sizes[i] {
+				res.Mismatches++
+			}
+		}
+	}
+	return nil
+}
+
+// runWarmup executes the untimed warmup requests. The first one is timed
+// into ColdMS — against a serve driver it is the cache-populating cold
+// request; in-process it is the pool-priming first solve.
+func runWarmup(driver Driver, warmup []Request, res *ScenarioResult) error {
+	for i, r := range warmup {
+		t0 := time.Now()
+		if _, err := driver.Do(r); err != nil {
+			return fmt.Errorf("kwbench: warmup: %w", err)
+		}
+		if i == 0 {
+			res.ColdMS = float64(time.Since(t0)) / float64(time.Millisecond)
+		}
+	}
+	markWarm(driver)
+	return nil
+}
+
+// markWarm tells drivers that keep phase-sensitive counters (the spawned
+// http driver's cache stats) that warmup is over.
+func markWarm(d Driver) {
+	if m, ok := d.(interface{ MarkWarm() }); ok {
+		m.MarkWarm()
+	}
+}
+
+// runOpen drives the target-rate loop: the dispatcher launches one
+// operation per 1/rate tick; completions never gate dispatch (up to the
+// in-flight bound), and each operation's latency is measured from its
+// scheduled tick — queueing delay from a saturated backend is charged to
+// the operation instead of silently slowing the load (the coordinated-
+// omission correction).
+func runOpen(sc *Scenario, opts RunOptions, driver Driver, graphs []LoadedGraph, res *ScenarioResult) error {
+	rate := sc.Open.Rate
+	duration := time.Duration(sc.Open.DurationSec * float64(time.Second))
+	if opts.Quick && duration > 500*time.Millisecond {
+		duration = 500 * time.Millisecond
+	}
+	maxInflight := sc.Open.MaxInflight
+	if maxInflight <= 0 {
+		maxInflight = 256
+	}
+	interval := time.Duration(float64(time.Second) / rate)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	planned := int(float64(duration)/float64(interval)) + 2
+	warm := sc.WarmupOps
+	reqs := buildRequests(sc, len(graphs), warm+planned)
+	if err := runWarmup(driver, reqs[:warm], res); err != nil {
+		return err
+	}
+	measured := reqs[warm:]
+
+	sem := make(chan struct{}, maxInflight)
+	var mu sync.Mutex
+	total := &Histogram{}
+	sizes := make([]int, len(measured))
+	var stop atomic.Bool // any operation error aborts the run fast
+	var firstErr error
+	var wg sync.WaitGroup
+
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
+	start := time.Now()
+	deadline := start.Add(duration)
+	ops := 0
+	for i := 0; !stop.Load(); i++ {
+		sched := start.Add(time.Duration(i) * interval)
+		if !sched.Before(deadline) || i >= len(measured) {
+			break
+		}
+		if wait := time.Until(sched); wait > 0 {
+			time.Sleep(wait)
+		}
+		sem <- struct{}{} // the wait (if saturated) lands in this op's latency via sched
+		wg.Add(1)
+		ops++
+		go func(op int, sched time.Time) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			got, err := driver.Do(measured[op])
+			lat := time.Since(sched)
+			mu.Lock()
+			total.Record(lat)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				stop.Store(true)
+			} else {
+				sizes[op] = got.Size
+			}
+			mu.Unlock()
+		}(i, sched)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
+
+	if firstErr != nil {
+		return fmt.Errorf("kwbench: scenario %q: %w", sc.Name, firstErr)
+	}
+	fillCommon(res, total, ops, elapsed, &msBefore, &msAfter)
+	res.TargetRate = rate
+	res.AchievedRate = res.OpsPerSec
+
+	// Verification pass, outside every measurement window (as in
+	// runClosed).
+	if sc.CrossCheck {
+		checker, err := crossCheckDriver(sc, graphs)
+		if err != nil {
+			return err
+		}
+		defer checker.Close()
+		for i := 0; i < ops; i++ {
+			want, err := checker.Do(measured[i])
+			if err != nil {
+				return fmt.Errorf("kwbench: scenario %q cross-check: %w", sc.Name, err)
+			}
+			res.CrossChecked++
+			if want.Size != sizes[i] {
+				res.Mismatches++
+			}
+		}
+	}
+	return nil
+}
+
+// fillCommon computes the shared result block from a merged histogram and
+// the mem-stats window.
+func fillCommon(res *ScenarioResult, h *Histogram, ops int, elapsed time.Duration, before, after *runtime.MemStats) {
+	res.Ops = ops
+	res.ElapsedSec = elapsed.Seconds()
+	if res.ElapsedSec > 0 {
+		res.OpsPerSec = float64(ops) / res.ElapsedSec
+	}
+	res.Latency = h.Summary()
+	if ops > 0 {
+		res.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(ops)
+		res.BytesPerOp = float64(after.TotalAlloc-before.TotalAlloc) / float64(ops)
+	}
+}
+
+// quickOps shrinks an op count for smoke runs.
+func quickOps(ops int) int {
+	q := ops / 10
+	if q < 8 {
+		q = 8
+	}
+	if q > ops {
+		q = ops
+	}
+	return q
+}

@@ -1,0 +1,444 @@
+// Package kwbench is the scenario-driven workload and benchmark subsystem
+// behind `kwmds bench`: declarative scenario specs (JSON or TOML files,
+// conventionally under scenarios/) describe a graph set, a pipeline
+// configuration matrix, a driver and a load shape; the runner executes the
+// scenario through warmup and measure phases and exports latency
+// percentiles, throughput and allocation counts into the unified
+// BENCH_kwbench.json. It replaces the bespoke servebench/solvebench mains
+// with one harness whose knobs compose: every driver accepts every loop
+// mode, graph selection and matrix.
+//
+// See docs/BENCHMARKS.md for the methodology and the scenario file format.
+package kwbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"kwmds"
+)
+
+// MaxOpenOps caps an open-loop scenario's planned operation count
+// (rate × duration): the dispatch schedule is precomputed, so the cap
+// bounds the runner's memory.
+const MaxOpenOps = 1_000_000
+
+// Driver names.
+const (
+	// DriverInprocFast runs each operation through the facade's fastpath
+	// backend (Options.Sequential) in-process — the cold-solve compute path.
+	DriverInprocFast = "inproc-fast"
+	// DriverInprocSim runs each operation through the message-passing
+	// simulation in-process — the only driver whose operations carry
+	// rounds/messages/bits accounting.
+	DriverInprocSim = "inproc-sim"
+	// DriverHTTPServe drives POST /v1/solve against a serve instance:
+	// an in-process spawned server by default, or a remote one when the
+	// scenario names a URL. The full stack — HTTP, JSON codec, worker
+	// pool, LRU — is on the measured path.
+	DriverHTTPServe = "http-serve"
+)
+
+// Scenario is the declarative description of one benchmark run. Exactly one
+// loop mode (Closed or Open) must be set, except for mobility scenarios,
+// which replay a trace epoch by epoch and take no loop spec.
+type Scenario struct {
+	// Name identifies the scenario in reports; results merged into
+	// BENCH_kwbench.json replace earlier results with the same name.
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	// Driver is one of inproc-fast | inproc-sim | http-serve.
+	Driver string `json:"driver"`
+	// Graphs is the preloaded set operations select from. Empty is valid
+	// only for mobility scenarios (they generate their own snapshots).
+	Graphs []GraphSpec `json:"graphs,omitempty"`
+	// Select picks how operations choose a graph from the set:
+	// "uniform" (default) or "zipfian" (rank-skewed toward the first
+	// graphs, YCSB-style).
+	Select string `json:"select,omitempty"`
+	// Theta is the zipfian skew s > 1 (default 1.1); ignored for uniform.
+	Theta float64 `json:"theta,omitempty"`
+	// SelectSeed seeds the graph-selection stream (default 1), making the
+	// request schedule a pure function of the spec.
+	SelectSeed int64 `json:"select_seed,omitempty"`
+
+	// Matrix is the pipeline configuration grid; operations cycle through
+	// its cross product.
+	Matrix Matrix `json:"matrix,omitempty"`
+
+	// Closed configures closed-loop load: a fixed worker count, each
+	// issuing the next operation as soon as its previous one returns.
+	Closed *ClosedLoop `json:"closed,omitempty"`
+	// Open configures open-loop load: operations dispatched at a target
+	// rate regardless of completions; latency is measured from the
+	// *scheduled* start, so queueing delay is charged to the operation
+	// (no coordinated omission).
+	Open *OpenLoop `json:"open,omitempty"`
+
+	// WarmupOps are untimed operations run before measurement starts
+	// (cache population, pool priming, JIT-ish effects).
+	WarmupOps int `json:"warmup_ops,omitempty"`
+	// Seeds is the number of distinct rounding seeds operations rotate
+	// through (default 1). Against a serve driver, 1 makes the measured
+	// phase cache-resident once warmed; a large value makes every
+	// operation a fresh computation.
+	Seeds int `json:"seeds,omitempty"`
+
+	// CrossCheck re-runs every measured operation on the *other* inproc
+	// backend (fast↔sim) and compares dominating-set sizes; any mismatch
+	// fails the scenario. The verification pass runs after the measure
+	// phase completes, outside the latency, throughput and allocation
+	// windows.
+	CrossCheck bool `json:"cross_check,omitempty"`
+
+	// Mobility switches the scenario to a dynamic-graph replay: a
+	// random-walk trace is generated and the pipeline re-solves every
+	// epoch, recording per-epoch latency and set/edge churn.
+	Mobility *MobilitySpec `json:"mobility,omitempty"`
+
+	// HTTP tunes the http-serve driver; nil selects a spawned in-process
+	// server with default sizing.
+	HTTP *HTTPSpec `json:"http,omitempty"`
+}
+
+// GraphSpec names one graph of the scenario's preloaded set. Exactly one
+// source — Gen, File or Tier — must be set.
+type GraphSpec struct {
+	// Name is the graph's identity in reports and graph_ref requests
+	// (default: the gen spec / tier name / file base name).
+	Name string `json:"name,omitempty"`
+	// Gen is a generator family spec: udg:n:radius:seed, gnp:n:p:seed,
+	// grid:rows:cols or tree:n:seed (the grammar of gen.FromSpec).
+	Gen string `json:"gen,omitempty"`
+	// File is an edge-list path.
+	File string `json:"file,omitempty"`
+	// Tier names one of the canonical size tiers (see Tiers).
+	Tier string `json:"tier,omitempty"`
+}
+
+// Matrix is the cross product of pipeline configurations a scenario sweeps.
+type Matrix struct {
+	// Algos: kw | kw2 | kwcds | frac (default [kw]).
+	Algos []string `json:"algos,omitempty"`
+	// Variants: ln | ln-lnln (default [ln]).
+	Variants []string `json:"variants,omitempty"`
+	// Ks are trade-off parameters (default [3]; 0 selects k = log ∆).
+	Ks []int `json:"ks,omitempty"`
+}
+
+// ClosedLoop is fixed-concurrency load.
+type ClosedLoop struct {
+	// Concurrency is the number of workers issuing operations back to back.
+	Concurrency int `json:"concurrency"`
+	// Ops is the number of measured operations across all workers.
+	Ops int `json:"ops"`
+}
+
+// OpenLoop is target-rate load.
+type OpenLoop struct {
+	// Rate is the dispatch rate in operations per second.
+	Rate float64 `json:"rate"`
+	// DurationSec is the measured window length.
+	DurationSec float64 `json:"duration_sec"`
+	// MaxInflight bounds concurrently outstanding operations (default
+	// 256). When the bound is hit the dispatcher blocks and the wait is
+	// charged to the queued operations' latency.
+	MaxInflight int `json:"max_inflight,omitempty"`
+}
+
+// MobilitySpec parameterizes the dynamic-graph replay (internal/mobility's
+// bounded random walk).
+type MobilitySpec struct {
+	N      int     `json:"n"`
+	Radius float64 `json:"radius"`
+	Speed  float64 `json:"speed"`
+	Epochs int     `json:"epochs"`
+	Seed   int64   `json:"seed,omitempty"`
+}
+
+// HTTPSpec tunes the http-serve driver.
+type HTTPSpec struct {
+	// URL targets a remote serve instance; "" spawns one in-process. A
+	// remote target must already have the scenario's graphs preloaded
+	// under their names.
+	URL string `json:"url,omitempty"`
+	// Workers and CacheEntries size the spawned server (0 = defaults).
+	Workers      int `json:"workers,omitempty"`
+	CacheEntries int `json:"cache_entries,omitempty"`
+	// TimeoutSec bounds each request (default 120 s), so a hung target
+	// fails the scenario instead of blocking the benchmark forever.
+	TimeoutSec float64 `json:"timeout_sec,omitempty"`
+}
+
+// Tiers are the named canonical graph tiers scenario specs may reference:
+// one identity per (family, size) so scenarios across trajectories measure
+// the same instance. Where a legacy benchmark workload of the same name
+// exists (internal/bench workloads, servebench instances), the parameters
+// reproduce it exactly — the gnp-40k/gnp-200k radii are the shortest
+// decimal representations of the legacy 8/(n−1) probabilities, which
+// strconv.ParseFloat round-trips to the identical float64.
+var Tiers = map[string]string{
+	"udg-500":  "udg:500:0.08:1",
+	"udg-1k":   "udg:1000:0.05:1",
+	"udg-2k":   "udg:2000:0.04:106",
+	"udg-10k":  "udg:10000:0.02:1",
+	"udg-20k":  "udg:20000:0.014:109",
+	"udg-100k": "udg:100000:0.0065:109",
+	"gnp-500":  "gnp:500:0.012:107",
+	"gnp-2k":   "gnp:2000:0.003:107",
+	"gnp-40k":  "gnp:40000:0.00020000500012500312:110",
+	"gnp-200k": "gnp:200000:4.0000200001000004e-05:110",
+	"grid-45":  "grid:45:45",
+	"tree-10k": "tree:10000:103",
+}
+
+// Load reads, decodes and validates a scenario file. The format follows the
+// extension: .toml is decoded with the built-in TOML subset, anything else
+// as strict JSON. Unknown fields are rejected in both formats.
+func Load(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("kwbench: %w", err)
+	}
+	sc, err := Decode(data, strings.EqualFold(filepath.Ext(path), ".toml"))
+	if err != nil {
+		return nil, fmt.Errorf("kwbench: %s: %w", path, err)
+	}
+	return sc, nil
+}
+
+// Decode parses a scenario from raw bytes (TOML subset when toml is set,
+// strict JSON otherwise) and validates it.
+func Decode(data []byte, toml bool) (*Scenario, error) {
+	if toml {
+		doc, err := parseTOML(data)
+		if err != nil {
+			return nil, err
+		}
+		// Round-trip through JSON so both formats share one strict,
+		// unknown-field-rejecting decode into the spec struct.
+		data, err = json.Marshal(doc)
+		if err != nil {
+			return nil, err
+		}
+	}
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var sc Scenario
+	if err := dec.Decode(&sc); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("scenario: trailing data after JSON body")
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return &sc, nil
+}
+
+// combos expands the matrix cross product in deterministic order.
+type combo struct {
+	Algo    string
+	Variant string
+	K       int
+}
+
+func (m Matrix) combos() []combo {
+	algos, variants, ks := m.Algos, m.Variants, m.Ks
+	if len(algos) == 0 {
+		algos = []string{"kw"}
+	}
+	if len(variants) == 0 {
+		variants = []string{"ln"}
+	}
+	if len(ks) == 0 {
+		ks = []int{3}
+	}
+	var cs []combo
+	for _, a := range algos {
+		for _, v := range variants {
+			for _, k := range ks {
+				cs = append(cs, combo{a, v, k})
+			}
+		}
+	}
+	return cs
+}
+
+// Validate checks the scenario for structural consistency and fills no
+// defaults (the runner resolves defaults at execution time so a validated
+// spec round-trips unchanged).
+func (sc *Scenario) Validate() error {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("scenario %q: %s", sc.Name, fmt.Sprintf(format, args...))
+	}
+	if sc.Name == "" {
+		return fmt.Errorf("scenario: missing name")
+	}
+	switch sc.Driver {
+	case DriverInprocFast, DriverInprocSim:
+	case DriverHTTPServe:
+		if sc.Mobility != nil {
+			return bad("mobility replay requires an inproc driver (the serve protocol has no epoch identity)")
+		}
+		if sc.CrossCheck {
+			return bad("cross_check requires an inproc driver")
+		}
+	case "":
+		return bad("missing driver (want %s|%s|%s)", DriverInprocFast, DriverInprocSim, DriverHTTPServe)
+	default:
+		return bad("unknown driver %q (want %s|%s|%s)", sc.Driver, DriverInprocFast, DriverInprocSim, DriverHTTPServe)
+	}
+
+	if sc.Mobility != nil {
+		if sc.Closed != nil || sc.Open != nil {
+			return bad("mobility replay takes no loop spec (epochs run back to back)")
+		}
+		if len(sc.Graphs) > 0 {
+			return bad("mobility replay generates its own snapshots; drop the graphs list")
+		}
+		m := sc.Mobility
+		if m.N < 1 || m.Epochs < 1 || m.Radius <= 0 || m.Speed < 0 {
+			return bad("bad mobility parameters n=%d radius=%v speed=%v epochs=%d",
+				m.N, m.Radius, m.Speed, m.Epochs)
+		}
+		if sc.WarmupOps >= m.Epochs {
+			return bad("warmup_ops %d consumes every one of the %d epochs", sc.WarmupOps, m.Epochs)
+		}
+	} else {
+		if sc.Closed != nil && sc.Open != nil {
+			return bad("conflicting loop modes: exactly one of closed and open")
+		}
+		if sc.Closed == nil && sc.Open == nil {
+			return bad("missing loop mode: exactly one of closed and open")
+		}
+		if c := sc.Closed; c != nil {
+			if c.Concurrency < 1 {
+				return bad("closed loop needs concurrency ≥ 1 (got %d)", c.Concurrency)
+			}
+			if c.Ops < 1 {
+				return bad("closed loop needs ops ≥ 1 (got %d)", c.Ops)
+			}
+		}
+		if o := sc.Open; o != nil {
+			if !(o.Rate > 0) || math.IsInf(o.Rate, 0) {
+				return bad("open loop needs a finite rate > 0 (got %v)", o.Rate)
+			}
+			if !(o.DurationSec > 0) || math.IsInf(o.DurationSec, 0) {
+				return bad("open loop needs a finite duration_sec > 0 (got %v)", o.DurationSec)
+			}
+			// The runner materializes the whole dispatch schedule up
+			// front; bound it here so an over-ambitious spec is rejected
+			// at load instead of exhausting memory mid-run.
+			if planned := o.Rate * o.DurationSec; planned > MaxOpenOps {
+				return bad("open loop schedules %.0f ops (rate × duration); the cap is %d", planned, MaxOpenOps)
+			}
+			if o.MaxInflight < 0 {
+				return bad("open loop max_inflight must be ≥ 0 (got %d)", o.MaxInflight)
+			}
+		}
+		if len(sc.Graphs) == 0 {
+			return bad("empty graph set")
+		}
+	}
+
+	names := map[string]bool{}
+	for i, g := range sc.Graphs {
+		set := 0
+		for _, s := range []string{g.Gen, g.File, g.Tier} {
+			if s != "" {
+				set++
+			}
+		}
+		if set != 1 {
+			return bad("graph %d: exactly one of gen, file and tier is required", i)
+		}
+		if g.Tier != "" {
+			if _, ok := Tiers[g.Tier]; !ok {
+				return bad("graph %d: bad tier %q (known: %s)", i, g.Tier, tierNames())
+			}
+		}
+		name := g.EffectiveName()
+		if names[name] {
+			return bad("duplicate graph name %q", name)
+		}
+		names[name] = true
+	}
+
+	switch sc.Select {
+	case "", "uniform":
+	case "zipfian":
+		// NaN fails every comparison, so `<= 1` alone would let it
+		// through — and a non-finite skew spins rand.Zipf's rejection
+		// loop forever.
+		if sc.Theta != 0 && !(sc.Theta > 1 && !math.IsInf(sc.Theta, 0)) {
+			return bad("zipfian selection needs a finite theta > 1 (got %v)", sc.Theta)
+		}
+	default:
+		return bad("unknown select %q (want uniform|zipfian)", sc.Select)
+	}
+	if sc.Seeds < 0 {
+		return bad("seeds must be ≥ 0 (got %d)", sc.Seeds)
+	}
+	if sc.WarmupOps < 0 {
+		return bad("warmup_ops must be ≥ 0 (got %d)", sc.WarmupOps)
+	}
+
+	for _, c := range sc.Matrix.combos() {
+		switch c.Algo {
+		case "kw", "kw2", "kwcds", "frac":
+		default:
+			return bad("unknown algo %q (want kw|kw2|kwcds|frac)", c.Algo)
+		}
+		switch c.Variant {
+		case "ln", "ln-lnln":
+		default:
+			return bad("unknown variant %q (want ln|ln-lnln)", c.Variant)
+		}
+		if c.K < 0 || c.K > kwmds.MaxK {
+			return bad("k %d outside [0, %d]", c.K, kwmds.MaxK)
+		}
+		if sc.CrossCheck && c.Algo == "frac" {
+			return bad("cross_check compares dominating-set sizes; algo frac has none")
+		}
+	}
+
+	if sc.HTTP != nil {
+		if sc.Driver != DriverHTTPServe {
+			return bad("http block is only valid with the %s driver", DriverHTTPServe)
+		}
+		if sc.HTTP.TimeoutSec < 0 || math.IsNaN(sc.HTTP.TimeoutSec) || math.IsInf(sc.HTTP.TimeoutSec, 0) {
+			return bad("http timeout_sec must be a finite value ≥ 0 (got %v)", sc.HTTP.TimeoutSec)
+		}
+	}
+	return nil
+}
+
+// EffectiveName resolves the graph's report/request name.
+func (g GraphSpec) EffectiveName() string {
+	if g.Name != "" {
+		return g.Name
+	}
+	if g.Tier != "" {
+		return g.Tier
+	}
+	if g.Gen != "" {
+		return g.Gen
+	}
+	return filepath.Base(g.File)
+}
+
+func tierNames() string {
+	names := make([]string, 0, len(Tiers))
+	for n := range Tiers {
+		names = append(names, n)
+	}
+	sort.Strings(names) // deterministic error messages
+	return strings.Join(names, " ")
+}

@@ -1,0 +1,96 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+
+	"kwmds"
+	"kwmds/internal/graphio"
+	"kwmds/internal/server"
+)
+
+// Example_solveRequest is the compile-checked version of the README's
+// POST /v1/solve walkthrough: a server preloaded with one topology, a
+// request against it by graph_ref, and the response fields a client
+// actually consumes. The result is deterministic — equal (graph, k, seed,
+// variant) always produce the identical set, whatever the engine.
+func Example_solveRequest() {
+	g, err := kwmds.Grid(4, 4) // 16 nodes, Δ = 4
+	if err != nil {
+		panic(err)
+	}
+	srv := server.New(server.Config{Graphs: map[string]*kwmds.Graph{"grid": g}})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(graphio.SolveRequest{
+		GraphRef: "grid",
+		Algo:     "kw",
+		K:        3,
+		Seed:     1,
+		Engine:   "fast", // the default: pooled fastpath, no round stats
+		Members:  true,
+	})
+	resp, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+
+	var sr graphio.SolveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		panic(err)
+	}
+	fmt.Println("status:", resp.StatusCode)
+	fmt.Println("algo:", sr.Algo, "k:", sr.K, "n:", sr.N)
+	fmt.Println("size:", sr.Size, "members:", sr.Members)
+	fmt.Println("cached:", sr.Cached)
+
+	// The same query again is answered from the LRU (keyed on the graph's
+	// canonical digest plus every result-affecting option).
+	resp2, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		panic(err)
+	}
+	defer resp2.Body.Close()
+	var sr2 graphio.SolveResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&sr2); err != nil {
+		panic(err)
+	}
+	fmt.Println("cached on repeat:", sr2.Cached, "same set:", fmt.Sprint(sr2.Members) == fmt.Sprint(sr.Members))
+
+	// Output:
+	// status: 200
+	// algo: kw k: 3 n: 16
+	// size: 10 members: [0 1 2 3 4 6 7 9 13 15]
+	// cached: false
+	// cached on repeat: true same set: true
+}
+
+// Example_solveRequestError shows the error contract: malformed options
+// are rejected with 400 and a field-named message before any pipeline
+// work runs.
+func Example_solveRequestError() {
+	srv := server.New(server.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/solve", "application/json",
+		bytes.NewReader([]byte(`{"graph": {"n": 3, "edges": [[0,1],[1,2]]}, "k": -1}`)))
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+	var er graphio.ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		panic(err)
+	}
+	fmt.Println("status:", resp.StatusCode)
+	fmt.Println("error:", er.Error)
+	// Output:
+	// status: 400
+	// error: invalid options: K = -1 outside [0, 64] (0 selects k = log ∆)
+}

@@ -308,6 +308,14 @@ func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"graphs": infos})
 }
 
+// Stats reports the result cache's entry count and hit/miss totals — the
+// same counters /healthz serves, exposed directly so in-process drivers
+// (the kwbench http-serve driver) can report hit rates without scraping
+// the health endpoint.
+func (s *Server) Stats() (entries int, hits, misses int64) {
+	return s.cache.stats()
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	entries, hits, misses := s.cache.stats()
 	writeJSON(w, http.StatusOK, map[string]any{
