@@ -1,8 +1,10 @@
 // Command kwmds runs a dominating set algorithm on a graph read from a
 // file (or stdin) in the plain edge-list format and prints the resulting
 // set together with quality and communication statistics. With the serve
-// subcommand it instead runs as a long-lived HTTP JSON service; with the
-// bench subcommand it executes declarative benchmark scenarios
+// subcommand it instead runs as a long-lived HTTP JSON service whose
+// preloaded graphs are mutable through POST /v1/graphs/{name}/mutate
+// (epoch-batched edge/vertex/weight mutations via internal/dyngraph);
+// with the bench subcommand it executes declarative benchmark scenarios
 // (internal/kwbench) and merges the results into BENCH_kwbench.json.
 //
 // Usage:

@@ -77,18 +77,23 @@
 // /v1/solve, requests run through a bounded worker pool — the simulation
 // engine is re-entrant, so many pipelines execute concurrently in one
 // process — and results are cached in an LRU keyed on (graph digest,
-// options), making repeated queries on an unchanged topology O(1). See the
-// README for the JSON schema and BENCH_serve.json for throughput and
-// latency under load.
+// options), making repeated queries on an unchanged topology O(1).
+// Preloaded topologies are mutable: POST /v1/graphs/{name}/mutate applies
+// an atomic epoch batch of edge/vertex/weight mutations through the
+// dynamic-graph engine (internal/dyngraph), invalidating the cache entries
+// the old topology held; solve requests may pin an epoch for optimistic
+// concurrency. See the README for the JSON schema and BENCH_serve.json for
+// throughput and latency under load.
 //
 // The `kwmds bench` subcommand (internal/kwbench) is the measurement
 // layer: declarative scenario specs (JSON/TOML files under scenarios/)
 // drive closed- or open-loop load through any backend — in-process
 // fastpath or simulation, or the HTTP service — with warmup/measure
 // phases, zipfian or uniform graph selection, dynamic-graph mobility
-// replays and a sim-vs-fast cross-check mode, exporting HDR-histogram
-// latency percentiles, throughput and allocation counts into the unified
-// BENCH_kwbench.json.
+// replays (including rebuild-vs-mutation-API churn modes over
+// internal/dyngraph) and a sim-vs-fast cross-check mode, exporting
+// HDR-histogram latency percentiles, throughput and allocation counts
+// into the unified BENCH_kwbench.json.
 //
 // Architecture notes live in docs/ARCHITECTURE.md (layers, data flow, the
 // three-backend contract) and docs/BENCHMARKS.md (benchmark methodology

@@ -17,7 +17,11 @@ type ServeConfig struct {
 	Workers      int
 	CacheEntries int
 	// Preload entries have the form name=<source>, where <source> is
-	// anything LoadGraph accepts (an edge-list file or a gen: spec).
+	// anything LoadGraph accepts (an edge-list file or a gen: spec). A
+	// preloaded graph is only the starting snapshot: clients may evolve it
+	// epoch by epoch through POST /v1/graphs/{name}/mutate (the
+	// internal/dyngraph engine behind the server keeps the name stable
+	// while the topology, digest and epoch advance).
 	Preload []string
 }
 

@@ -1,0 +1,612 @@
+// Package dyngraph is the dynamic-graph engine: a mutable overlay over the
+// immutable CSR substrate of internal/graph. Mutations — edge insertions
+// and removals, vertex additions, per-vertex weight updates — are buffered
+// and applied in epoch batches: Commit merges the pending deltas into the
+// previous snapshot's sorted adjacency in one linear pass (no re-sort, no
+// dedup sweep, no edge-list round trip), producing a fresh immutable
+// snapshot plus a Delta describing exactly which vertices' neighborhoods
+// changed. The Delta is what the incremental solver (fastpath.Resolve)
+// consumes to repair its cached per-vertex state instead of recomputing it,
+// and what the serve subsystem's mutation endpoint reports back to clients.
+//
+// Concurrency: a Dynamic is not safe for concurrent use; callers that share
+// one (the serve subsystem) must serialize mutations externally. Snapshots
+// returned by Graph and Commit are immutable and remain valid forever —
+// committing never touches previously returned graphs.
+package dyngraph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"kwmds/internal/graph"
+)
+
+// Delta describes one committed epoch transition.
+type Delta struct {
+	// Prev and Next are the snapshots before and after the commit. Prev is
+	// nil only for the zero-value Dynamic's first commit.
+	Prev, Next *graph.Graph
+	// Touched lists, in increasing order, every vertex whose adjacency list
+	// changed (endpoints of inserted/removed edges and newly added
+	// vertices). Weight-only updates do not touch. The slice's backing
+	// store is reused by the next Commit on the same Dynamic; callers that
+	// keep it past that point must copy it.
+	Touched []int32
+	// Epoch is the epoch number Next belongs to (the number of commits).
+	Epoch int64
+	// Grew reports whether the vertex count increased this epoch.
+	Grew bool
+}
+
+// Dynamic is a mutable graph overlay. Use New to wrap a starting snapshot.
+type Dynamic struct {
+	g     *graph.Graph
+	epoch int64
+	costs []float64 // nil until the first weight update
+
+	nextN int // current n plus pending vertex additions
+
+	// Pending edge ops. The pend map records, for edges whose interactive
+	// (AddEdge/RemoveEdge) state differs from the snapshot, the desired
+	// final state — it exists so interactive mutations are validated at
+	// call time and cancel each other cleanly. Batch deltas
+	// (ApplyEdgeDeltas) bypass the map and are validated during the commit
+	// merge instead; see the method comment for the mixing rules.
+	pend     map[[2]int32]int8 // +1 edge will exist, -1 edge will not
+	batchAdd [][2]int32
+	batchRem [][2]int32
+	pendW    map[int32]float64
+
+	// Commit scratch, reused across epochs.
+	addCnt  []int32 // per-vertex directed add/remove list offsets
+	remCnt  []int32
+	addList []int32
+	remList []int32
+	touched []int32 // Delta.Touched backing store, reused per commit
+
+	// Recycled snapshot storage (see Recycle).
+	freeOff []int32
+	freeAdj []int32
+}
+
+// New wraps a starting snapshot at epoch 0. A nil g starts from the empty
+// graph.
+func New(g *graph.Graph) *Dynamic {
+	if g == nil {
+		g = graph.MustNew(0, nil)
+	}
+	d := &Dynamic{g: g, nextN: g.N()}
+	d.resetBatch()
+	return d
+}
+
+// Graph returns the current committed snapshot.
+func (d *Dynamic) Graph() *graph.Graph { return d.g }
+
+// Epoch returns the number of commits applied so far.
+func (d *Dynamic) Epoch() int64 { return d.epoch }
+
+// N returns the vertex count including pending vertex additions.
+func (d *Dynamic) N() int { return d.nextN }
+
+// Costs returns the current per-vertex weight vector, or nil if no weight
+// was ever set. The slice is owned by the Dynamic; callers must copy it if
+// they keep it across a Commit.
+func (d *Dynamic) Costs() []float64 { return d.costs }
+
+// Pending reports the number of buffered mutations (edge ops, vertex
+// additions and weight updates) awaiting Commit.
+func (d *Dynamic) Pending() int {
+	return len(d.pend) + len(d.batchAdd) + len(d.batchRem) + len(d.pendW) + (d.nextN - d.g.N())
+}
+
+// Discard drops every buffered mutation, returning to the committed state.
+func (d *Dynamic) Discard() {
+	d.pend = nil
+	d.resetBatch()
+	d.pendW = nil
+	d.nextN = d.g.N()
+}
+
+func (d *Dynamic) resetBatch() {
+	d.batchAdd = d.batchAdd[:0]
+	d.batchRem = d.batchRem[:0]
+}
+
+func edgeKey(u, v int32) [2]int32 {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int32{u, v}
+}
+
+func (d *Dynamic) checkEndpoints(op string, u, v int) error {
+	if u == v {
+		return fmt.Errorf("dyngraph: %s: self-loop at vertex %d", op, u)
+	}
+	if u < 0 || u >= d.nextN || v < 0 || v >= d.nextN {
+		return fmt.Errorf("dyngraph: %s: edge (%d,%d) out of range [0,%d)", op, u, v, d.nextN)
+	}
+	return nil
+}
+
+// effective reports whether the edge exists after the interactive pending
+// ops (batch deltas are not consulted — they are validated at Commit).
+func (d *Dynamic) effective(key [2]int32) bool {
+	if s, ok := d.pend[key]; ok {
+		return s > 0
+	}
+	return d.baseHas(key)
+}
+
+func (d *Dynamic) baseHas(key [2]int32) bool {
+	n := int32(d.g.N())
+	return key[0] < n && key[1] < n && d.g.HasEdge(int(key[0]), int(key[1]))
+}
+
+// AddEdge buffers the insertion of edge {u,v}. Inserting an edge that
+// already exists (in the snapshot or earlier in this batch) is an error.
+func (d *Dynamic) AddEdge(u, v int) error {
+	if err := d.checkEndpoints("AddEdge", u, v); err != nil {
+		return err
+	}
+	key := edgeKey(int32(u), int32(v))
+	if d.effective(key) {
+		return fmt.Errorf("dyngraph: AddEdge: duplicate edge (%d,%d)", u, v)
+	}
+	if d.baseHas(key) { // was removed earlier in this batch; cancel out
+		delete(d.pend, key)
+		return nil
+	}
+	if d.pend == nil {
+		d.pend = make(map[[2]int32]int8)
+	}
+	d.pend[key] = 1
+	return nil
+}
+
+// RemoveEdge buffers the removal of edge {u,v}. Removing an edge that does
+// not exist is an error.
+func (d *Dynamic) RemoveEdge(u, v int) error {
+	if err := d.checkEndpoints("RemoveEdge", u, v); err != nil {
+		return err
+	}
+	key := edgeKey(int32(u), int32(v))
+	if !d.effective(key) {
+		return fmt.Errorf("dyngraph: RemoveEdge: no edge (%d,%d)", u, v)
+	}
+	if !d.baseHas(key) { // was added earlier in this batch; cancel out
+		delete(d.pend, key)
+		return nil
+	}
+	if d.pend == nil {
+		d.pend = make(map[[2]int32]int8)
+	}
+	d.pend[key] = -1
+	return nil
+}
+
+// AddVertex buffers the addition of an isolated vertex and returns its id
+// (ids are assigned densely after the current maximum). Edges to the new
+// vertex may be buffered in the same batch.
+func (d *Dynamic) AddVertex() int {
+	id := d.nextN
+	d.nextN++
+	return id
+}
+
+// SetWeight buffers a per-vertex weight update. Weights follow the facade's
+// domain rule (finite, ≥ 1); vertices never assigned a weight default to 1
+// once any weight is set.
+func (d *Dynamic) SetWeight(v int, w float64) error {
+	if v < 0 || v >= d.nextN {
+		return fmt.Errorf("dyngraph: SetWeight: vertex %d out of range [0,%d)", v, d.nextN)
+	}
+	if math.IsNaN(w) || math.IsInf(w, 0) || w < 1 {
+		return fmt.Errorf("dyngraph: SetWeight: weight %v outside [1, ∞)", w)
+	}
+	if d.pendW == nil {
+		d.pendW = make(map[int32]float64)
+	}
+	d.pendW[int32(v)] = w
+	return nil
+}
+
+// ApplyEdgeDeltas buffers a batch of edge changes without the
+// per-operation map bookkeeping and eager validation of
+// AddEdge/RemoveEdge — the path for bulk churn (a mobility epoch's link
+// events). The whole batch is validated at Commit, fused into the passes
+// that must touch every entry anyway: endpoint range/self-loop problems
+// and existence conflicts (duplicate insertions, removals of absent
+// edges, collisions with interactive ops of the same batch) fail the
+// Commit without changing the committed state. Entries may use either
+// endpoint orientation.
+func (d *Dynamic) ApplyEdgeDeltas(add, remove [][2]int32) {
+	d.batchAdd = append(d.batchAdd, add...)
+	d.batchRem = append(d.batchRem, remove...)
+}
+
+// Recycle hands a retired snapshot's storage back to the Dynamic for reuse
+// by a future Commit, making the epoch loop allocation-free in steady
+// state. The caller asserts that NOTHING references g anymore — not a
+// solver's cached CSR, not a cache entry, not a kept Neighbors slice; the
+// next Commit overwrites the arrays in place. The safe pattern is the
+// churn driver's: after Resolve(delta) completes, delta.Prev is referenced
+// by nobody (the solver has moved its bookmarks to delta.Next) and may be
+// recycled. Recycling the current snapshot is ignored rather than obeyed.
+func (d *Dynamic) Recycle(g *graph.Graph) {
+	if g == nil || g == d.g {
+		return
+	}
+	off, adj := g.CSR()
+	curOff, _ := d.g.CSR()
+	if len(off) > 0 && len(curOff) > 0 && &off[0] == &curOff[0] {
+		return
+	}
+	d.freeOff, d.freeAdj = off, adj
+}
+
+// grow re-slices an int32 scratch buffer to n zeroed entries.
+func grow(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// Commit applies the pending batch and returns the epoch's Delta. The merge
+// is one linear pass: untouched vertices' adjacency runs are copied
+// verbatim; touched vertices merge their sorted old run with the batch's
+// sorted per-vertex delta lists. On a validation error (duplicate
+// insertion, removal of an absent edge) the committed state is unchanged
+// and the pending batch is kept for inspection; Discard drops it.
+func (d *Dynamic) Commit() (*Delta, error) {
+	oldN := d.g.N()
+	n := d.nextN
+	oldOff, oldAdj := d.g.CSR()
+
+	// Gather every pending edge op into per-vertex directed lists. Map
+	// entries are folded in first (their order is irrelevant: per-vertex
+	// lists are sorted below), then the batch lists.
+	nAdd, nRem := len(d.batchAdd), len(d.batchRem)
+	for _, s := range d.pend {
+		if s > 0 {
+			nAdd++
+		} else {
+			nRem++
+		}
+	}
+	if nAdd == 0 && nRem == 0 && n == oldN {
+		// No adjacency change at all (weight-only or empty batch): the
+		// current snapshot IS the next epoch's topology. Skipping the
+		// rebuild keeps weight-only mutations O(pending) — and lets
+		// callers that key on the graph (the server's digest cache) see an
+		// unchanged identity.
+		d.applyWeights(n)
+		d.touched = d.touched[:0]
+		delta := &Delta{Prev: d.g, Next: d.g, Touched: d.touched, Epoch: d.epoch + 1}
+		d.epoch++
+		d.pend = nil
+		d.resetBatch()
+		d.pendW = nil
+		return delta, nil
+	}
+	d.addCnt = grow(d.addCnt, n+1)
+	d.remCnt = grow(d.remCnt, n+1)
+	if cap(d.addList) < 2*nAdd {
+		d.addList = make([]int32, 2*nAdd)
+	}
+	if cap(d.remList) < 2*nRem {
+		d.remList = make([]int32, 2*nRem)
+	}
+	d.addList, d.remList = d.addList[:2*nAdd], d.remList[:2*nRem]
+
+	for key, s := range d.pend {
+		if s > 0 {
+			d.addCnt[key[0]+1]++
+			d.addCnt[key[1]+1]++
+		} else {
+			d.remCnt[key[0]+1]++
+			d.remCnt[key[1]+1]++
+		}
+	}
+	// The count pass must touch every batch entry anyway, so it doubles as
+	// the batch validation (endpoint range, self-loops) and as the
+	// sorted-batch detection: a strictly lex-increasing normalized batch —
+	// the shape mobility.EdgeDeltas emits — lets the whole per-vertex sort
+	// and duplicate scan be skipped further down.
+	limit := int32(n)
+	countScan := func(list [][2]int32, cnt []int32, op string) (bool, error) {
+		srt := true
+		t := [2]int32{-1, -1}
+		for _, e := range list {
+			if e[0] == e[1] || e[0] < 0 || e[0] >= limit || e[1] < 0 || e[1] >= limit {
+				return false, d.checkEndpoints(op, int(e[0]), int(e[1]))
+			}
+			if srt && (e[0] >= e[1] || e[0] < t[0] || (e[0] == t[0] && e[1] <= t[1])) {
+				srt = false
+			}
+			t = e
+			cnt[e[0]+1]++
+			cnt[e[1]+1]++
+		}
+		return srt, nil
+	}
+	addSorted, err := countScan(d.batchAdd, d.addCnt, "ApplyEdgeDeltas(add)")
+	if err != nil {
+		return nil, err
+	}
+	remSorted, err := countScan(d.batchRem, d.remCnt, "ApplyEdgeDeltas(remove)")
+	if err != nil {
+		return nil, err
+	}
+	sorted := len(d.pend) == 0 && addSorted && remSorted
+	for v := 0; v < n; v++ {
+		d.addCnt[v+1] += d.addCnt[v]
+		d.remCnt[v+1] += d.remCnt[v]
+	}
+	fill := func(u, v int32, cnt, list []int32) {
+		list[cnt[u]] = v
+		cnt[u]++
+		list[cnt[v]] = u
+		cnt[v]++
+	}
+	for key, s := range d.pend {
+		if s > 0 {
+			fill(key[0], key[1], d.addCnt, d.addList)
+		} else {
+			fill(key[0], key[1], d.remCnt, d.remList)
+		}
+	}
+	for _, e := range d.batchAdd {
+		fill(e[0], e[1], d.addCnt, d.addList)
+	}
+	for _, e := range d.batchRem {
+		fill(e[0], e[1], d.remCnt, d.remList)
+	}
+	// The fill pass advanced cnt[v] to the end of v's list; cnt[v-1] is now
+	// the start. Restore starts by shifting down.
+	shiftDown := func(cnt []int32) {
+		copy(cnt[1:], cnt[:n])
+		cnt[0] = 0
+	}
+	shiftDown(d.addCnt)
+	shiftDown(d.remCnt)
+	// Sorted batches skip the sort and duplicate scan entirely: a strictly
+	// lex-increasing normalized batch yields per-vertex runs that are
+	// sorted and duplicate-free by construction — a vertex's
+	// reverse-direction entries (filled while processing smaller first
+	// endpoints) all precede its forward-direction entries, and each group
+	// arrives ascending. For the generic path, sort each run and reject
+	// in-batch duplicates here, while the runs are hot — keeping the
+	// duplicate checks out of the merge's inner loops below.
+	if !sorted {
+		sortRuns := func(cnt, list []int32, what string) error {
+			for v := 0; v < n; v++ {
+				run := list[cnt[v]:cnt[v+1]]
+				if len(run) > 1 {
+					insertionSort(run)
+					for i := 1; i < len(run); i++ {
+						if run[i] == run[i-1] {
+							return fmt.Errorf("dyngraph: Commit: duplicate %s of edge (%d,%d)", what, v, run[i])
+						}
+					}
+				}
+			}
+			return nil
+		}
+		if err := sortRuns(d.addCnt, d.addList, "insertion"); err != nil {
+			return nil, err
+		}
+		if err := sortRuns(d.remCnt, d.remList, "removal"); err != nil {
+			return nil, err
+		}
+	}
+
+	// Offsets, touched set, maximum degree and negative-degree detection in
+	// one pass (the per-vertex delta counts are the gaps in the cnt
+	// arrays). Storage comes from the recycled snapshot when one was handed
+	// back; every entry is overwritten before the graph is published.
+	touched := d.touched[:0]
+	newOff := d.freeOff
+	if cap(newOff) < n+1 {
+		newOff = make([]int32, n+1)
+	} else {
+		newOff = newOff[:n+1]
+	}
+	newOff[0] = 0
+	maxDeg := int32(0)
+	for v := 0; v < n; v++ {
+		var oldDeg int32
+		if v < oldN {
+			oldDeg = oldOff[v+1] - oldOff[v]
+		}
+		dAdd := d.addCnt[v+1] - d.addCnt[v]
+		dRem := d.remCnt[v+1] - d.remCnt[v]
+		newDeg := oldDeg + dAdd - dRem
+		if newDeg < 0 {
+			// More removals than v has edges: at least one is absent.
+			return nil, fmt.Errorf("dyngraph: Commit: removal of absent edge at vertex %d", v)
+		}
+		if newDeg > maxDeg {
+			maxDeg = newDeg
+		}
+		newOff[v+1] = newOff[v] + newDeg
+		if dAdd > 0 || dRem > 0 || v >= oldN {
+			touched = append(touched, int32(v))
+		}
+	}
+	d.touched = touched
+
+	// The merge walks the touched list: the untouched gap before each
+	// touched vertex is one bulk copy (old and new adjacency are identical
+	// and contiguous there — offsets only shift), then the vertex itself
+	// merges old − removals + insertions with indexed writes. The runs
+	// were pre-validated above, so the inner loops carry no duplicate
+	// checks; absent removals surface as a per-vertex budget mismatch
+	// (pos ≠ newOff[v+1]) or an unconsumed-removal check. newAdj carries
+	// 2·nRem slack entries so an absent removal's budget overrun lands in
+	// slack instead of past the array before its check fires; the published
+	// graph receives the exact-length slice (full capacity retained so
+	// Recycle round-trips it).
+	need := int(newOff[n]) + 2*nRem
+	newAdj := d.freeAdj
+	if cap(newAdj) < need {
+		newAdj = make([]int32, need)
+	} else {
+		newAdj = newAdj[:need]
+	}
+	d.freeOff, d.freeAdj = nil, nil
+	dupIns := func(v, u int32) (*Delta, error) {
+		return nil, fmt.Errorf("dyngraph: Commit: duplicate insertion of edge (%d,%d)", v, u)
+	}
+	absentRem := func(v int32, rems []int32, old []int32) (*Delta, error) {
+		// Cold path: identify the offending removal for the error message
+		// (duplicates were already rejected, so containment is enough).
+		u := rems[len(rems)-1]
+		for _, r := range rems {
+			ok := false
+			for _, w := range old {
+				if w == r {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				u = r
+				break
+			}
+		}
+		return nil, fmt.Errorf("dyngraph: Commit: removal of absent edge (%d,%d)", v, u)
+	}
+	pos := 0
+	srcPos := 0 // oldAdj position matching pos (untouched spans are identical)
+	for _, tv := range touched {
+		v := int(tv)
+		var old []int32
+		if v < oldN {
+			// Bulk-copy the untouched span before v, then isolate v's run.
+			pos += copy(newAdj[pos:], oldAdj[srcPos:oldOff[v]])
+			old = oldAdj[oldOff[v]:oldOff[v+1]]
+			srcPos = int(oldOff[v+1])
+		} else if srcPos < len(oldAdj) {
+			// First brand-new vertex: flush the untouched old tail, whose
+			// region precedes every new vertex's.
+			pos += copy(newAdj[pos:], oldAdj[srcPos:])
+			srcPos = len(oldAdj)
+		}
+		base, end := pos, int(newOff[v+1])
+		adds := d.addList[d.addCnt[v]:d.addCnt[v+1]]
+		rems := d.remList[d.remCnt[v]:d.remCnt[v+1]]
+		// Pass 1: old minus removals — a straight copy when there are
+		// none, a two-branch filter otherwise.
+		if len(rems) == 0 {
+			pos += copy(newAdj[base:], old)
+		} else {
+			ri := 0
+			for _, w := range old {
+				if ri < len(rems) && rems[ri] == w {
+					ri++
+					continue
+				}
+				newAdj[pos] = w
+				pos++
+			}
+			if ri < len(rems) || pos+len(adds) != end {
+				return absentRem(int32(v), rems, old)
+			}
+		}
+		// Pass 2: merge the insertions in backwards, shifting only the
+		// tail of the filtered run that exceeds them.
+		if len(adds) > 0 {
+			i, p := pos-1, end-1
+			for j := len(adds) - 1; j >= 0; p-- {
+				aj := adds[j]
+				if i >= base && newAdj[i] > aj {
+					newAdj[p] = newAdj[i]
+					i--
+				} else {
+					if i >= base && newAdj[i] == aj {
+						return dupIns(int32(v), aj)
+					}
+					newAdj[p] = aj
+					j--
+				}
+			}
+			pos = end
+		}
+	}
+	pos += copy(newAdj[pos:], oldAdj[srcPos:])
+	if pos != int(newOff[n]) {
+		return nil, fmt.Errorf("dyngraph: Commit: internal merge mismatch (%d of %d entries)", pos, newOff[n])
+	}
+	// The merge only moves entries of an already-valid CSR plus
+	// range-checked insertions, and maxDeg fell out of the offsets pass, so
+	// the checked constructor would re-derive what is true by construction
+	// (the differential harness re-proves it against graph.New every run).
+	next := graph.FromCSRUnchecked(newOff, newAdj[:newOff[n]], int(maxDeg))
+
+	d.applyWeights(n)
+
+	delta := &Delta{
+		Prev:    d.g,
+		Next:    next,
+		Touched: touched,
+		Epoch:   d.epoch + 1,
+		Grew:    n > oldN,
+	}
+	d.g = next
+	d.epoch++
+	d.pend = nil
+	d.resetBatch()
+	d.pendW = nil
+	return delta, nil
+}
+
+// applyWeights folds the pending weight updates into the cost vector:
+// clone-on-write so earlier snapshots' cost vectors (already handed to
+// callers) are never mutated, and extended to the new n.
+func (d *Dynamic) applyWeights(n int) {
+	if d.pendW == nil && (d.costs == nil || len(d.costs) >= n) {
+		return
+	}
+	costs := make([]float64, n)
+	copy(costs, d.costs)
+	for v := len(d.costs); v < n; v++ {
+		costs[v] = 1
+	}
+	if d.costs == nil {
+		for v := range costs {
+			costs[v] = 1
+		}
+	}
+	for v, w := range d.pendW {
+		costs[v] = w
+	}
+	d.costs = costs
+}
+
+// insertionSort sorts a small int32 run in place; the per-vertex delta
+// lists it serves are almost always tiny, where sort.Slice's closure and
+// reflection overhead would dominate the commit.
+func insertionSort(a []int32) {
+	if len(a) > 32 {
+		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+		return
+	}
+	for i := 1; i < len(a); i++ {
+		x := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > x {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = x
+	}
+}

@@ -1,0 +1,165 @@
+package dyngraph_test
+
+import (
+	"testing"
+
+	"kwmds/internal/dyngraph"
+	"kwmds/internal/fastpath"
+	"kwmds/internal/gen"
+	"kwmds/internal/graph"
+	"kwmds/internal/rounding"
+	"kwmds/internal/testsupport"
+)
+
+// FuzzMutationSequence is the dynamic-graph differential fuzzer: a random
+// base graph is mutated by an arbitrary interleaving of edge toggles,
+// weight updates, vertex additions and commit checkpoints decoded from the
+// fuzz input, and at every checkpoint the incremental solver's Resolve is
+// compared bit for bit against a cold solve of a from-scratch graph.New
+// rebuild — for the default and the weighted algorithm, across both commit
+// paths (interactive ops and checkpoint-sized batches). The checked-in
+// corpus under testdata/fuzz/FuzzMutationSequence encodes real mobility
+// replay traces (consecutive unit-disk snapshots diffed into link events),
+// so plain `go test` already replays representative churn;
+// `go test -fuzz=FuzzMutationSequence ./internal/dyngraph` explores beyond.
+//
+// Op encoding: 3 bytes each. byte0%8 selects the op — 0-4 toggle the edge
+// (byte1%n, byte2%n) (adds if absent, removes if present; the bias keeps
+// sequences edge-heavy like real churn), 5 sets weight 1+byte2%9 on vertex
+// byte1%n, 6 adds a vertex, 7 commits and differentially checks. A final
+// commit+check always runs.
+func FuzzMutationSequence(f *testing.F) {
+	f.Add(int64(1), uint8(20), uint8(25), []byte{0, 1, 2, 7, 0, 0, 3, 1, 2, 4})
+	f.Add(int64(7), uint8(9), uint8(60), []byte{6, 0, 0, 0, 9, 1, 7, 0, 0, 5, 2, 3})
+	f.Add(int64(-3), uint8(31), uint8(10), []byte{2, 5, 6, 2, 6, 5, 7, 1, 1})
+	f.Fuzz(func(t *testing.T, gseed int64, nRaw, pRaw uint8, ops []byte) {
+		n := 4 + int(nRaw)%28      // 4..31 vertices
+		p := float64(pRaw%81) / 80 // density 0..1
+		k := 1 + int(pRaw)%3
+		g0, err := gen.GNP(n, p, gseed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := dyngraph.New(g0)
+		edges := map[[2]int]bool{}
+		for _, e := range g0.Edges() {
+			edges[e] = true
+		}
+		costs := map[int]float64{}
+		key := func(u, v int) [2]int {
+			if u > v {
+				u, v = v, u
+			}
+			return [2]int{u, v}
+		}
+
+		solvers := map[fastpath.Algorithm]*fastpath.Solver{
+			fastpath.Alg3:        fastpath.New(),
+			fastpath.AlgWeighted: fastpath.New(),
+		}
+		seed := gseed ^ int64(nRaw)
+		check := func(step int) {
+			delta, err := d.Commit()
+			if err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			rebuilt := make([][2]int, 0, len(edges))
+			for v := 0; v < n; v++ {
+				for u := v + 1; u < n; u++ {
+					if edges[[2]int{v, u}] {
+						rebuilt = append(rebuilt, [2]int{v, u})
+					}
+				}
+			}
+			fresh, err := graph.New(n, rebuilt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotOff, gotAdj := delta.Next.CSR()
+			wantOff, wantAdj := fresh.CSR()
+			if len(gotOff) != len(wantOff) || len(gotAdj) != len(wantAdj) {
+				t.Fatalf("step %d: CSR shape (%d,%d) vs fresh (%d,%d)", step, len(gotOff), len(gotAdj), len(wantOff), len(wantAdj))
+			}
+			for i := range wantOff {
+				if gotOff[i] != wantOff[i] {
+					t.Fatalf("step %d: off[%d] = %d, want %d", step, i, gotOff[i], wantOff[i])
+				}
+			}
+			for i := range wantAdj {
+				if gotAdj[i] != wantAdj[i] {
+					t.Fatalf("step %d: adj[%d] = %d, want %d", step, i, gotAdj[i], wantAdj[i])
+				}
+			}
+			cvec := make([]float64, n)
+			for v := range cvec {
+				cvec[v] = 1
+			}
+			for v, c := range costs {
+				cvec[v] = c
+			}
+			for alg, s := range solvers {
+				opt := fastpath.Options{K: k, Algorithm: alg, Seed: seed, Variant: rounding.Variant(int(pRaw) % 2)}
+				if alg == fastpath.AlgWeighted {
+					opt.Costs = cvec
+				}
+				cold, err := fastpath.New().Solve(fresh, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := s.Resolve(delta, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for v := range cold.X {
+					if got.X[v] != cold.X[v] {
+						t.Fatalf("step %d alg %d: x[%d] = %v, want %v", step, alg, v, got.X[v], cold.X[v])
+					}
+				}
+				if got.Size != cold.Size || got.JoinedRandom != cold.JoinedRandom || got.JoinedFixup != cold.JoinedFixup {
+					t.Fatalf("step %d alg %d: (%d,%d,%d), want (%d,%d,%d)", step, alg,
+						got.Size, got.JoinedRandom, got.JoinedFixup, cold.Size, cold.JoinedRandom, cold.JoinedFixup)
+				}
+				for v := range cold.InDS {
+					if got.InDS[v] != cold.InDS[v] {
+						t.Fatalf("step %d alg %d: InDS[%d] mismatch", step, alg, v)
+					}
+				}
+				testsupport.AssertDominatingSet(t, "fuzz resolve", delta.Next, got.InDS)
+			}
+		}
+
+		for i := 0; i+2 < len(ops) && i < 3*64; i += 3 {
+			switch ops[i] % 8 {
+			case 5:
+				if err := d.SetWeight(int(ops[i+1])%n, 1+float64(ops[i+2]%9)); err != nil {
+					t.Fatal(err)
+				}
+				costs[int(ops[i+1])%n] = 1 + float64(ops[i+2]%9)
+			case 6:
+				if d.AddVertex() != n {
+					t.Fatal("dense vertex ids violated")
+				}
+				n++
+			case 7:
+				check(i)
+			default:
+				u, v := int(ops[i+1])%n, int(ops[i+2])%n
+				if u == v {
+					continue
+				}
+				if edges[key(u, v)] {
+					if err := d.RemoveEdge(u, v); err != nil {
+						t.Fatal(err)
+					}
+					delete(edges, key(u, v))
+				} else {
+					if err := d.AddEdge(u, v); err != nil {
+						t.Fatal(err)
+					}
+					edges[key(u, v)] = true
+				}
+			}
+		}
+		check(len(ops))
+	})
+}

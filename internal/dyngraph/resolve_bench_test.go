@@ -1,0 +1,39 @@
+package dyngraph_test
+
+import (
+	"testing"
+
+	"kwmds/internal/dyngraph"
+	"kwmds/internal/fastpath"
+	"kwmds/internal/mobility"
+)
+
+func BenchmarkResolveChurn(b *testing.B) {
+	tr, err := mobility.RandomWalk(10000, 0.02, 0.01, 2, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	add, rem := mobility.EdgeDeltas(tr.Graphs[0], tr.Graphs[1])
+	d := dyngraph.New(tr.Graphs[0])
+	s := fastpath.New()
+	if _, err := s.Solve(d.Graph(), fastpath.Options{K: 3, Seed: 1}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, r := add, rem
+		if i%2 == 1 {
+			a, r = rem, add
+		}
+		b.StopTimer()
+		d.ApplyEdgeDeltas(a, r)
+		delta, err := d.Commit()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := s.Resolve(delta, fastpath.Options{K: 3, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -47,4 +47,13 @@
 // requests. After warm-up a Solve performs no heap allocation — returned
 // slices alias solver storage and must be copied by callers that outlive
 // the solver's next use (the kwmds facade does exactly that).
+//
+// Delta-aware: Resolve consumes a dyngraph.Delta (an epoch-batched
+// mutation of the solver's previous graph) and repairs the cached static
+// δ⁽¹⁾/δ⁽²⁾ tables from the touched neighborhoods instead of recomputing
+// them, falling back to a full solve when churn exceeds the repair
+// threshold. Either way the output is bit-identical to a cold solve on
+// the new snapshot — the same three-backend contract, extended to the
+// dynamic-graph engine and enforced by internal/dyngraph's differential
+// churn harness and mutation fuzzer.
 package fastpath

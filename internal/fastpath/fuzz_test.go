@@ -6,6 +6,7 @@ import (
 	"kwmds/internal/core"
 	"kwmds/internal/gen"
 	"kwmds/internal/rounding"
+	"kwmds/internal/testsupport"
 )
 
 // FuzzDifferential is the three-backend differential fuzzer: a random small
@@ -20,10 +21,12 @@ func FuzzDifferential(f *testing.F) {
 	f.Add(int64(7), uint8(25), uint8(10), uint8(1))
 	f.Add(int64(42), uint8(5), uint8(80), uint8(3))
 	f.Add(int64(-9), uint8(31), uint8(55), uint8(2))
+	f.Add(int64(1300), uint8(27), uint8(35), uint8(3)) // k = 4: beyond the small-k regime
+	f.Add(int64(-41), uint8(14), uint8(90), uint8(4))  // k = 5 on a dense graph
 	f.Fuzz(func(t *testing.T, gseed int64, nRaw, pRaw, kRaw uint8) {
 		n := 2 + int(nRaw)%30        // 2..31 vertices
 		p := float64(pRaw%101) / 100 // edge density 0..1
-		k := 1 + int(kRaw)%3         // k 1..3
+		k := 1 + int(kRaw)%5         // k 1..5 (k > 2 exercises the ℓ/m table regimes)
 		g, err := gen.GNP(n, p, gseed)
 		if err != nil {
 			t.Fatal(err)
@@ -117,9 +120,7 @@ func FuzzDifferential(f *testing.F) {
 						variant, v, got.InDS[v], simR.InDS[v], want.InDS[v])
 				}
 			}
-			if !g.IsDominatingSet(got.InDS) {
-				t.Fatal("fastpath produced a non-dominating set")
-			}
+			testsupport.AssertDominatingSet(t, "fastpath fuzz", g, got.InDS)
 		}
 	})
 }

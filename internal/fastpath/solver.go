@@ -96,8 +96,9 @@ type Solver struct {
 	dirty   *bitset.Set // vertices whose covering sum must be re-evaluated
 	flipped *bitset.Set // rounding line-3 coin-flip winners
 
-	whiteCount int
-	d2done     bool
+	whiteCount   int
+	d2done       bool
+	lastRepaired bool // observability: last Resolve's path (see resolve.go)
 
 	// per-worker chunking and scratch
 	w0, w1  []int // word-range bounds per worker

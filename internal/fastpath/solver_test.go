@@ -7,6 +7,7 @@ import (
 	"kwmds/internal/gen"
 	"kwmds/internal/graph"
 	"kwmds/internal/rounding"
+	"kwmds/internal/testsupport"
 )
 
 // The acceptance bar of this package: for every workload, algorithm,
@@ -131,9 +132,7 @@ func TestSolveMatchesReferencePipeline(t *testing.T) {
 								w.name, seed, variant, workers, v, got.InDS[v], want.InDS[v])
 						}
 					}
-					if !w.g.IsDominatingSet(got.InDS) {
-						t.Fatalf("%s: fastpath produced a non-dominating set", w.name)
-					}
+					testsupport.AssertDominatingSet(t, w.name+" fastpath", w.g, got.InDS)
 				}
 			}
 		}

@@ -87,6 +87,51 @@ func New(n int, edges [][2]int) (*Graph, error) {
 	return g, nil
 }
 
+// FromCSR builds a graph directly from compressed-sparse-row arrays,
+// taking ownership of both slices — the checked constructor for callers
+// that already hold a canonical CSR and want to skip New's per-edge sort
+// and dedup passes. Structural invariants (offset monotonicity, length
+// agreement, entry ranges) are verified in O(n+m); the per-vertex
+// ordering invariants (sorted, duplicate-free, self-loop-free, symmetric
+// adjacency) remain the caller's contract. The dyngraph commit hot path
+// uses FromCSRUnchecked below instead — its merge proves every invariant
+// by construction; FromCSR is the entry point for everyone who cannot.
+func FromCSR(off, adj []int32) (*Graph, error) {
+	if len(off) == 0 {
+		return nil, fmt.Errorf("graph: FromCSR: empty offset array (want n+1 entries)")
+	}
+	n := len(off) - 1
+	if off[0] != 0 || int(off[n]) != len(adj) {
+		return nil, fmt.Errorf("graph: FromCSR: offsets span [%d,%d], want [0,%d]", off[0], off[n], len(adj))
+	}
+	g := &Graph{off: off, adj: adj}
+	for v := 0; v < n; v++ {
+		if off[v+1] < off[v] {
+			return nil, fmt.Errorf("graph: FromCSR: offset of vertex %d decreases", v+1)
+		}
+		if d := int(off[v+1] - off[v]); d > g.maxDeg {
+			g.maxDeg = d
+		}
+	}
+	for i, u := range adj {
+		if u < 0 || int(u) >= n {
+			return nil, fmt.Errorf("graph: FromCSR: adj[%d] = %d out of range [0,%d)", i, u, n)
+		}
+	}
+	return g, nil
+}
+
+// FromCSRUnchecked wraps canonical CSR arrays and a precomputed maximum
+// degree without any validation — the constructor for the dyngraph commit
+// hot path, whose merge derives all three from an already-valid graph and
+// a validated delta batch (and whose differential tests compare every
+// committed CSR against a from-scratch New). Every invariant of Graph is
+// the caller's contract here; use FromCSR or New everywhere correctness
+// isn't proven by construction.
+func FromCSRUnchecked(off, adj []int32, maxDeg int) *Graph {
+	return &Graph{off: off, adj: adj, maxDeg: maxDeg}
+}
+
 // MustNew is New that panics on error; intended for tests and generators
 // whose inputs are correct by construction.
 func MustNew(n int, edges [][2]int) *Graph {

@@ -414,3 +414,45 @@ func TestMustNewPanics(t *testing.T) {
 	}()
 	MustNew(2, [][2]int{{0, 0}})
 }
+
+func TestFromCSR(t *testing.T) {
+	// Round-trip: a graph's own CSR arrays reconstruct an identical graph.
+	g := MustNew(5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}})
+	off, adj := g.CSR()
+	got, err := FromCSR(append([]int32{}, off...), append([]int32{}, adj...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != g.N() || got.M() != g.M() || got.MaxDegree() != g.MaxDegree() {
+		t.Fatalf("round-trip: got %v, want %v", got, g)
+	}
+	for v := 0; v < g.N(); v++ {
+		gn, wn := got.Neighbors(v), g.Neighbors(v)
+		if len(gn) != len(wn) {
+			t.Fatalf("vertex %d: %v vs %v", v, gn, wn)
+		}
+		for i := range wn {
+			if gn[i] != wn[i] {
+				t.Fatalf("vertex %d: %v vs %v", v, gn, wn)
+			}
+		}
+	}
+	// Structural validation failures.
+	cases := []struct {
+		name string
+		off  []int32
+		adj  []int32
+	}{
+		{"empty offsets", nil, nil},
+		{"nonzero first offset", []int32{1, 2}, []int32{0}},
+		{"length mismatch", []int32{0, 2}, []int32{1}},
+		{"decreasing offsets", []int32{0, 2, 1}, []int32{1, 0}},
+		{"entry out of range", []int32{0, 1, 2}, []int32{1, 2}},
+		{"negative entry", []int32{0, 1, 2}, []int32{1, -1}},
+	}
+	for _, tc := range cases {
+		if _, err := FromCSR(tc.off, tc.adj); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}

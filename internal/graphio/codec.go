@@ -45,6 +45,16 @@ type SolveRequest struct {
 	// Members asks for the chosen vertex ids in the response (off by
 	// default: on large graphs the id list dominates the payload).
 	Members bool `json:"members,omitempty"`
+	// Epoch, when set, pins the request to one epoch of a mutable preloaded
+	// graph: if the graph has been mutated past it (or not that far yet)
+	// the server answers 409 instead of silently solving a different
+	// topology. Only valid with GraphRef.
+	Epoch *int64 `json:"epoch,omitempty"`
+	// UseGraphWeights runs the weighted variant with the preloaded graph's
+	// current (mutable) cost vector instead of an inline Weights list.
+	// Requires GraphRef, a graph that has received at least one set_weight
+	// mutation, and no inline Weights.
+	UseGraphWeights bool `json:"use_graph_weights,omitempty"`
 }
 
 // SolveResponse is the JSON body of a successful solve call.
@@ -76,6 +86,9 @@ type SolveResponse struct {
 	Cached bool `json:"cached"`
 	// ElapsedMS is the in-process compute time (0 for cache hits).
 	ElapsedMS float64 `json:"elapsed_ms"`
+	// Epoch is the mutation epoch of the preloaded graph that was solved
+	// (0 for inline graphs and never-mutated preloads).
+	Epoch int64 `json:"epoch,omitempty"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx serve reply.
@@ -130,8 +143,105 @@ func DecodeSolveRequest(r io.Reader) (*SolveRequest, error) {
 	// The weighted variant is defined only for the unknown-∆ LP stage
 	// (the facade dispatches on Weights before KnownDelta); accepting the
 	// combination would mislabel a weighted run as kw2.
-	if req.Algo == "kw2" && len(req.Weights) > 0 {
+	if req.Algo == "kw2" && (len(req.Weights) > 0 || req.UseGraphWeights) {
 		return nil, fmt.Errorf("graphio: solve request: weights are not supported with algo \"kw2\" (use kw)")
+	}
+	if req.Epoch != nil && req.GraphRef == "" {
+		return nil, fmt.Errorf("graphio: solve request: \"epoch\" requires \"graph_ref\" (inline graphs have no mutation epoch)")
+	}
+	if req.UseGraphWeights {
+		if req.GraphRef == "" {
+			return nil, fmt.Errorf("graphio: solve request: \"use_graph_weights\" requires \"graph_ref\"")
+		}
+		if len(req.Weights) > 0 {
+			return nil, fmt.Errorf("graphio: solve request: \"use_graph_weights\" conflicts with inline \"weights\"")
+		}
+	}
+	return &req, nil
+}
+
+// Mutation ops accepted by POST /v1/graphs/{name}/mutate.
+const (
+	OpAddEdge    = "add_edge"
+	OpRemoveEdge = "remove_edge"
+	OpAddVertex  = "add_vertex"
+	OpSetWeight  = "set_weight"
+)
+
+// Mutation is one entry of a mutate call's batch.
+type Mutation struct {
+	// Op is add_edge | remove_edge | add_vertex | set_weight.
+	Op string `json:"op"`
+	// U and V are the edge endpoints (add_edge, remove_edge) or U the
+	// target vertex (set_weight).
+	U int `json:"u,omitempty"`
+	V int `json:"v,omitempty"`
+	// W is the new weight (set_weight only; finite, ≥ 1).
+	W float64 `json:"w,omitempty"`
+}
+
+// MutateRequest is the JSON body of POST /v1/graphs/{name}/mutate. The
+// batch is applied atomically as one epoch: either every mutation commits
+// or none does.
+type MutateRequest struct {
+	// Epoch, when set, makes the batch conditional: it applies only if the
+	// graph is still at that epoch (optimistic concurrency; 409 otherwise).
+	Epoch *int64 `json:"epoch,omitempty"`
+	// Mutations is the batch, applied in order. At least one is required.
+	Mutations []Mutation `json:"mutations"`
+}
+
+// MutateResponse is the JSON body of a successful mutate call.
+type MutateResponse struct {
+	Name string `json:"name"`
+	// Epoch is the graph's epoch after the commit.
+	Epoch int64 `json:"epoch"`
+	// Digest identifies the new topology; cache entries for the previous
+	// digest have been dropped.
+	Digest string `json:"digest"`
+	N      int    `json:"n"`
+	M      int    `json:"m"`
+	// Touched is the number of vertices whose adjacency changed.
+	Touched int `json:"touched"`
+}
+
+// DecodeMutateRequest parses and structurally validates a mutate body:
+// strict JSON, at least one mutation, known ops with the right fields for
+// each. Graph-level validation (range checks, duplicate edges) happens in
+// the dyngraph engine.
+func DecodeMutateRequest(r io.Reader) (*MutateRequest, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var req MutateRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("graphio: mutate request: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("graphio: mutate request: trailing data after JSON body")
+	}
+	if len(req.Mutations) == 0 {
+		return nil, fmt.Errorf("graphio: mutate request: empty mutation batch")
+	}
+	for i, m := range req.Mutations {
+		switch m.Op {
+		case OpAddEdge, OpRemoveEdge:
+			if m.W != 0 {
+				return nil, fmt.Errorf("graphio: mutate request: mutation %d: %s takes no \"w\"", i, m.Op)
+			}
+		case OpSetWeight:
+			if m.V != 0 {
+				return nil, fmt.Errorf("graphio: mutate request: mutation %d: set_weight takes \"u\" and \"w\", not \"v\"", i)
+			}
+		case OpAddVertex:
+			if m.U != 0 || m.V != 0 || m.W != 0 {
+				return nil, fmt.Errorf("graphio: mutate request: mutation %d: add_vertex takes no fields", i)
+			}
+		case "":
+			return nil, fmt.Errorf("graphio: mutate request: mutation %d: missing op", i)
+		default:
+			return nil, fmt.Errorf("graphio: mutate request: mutation %d: unknown op %q (want %s|%s|%s|%s)",
+				i, m.Op, OpAddEdge, OpRemoveEdge, OpAddVertex, OpSetWeight)
+		}
 	}
 	return &req, nil
 }

@@ -94,16 +94,20 @@ func (d *inprocDriver) Prepare(graphs []LoadedGraph) error {
 	return nil
 }
 
-func (d *inprocDriver) options(req Request) kwmds.Options {
-	opts := kwmds.Options{
-		K:          req.K,
-		Seed:       req.Seed,
-		Sequential: d.sequential,
-		KnownDelta: req.Algo == "kw2",
-	}
-	if req.Variant == "ln-lnln" {
+// pipelineOptions is the single mapping from the scenario vocabulary
+// (algo, variant strings) onto facade options; the inproc driver, the
+// mobility rebuild mode and the cross-check passes all resolve through it
+// so the "directly comparable" contract between paths cannot drift.
+func pipelineOptions(algo, variant string, k int, seed int64, sequential bool) kwmds.Options {
+	opts := kwmds.Options{K: k, Seed: seed, Sequential: sequential, KnownDelta: algo == "kw2"}
+	if variant == "ln-lnln" {
 		opts.Variant = kwmds.VariantLnMinusLnLn
 	}
+	return opts
+}
+
+func (d *inprocDriver) options(req Request) kwmds.Options {
+	opts := pipelineOptions(req.Algo, req.Variant, req.K, req.Seed, d.sequential)
 	if d.sequential {
 		// Split the machine between concurrent operations the same way
 		// the serve subsystem does: with C operations in flight each

@@ -5,7 +5,13 @@ import (
 	"runtime"
 	"time"
 
+	"kwmds"
+	"kwmds/internal/dyngraph"
+	"kwmds/internal/fastpath"
+	"kwmds/internal/gen"
+	"kwmds/internal/graph"
 	"kwmds/internal/mobility"
+	"kwmds/internal/rounding"
 )
 
 // runMobility executes a dynamic-graph replay: a random-walk trace of
@@ -31,6 +37,9 @@ func runMobility(sc *Scenario, opts RunOptions) (*ScenarioResult, error) {
 	trace, err := mobility.RandomWalk(m.N, m.Radius, m.Speed, epochs, seed)
 	if err != nil {
 		return nil, fmt.Errorf("kwbench: scenario %q: %w", sc.Name, err)
+	}
+	if m.Mode == MobilityRebuild || m.Mode == MobilityChurn {
+		return runMobilityDynamic(sc, epochs, trace)
 	}
 	graphs := make([]LoadedGraph, epochs)
 	for e, g := range trace.Graphs {
@@ -146,7 +155,7 @@ func runMobility(sc *Scenario, opts RunOptions) (*ScenarioResult, error) {
 	}
 
 	fillCommon(res, hist, measuredOps, elapsed, &msBefore, &msAfter)
-	mr := &MobilityResult{Epochs: epochs}
+	mr := &MobilityResult{Epochs: epochs, Mode: MobilityReplay}
 	if transitions > 0 {
 		mr.MeanKept = float64(kept) / float64(transitions)
 		mr.MeanAdded = float64(added) / float64(transitions)
@@ -159,6 +168,201 @@ func runMobility(sc *Scenario, opts RunOptions) (*ScenarioResult, error) {
 	if res.Mismatches > 0 {
 		return nil, fmt.Errorf("kwbench: scenario %q: %d/%d cross-checked epochs disagreed between fast and sim backends",
 			sc.Name, res.Mismatches, res.CrossChecked)
+	}
+	return res, nil
+}
+
+// runMobilityDynamic executes the rebuild and churn modes: one matrix
+// combo, and every epoch is a single end-to-end op — ingest the epoch's
+// topology change and produce the new dominating set. In rebuild mode the
+// op is what a static pipeline must do per epoch: reconstruct the
+// unit-disk CSR from the node positions, then cold-solve through the
+// facade. In churn mode the op replays the epoch's link events through the
+// dyngraph mutation API — ApplyEdgeDeltas + Commit + fastpath.Resolve on a
+// persistent solver — with the deltas themselves derived outside the timed
+// section (in a deployed system link events arrive from the radio layer;
+// deriving them is sensing, not processing). The two modes measure the
+// same epoch-processing contract, so their latencies are directly
+// comparable; the dominating sets are bit-identical by the Resolve
+// contract, cross-checkable against the sim backend.
+func runMobilityDynamic(sc *Scenario, epochs int, trace *mobility.Trace) (*ScenarioResult, error) {
+	m := sc.Mobility
+	c := sc.Matrix.combos()[0]
+	seeds := effectiveSeeds(sc)
+	fail := func(e int, err error) (*ScenarioResult, error) {
+		return nil, fmt.Errorf("kwbench: scenario %q epoch %d: %w", sc.Name, e, err)
+	}
+	res := &ScenarioResult{
+		Name:        sc.Name,
+		Description: sc.Description,
+		Driver:      sc.Driver,
+		Loop:        "replay",
+		Graphs:      []GraphInfo{{Name: "epoch-0", N: trace.Graphs[0].N(), M: trace.Graphs[0].M()}},
+		Combos:      1,
+		Seeds:       seeds,
+		WarmupOps:   sc.WarmupOps,
+	}
+
+	epochSeed := func(e int) int64 { return 1 + int64(e%seeds) }
+	// facadeOpts drives the rebuild mode and the cross-check pass through
+	// the same mapping the inproc driver uses.
+	facadeOpts := func(e int, sequential bool) kwmds.Options {
+		return pipelineOptions(c.Algo, c.Variant, c.K, epochSeed(e), sequential)
+	}
+	fastOpts := func(e int, g *graph.Graph) fastpath.Options {
+		k := c.K
+		if k == 0 {
+			k = kwmds.RecommendedK(g)
+		}
+		opt := fastpath.Options{K: k, Seed: epochSeed(e)}
+		if c.Algo == "kw2" {
+			opt.Algorithm = fastpath.Alg2
+		}
+		if c.Variant == "ln-lnln" {
+			opt.Variant = rounding.LnMinusLnLn
+		}
+		return opt
+	}
+
+	var prev []bool
+	sizes := make([]int, epochs)
+	var kept, added, removed, transitions int
+	hist := &Histogram{}
+	measuredOps := 0
+	var elapsed, commitTotal time.Duration
+	var deltaEvents, repaired int
+	var msBefore, msAfter runtime.MemStats
+
+	record := func(e int, lat time.Duration, inDS []bool, size int) {
+		if e >= sc.WarmupOps {
+			hist.Record(lat)
+			elapsed += lat
+			measuredOps++
+		}
+		sizes[e] = size
+		if prev != nil {
+			k, a, r := mobility.Churn(prev, inDS)
+			kept += k
+			added += a
+			removed += r
+			transitions++
+		}
+		if prev == nil {
+			prev = make([]bool, len(inDS))
+		}
+		copy(prev, inDS)
+	}
+
+	if m.Mode == MobilityRebuild {
+		for e := 0; e < epochs; e++ {
+			if e == sc.WarmupOps {
+				runtime.ReadMemStats(&msBefore)
+			}
+			t0 := time.Now()
+			g, err := gen.UnitDiskFromPoints(trace.Points[e], trace.Radius)
+			if err != nil {
+				return fail(e, err)
+			}
+			got, err := kwmds.DominatingSet(g, facadeOpts(e, true))
+			lat := time.Since(t0)
+			if err != nil {
+				return fail(e, err)
+			}
+			if e == 0 {
+				res.ColdMS = float64(lat) / float64(time.Millisecond)
+			}
+			record(e, lat, got.InDS, got.Size)
+		}
+	} else { // MobilityChurn
+		dyn := dyngraph.New(trace.Graphs[0])
+		solver := fastpath.New()
+		t0 := time.Now()
+		got, err := solver.Solve(dyn.Graph(), fastOpts(0, dyn.Graph()))
+		lat := time.Since(t0)
+		if err != nil {
+			return fail(0, err)
+		}
+		res.ColdMS = float64(lat) / float64(time.Millisecond)
+		record(0, lat, got.InDS, got.Size)
+		for e := 1; e < epochs; e++ {
+			if e == sc.WarmupOps {
+				runtime.ReadMemStats(&msBefore)
+			}
+			// Delta derivation is outside the op: link events are the
+			// system's *input* in this mode.
+			add, rem := mobility.EdgeDeltas(trace.Graphs[e-1], trace.Graphs[e])
+			t0 := time.Now()
+			dyn.ApplyEdgeDeltas(add, rem)
+			delta, err := dyn.Commit()
+			if err != nil {
+				return fail(e, err)
+			}
+			commit := time.Since(t0)
+			got, err := solver.Resolve(delta, fastOpts(e, delta.Next))
+			lat := time.Since(t0)
+			if err != nil {
+				return fail(e, err)
+			}
+			if e >= sc.WarmupOps {
+				commitTotal += commit
+				deltaEvents += len(add) + len(rem)
+				if solver.LastResolveRepaired() {
+					repaired++
+				}
+			}
+			record(e, lat, got.InDS, got.Size)
+			// The pre-commit snapshot is now unreferenced (the solver's
+			// bookmarks moved to delta.Next, churn accounting copied the
+			// set) — recycle its storage into the next commit. Epoch 1's
+			// predecessor is the trace's own graph, still needed by the
+			// edge-churn accounting and cross-check below, so it stays.
+			if e > 1 {
+				dyn.Recycle(delta.Prev)
+			}
+		}
+	}
+	runtime.ReadMemStats(&msAfter)
+
+	// Post-measurement accounting and verification, as in the replay mode.
+	var edgeChurn float64
+	for e := 1; e < epochs; e++ {
+		shared, onlyA, onlyB := mobility.EdgeChurn(trace.Graphs[e-1], trace.Graphs[e])
+		if total := shared + onlyA + onlyB; total > 0 {
+			edgeChurn += float64(onlyA+onlyB) / float64(total)
+		}
+	}
+	if sc.CrossCheck {
+		for e := 0; e < epochs; e++ {
+			want, err := kwmds.DominatingSet(trace.Graphs[e], facadeOpts(e, false))
+			if err != nil {
+				return nil, fmt.Errorf("kwbench: scenario %q epoch %d cross-check: %w", sc.Name, e, err)
+			}
+			res.CrossChecked++
+			if want.Size != sizes[e] {
+				res.Mismatches++
+			}
+		}
+	}
+
+	fillCommon(res, hist, measuredOps, elapsed, &msBefore, &msAfter)
+	mr := &MobilityResult{Epochs: epochs, Mode: m.Mode}
+	if transitions > 0 {
+		mr.MeanKept = float64(kept) / float64(transitions)
+		mr.MeanAdded = float64(added) / float64(transitions)
+		mr.MeanRemoved = float64(removed) / float64(transitions)
+	}
+	if epochs > 1 {
+		mr.MeanEdgeChurn = edgeChurn / float64(epochs-1)
+	}
+	if m.Mode == MobilityChurn && measuredOps > 0 {
+		mr.MeanEdgeDeltas = float64(deltaEvents) / float64(measuredOps)
+		mr.MeanCommitMS = float64(commitTotal) / float64(time.Millisecond) / float64(measuredOps)
+		mr.RepairedEpochs = repaired
+	}
+	res.Mobility = mr
+	if res.Mismatches > 0 {
+		return nil, fmt.Errorf("kwbench: scenario %q: %d/%d cross-checked epochs disagreed between the %s-mode ops and the sim backend",
+			sc.Name, res.Mismatches, res.CrossChecked, m.Mode)
 	}
 	return res, nil
 }

@@ -52,6 +52,9 @@ type GraphInfo struct {
 // MobilityResult is the dynamic-graph extras of a mobility replay.
 type MobilityResult struct {
 	Epochs int `json:"epochs"`
+	// Mode is the replay mode (replay | rebuild | churn; empty in reports
+	// predating the dynamic-graph engine means replay).
+	Mode string `json:"mode,omitempty"`
 	// MeanKept/Added/Removed are per-epoch-transition dominating-set
 	// churn averages (mobility.Churn over consecutive epochs).
 	MeanKept    float64 `json:"mean_kept"`
@@ -60,6 +63,16 @@ type MobilityResult struct {
 	// MeanEdgeChurn is the mean fraction of edges NOT shared between
 	// consecutive snapshots — how fast the topology itself moves.
 	MeanEdgeChurn float64 `json:"mean_edge_churn"`
+	// MeanEdgeDeltas is the mean number of link events (insertions plus
+	// removals) per measured epoch (churn mode only).
+	MeanEdgeDeltas float64 `json:"mean_edge_deltas,omitempty"`
+	// MeanCommitMS is the mean time of the dyngraph apply+commit inside
+	// the epoch op (churn mode only); the rest of the op is the re-solve.
+	MeanCommitMS float64 `json:"mean_commit_ms,omitempty"`
+	// RepairedEpochs counts measured epochs whose Resolve took the
+	// incremental δ⁽¹⁾/δ⁽²⁾ repair path rather than the full-solve
+	// fallback (churn mode only).
+	RepairedEpochs int `json:"repaired_epochs,omitempty"`
 }
 
 // ScenarioResult is one scenario's measured outcome.

@@ -191,6 +191,59 @@ func TestRunMobilityReplay(t *testing.T) {
 	}
 }
 
+// TestRunMobilityDynamicModes drives the rebuild and churn epoch-op modes
+// over the same trace with cross-checking on: every epoch's dominating set
+// is re-derived on the sim backend and compared, so the run itself proves
+// the mutation-API path produces the sets a from-scratch pipeline would.
+func TestRunMobilityDynamicModes(t *testing.T) {
+	base := func(mode string) *Scenario {
+		return &Scenario{
+			Name:       "test-mobility-" + mode,
+			Driver:     DriverInprocFast,
+			WarmupOps:  1,
+			CrossCheck: true,
+			Mobility:   &MobilitySpec{N: 300, Radius: 0.1, Speed: 0.01, Epochs: 6, Seed: 3, Mode: mode},
+		}
+	}
+	rebuild, err := Run(base(MobilityRebuild), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	churn, err := Run(base(MobilityChurn), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range []*ScenarioResult{rebuild, churn} {
+		checkCommon(t, res, 5) // 6 epochs − 1 warmup, one combo
+		if res.Loop != "replay" || res.Mobility == nil {
+			t.Fatalf("metadata: %+v", res)
+		}
+		if res.CrossChecked != 6 || res.Mismatches != 0 {
+			t.Fatalf("cross-check %d/%d", res.Mismatches, res.CrossChecked)
+		}
+		if res.ColdMS <= 0 {
+			t.Errorf("missing cold epoch latency")
+		}
+	}
+	if rebuild.Mobility.Mode != MobilityRebuild || churn.Mobility.Mode != MobilityChurn {
+		t.Fatalf("modes: %q / %q", rebuild.Mobility.Mode, churn.Mobility.Mode)
+	}
+	m := churn.Mobility
+	if m.MeanEdgeDeltas <= 0 || m.MeanCommitMS <= 0 {
+		t.Errorf("churn accounting missing: %+v", m)
+	}
+	// Same trace, same pipeline: the two modes must elect identically
+	// (their per-epoch sizes are both pinned to the sim backend above),
+	// and see the same topology motion.
+	if rebuild.Mobility.MeanEdgeChurn != churn.Mobility.MeanEdgeChurn {
+		t.Errorf("edge churn differs: %v vs %v", rebuild.Mobility.MeanEdgeChurn, churn.Mobility.MeanEdgeChurn)
+	}
+	if rebuild.Mobility.MeanAdded != churn.Mobility.MeanAdded ||
+		rebuild.Mobility.MeanRemoved != churn.Mobility.MeanRemoved {
+		t.Errorf("set churn differs between modes: %+v vs %+v", rebuild.Mobility, churn.Mobility)
+	}
+}
+
 func TestRunQuickShrinksLoad(t *testing.T) {
 	sc := smokeClosed()
 	sc.Closed.Ops = 200

@@ -151,6 +151,25 @@ type OpenLoop struct {
 	MaxInflight int `json:"max_inflight,omitempty"`
 }
 
+// Mobility replay modes.
+const (
+	// MobilityReplay is the pre-dyngraph behavior: snapshots are built
+	// outside the timed loop and each epoch's op is one solve. It
+	// under-charges a rebuild-based pipeline (the CSR reconstruction is
+	// real per-epoch work) but is kept for trend continuity.
+	MobilityReplay = "replay"
+	// MobilityRebuild charges the full epoch processing a rebuild-based
+	// pipeline performs: each op builds the epoch's unit-disk CSR from the
+	// node positions and cold-solves it through the facade.
+	MobilityRebuild = "rebuild"
+	// MobilityChurn replays the epoch's link events through the dyngraph
+	// mutation API instead of rebuilding: each op applies the edge deltas,
+	// commits, and re-solves incrementally via fastpath.Resolve
+	// (bit-identical to a cold solve; falls back internally above the
+	// churn threshold).
+	MobilityChurn = "churn"
+)
+
 // MobilitySpec parameterizes the dynamic-graph replay (internal/mobility's
 // bounded random walk).
 type MobilitySpec struct {
@@ -159,6 +178,12 @@ type MobilitySpec struct {
 	Speed  float64 `json:"speed"`
 	Epochs int     `json:"epochs"`
 	Seed   int64   `json:"seed,omitempty"`
+	// Mode selects what one epoch's measured op includes: replay (default;
+	// solve only, snapshots prebuilt), rebuild (CSR rebuild + cold solve)
+	// or churn (mutation-API delta apply + commit + incremental re-solve).
+	// The rebuild and churn modes measure the same end-to-end epoch
+	// processing, so their latencies are directly comparable.
+	Mode string `json:"mode,omitempty"`
 }
 
 // HTTPSpec tunes the http-serve driver.
@@ -310,6 +335,28 @@ func (sc *Scenario) Validate() error {
 		}
 		if sc.WarmupOps >= m.Epochs {
 			return bad("warmup_ops %d consumes every one of the %d epochs", sc.WarmupOps, m.Epochs)
+		}
+		switch m.Mode {
+		case "", MobilityReplay:
+		case MobilityRebuild, MobilityChurn:
+			// The dynamic modes measure one unambiguous epoch op, so they
+			// take exactly one pipeline configuration, and the churn mode's
+			// incremental path exists only for the fastpath dominating-set
+			// pipelines.
+			if sc.Driver != DriverInprocFast {
+				return bad("mobility mode %q requires the %s driver", m.Mode, DriverInprocFast)
+			}
+			if len(sc.Matrix.combos()) != 1 {
+				return bad("mobility mode %q takes exactly one matrix combo", m.Mode)
+			}
+			if a := sc.Matrix.combos()[0].Algo; a != "kw" && a != "kw2" {
+				return bad("mobility mode %q supports algos kw|kw2 (got %q)", m.Mode, a)
+			}
+			if m.Mode == MobilityChurn && sc.WarmupOps < 1 {
+				return bad("mobility mode churn needs warmup_ops ≥ 1 (epoch 0 is the cold load, not a delta op)")
+			}
+		default:
+			return bad("unknown mobility mode %q (want %s|%s|%s)", m.Mode, MobilityReplay, MobilityRebuild, MobilityChurn)
 		}
 	} else {
 		if sc.Closed != nil && sc.Open != nil {

@@ -118,6 +118,37 @@ func TestValidateBadSpecs(t *testing.T) {
 			s.WarmupOps = 3
 			s.Mobility = &MobilitySpec{N: 10, Radius: 0.3, Epochs: 3}
 		}, "consumes every one"},
+		{"mobility unknown mode", func(s *Scenario) {
+			s.Closed = nil
+			s.Graphs = nil
+			s.Mobility = &MobilitySpec{N: 10, Radius: 0.3, Epochs: 2, Mode: "teleport"}
+		}, `unknown mobility mode "teleport"`},
+		{"churn over sim driver", func(s *Scenario) {
+			s.Driver = DriverInprocSim
+			s.Closed = nil
+			s.Graphs = nil
+			s.WarmupOps = 1
+			s.Mobility = &MobilitySpec{N: 10, Radius: 0.3, Epochs: 3, Mode: MobilityChurn}
+		}, "requires the inproc-fast driver"},
+		{"churn multi-combo", func(s *Scenario) {
+			s.Closed = nil
+			s.Graphs = nil
+			s.WarmupOps = 1
+			s.Matrix.Ks = []int{1, 2}
+			s.Mobility = &MobilitySpec{N: 10, Radius: 0.3, Epochs: 3, Mode: MobilityChurn}
+		}, "exactly one matrix combo"},
+		{"churn unsupported algo", func(s *Scenario) {
+			s.Closed = nil
+			s.Graphs = nil
+			s.WarmupOps = 1
+			s.Matrix.Algos = []string{"kwcds"}
+			s.Mobility = &MobilitySpec{N: 10, Radius: 0.3, Epochs: 3, Mode: MobilityChurn}
+		}, "supports algos kw|kw2"},
+		{"churn without warmup", func(s *Scenario) {
+			s.Closed = nil
+			s.Graphs = nil
+			s.Mobility = &MobilitySpec{N: 10, Radius: 0.3, Epochs: 3, Mode: MobilityChurn}
+		}, "warmup_ops ≥ 1"},
 		{"http block on inproc", func(s *Scenario) { s.HTTP = &HTTPSpec{Workers: 2} }, "only valid with"},
 		{"negative max_inflight", func(s *Scenario) {
 			s.Closed = nil

@@ -94,6 +94,59 @@ func Churn(prev, cur []bool) (kept, added, removed int) {
 	return kept, added, removed
 }
 
+// EdgeDeltas diffs two snapshots of the same node population into the link
+// events that turn a into b: edges only in b (added) and only in a
+// (removed), each listed once with u < v in lexicographic order. This is
+// the input the dynamic-graph engine consumes — a mobility epoch becomes
+// one ApplyEdgeDeltas batch instead of a full rebuild. The diff walks the
+// two sorted CSR adjacency lists directly, so it costs O(n + m) with no
+// hashing.
+func EdgeDeltas(a, b *graph.Graph) (added, removed [][2]int32) {
+	n := a.N()
+	if bn := b.N(); bn < n {
+		n = bn
+	}
+	for v := 0; v < n; v++ {
+		av, bv := a.Neighbors(v), b.Neighbors(v)
+		i, j := 0, 0
+		for i < len(av) || j < len(bv) {
+			switch {
+			case j == len(bv) || (i < len(av) && av[i] < bv[j]):
+				if int(av[i]) > v {
+					removed = append(removed, [2]int32{int32(v), av[i]})
+				}
+				i++
+			case i == len(av) || bv[j] < av[i]:
+				if int(bv[j]) > v {
+					added = append(added, [2]int32{int32(v), bv[j]})
+				}
+				j++
+			default:
+				i++
+				j++
+			}
+		}
+	}
+	// Vertices beyond the shared prefix exist in only one snapshot; their
+	// edges are pure additions or removals (u < v emission above already
+	// covered edges into the shared range from both sides).
+	for v := n; v < a.N(); v++ {
+		for _, u := range a.Neighbors(v) {
+			if int(u) > v {
+				removed = append(removed, [2]int32{int32(v), u})
+			}
+		}
+	}
+	for v := n; v < b.N(); v++ {
+		for _, u := range b.Neighbors(v) {
+			if int(u) > v {
+				added = append(added, [2]int32{int32(v), u})
+			}
+		}
+	}
+	return added, removed
+}
+
 // EdgeChurn reports how many edges two snapshots share and how many are
 // exclusive to each — a direct measure of topology change between epochs.
 func EdgeChurn(a, b *graph.Graph) (shared, onlyA, onlyB int) {

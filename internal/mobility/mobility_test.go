@@ -130,3 +130,38 @@ func TestEdgeChurn(t *testing.T) {
 		t.Errorf("EdgeChurn = %d,%d,%d, want 1,1,1", shared, onlyA, onlyB)
 	}
 }
+
+func TestEdgeDeltas(t *testing.T) {
+	a := graph.MustNew(5, [][2]int{{0, 1}, {1, 2}, {3, 4}})
+	b := graph.MustNew(5, [][2]int{{1, 2}, {2, 3}, {0, 4}})
+	added, removed := EdgeDeltas(a, b)
+	wantAdd := [][2]int32{{0, 4}, {2, 3}}
+	wantRem := [][2]int32{{0, 1}, {3, 4}}
+	if len(added) != len(wantAdd) || len(removed) != len(wantRem) {
+		t.Fatalf("EdgeDeltas = +%v −%v, want +%v −%v", added, removed, wantAdd, wantRem)
+	}
+	for i := range wantAdd {
+		if added[i] != wantAdd[i] {
+			t.Errorf("added[%d] = %v, want %v", i, added[i], wantAdd[i])
+		}
+	}
+	for i := range wantRem {
+		if removed[i] != wantRem[i] {
+			t.Errorf("removed[%d] = %v, want %v", i, removed[i], wantRem[i])
+		}
+	}
+	// Identical snapshots: no deltas.
+	if add, rem := EdgeDeltas(a, a); len(add)+len(rem) != 0 {
+		t.Errorf("self diff = +%v −%v", add, rem)
+	}
+	// Consistency with EdgeChurn on a real trace step.
+	tr, err := RandomWalk(120, 0.12, 0.03, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	add, rem := EdgeDeltas(tr.Graphs[0], tr.Graphs[1])
+	_, onlyA, onlyB := EdgeChurn(tr.Graphs[0], tr.Graphs[1])
+	if len(add) != onlyB || len(rem) != onlyA {
+		t.Errorf("EdgeDeltas (+%d −%d) disagrees with EdgeChurn (+%d −%d)", len(add), len(rem), onlyB, onlyA)
+	}
+}

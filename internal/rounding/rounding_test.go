@@ -1,6 +1,7 @@
 package rounding
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -9,6 +10,7 @@ import (
 	"kwmds/internal/gen"
 	"kwmds/internal/graph"
 	"kwmds/internal/lp"
+	"kwmds/internal/testsupport"
 )
 
 func TestValidation(t *testing.T) {
@@ -64,9 +66,8 @@ func TestAlwaysDominating(t *testing.T) {
 					if err != nil {
 						t.Fatal(err)
 					}
-					if !g.IsDominatingSet(res.InDS) {
-						t.Fatalf("%s/%s/%v seed %d: not dominating", name, iname, variant, seed)
-					}
+					testsupport.AssertDominatingSet(t,
+						fmt.Sprintf("%s/%s/%v seed %d", name, iname, variant, seed), g, res.InDS)
 					if res.Size != res.JoinedRandom+res.JoinedFixup {
 						t.Fatalf("%s: size %d != %d + %d", name, res.Size, res.JoinedRandom, res.JoinedFixup)
 					}

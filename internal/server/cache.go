@@ -7,6 +7,7 @@ package server
 
 import (
 	"container/list"
+	"strings"
 	"sync"
 
 	"kwmds/internal/graphio"
@@ -84,6 +85,30 @@ func (c *resultCache) getOrCompute(key string, compute func() (*graphio.SolveRes
 	c.mu.Unlock()
 	close(call.done)
 	return call.val, false, call.err
+}
+
+// invalidateDigest drops every cached entry keyed under the given topology
+// digest (keys are "digest|…") and returns how many were removed. A
+// mutation calls it with the pre-mutation digest: the new digest can never
+// collide with old keys, so this is purely about not letting a mutated
+// graph's dead results squat in the LRU. In-flight computations for the
+// old digest are left alone — they are keyed by that digest and therefore
+// still answer exactly the epoch their callers pinned.
+func (c *resultCache) invalidateDigest(digest string) int {
+	prefix := digest + "|"
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	for el := c.order.Front(); el != nil; {
+		next := el.Next()
+		if e := el.Value.(*cacheEntry); strings.HasPrefix(e.key, prefix) {
+			c.order.Remove(el)
+			delete(c.items, e.key)
+			dropped++
+		}
+		el = next
+	}
+	return dropped
 }
 
 // stats returns the entry count and cumulative hit/miss counters.

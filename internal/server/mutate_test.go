@@ -1,0 +1,349 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"kwmds/internal/graph"
+	"kwmds/internal/graphio"
+)
+
+// mutateServer spawns a server with one small mutable preload plus direct
+// access to the *Server for cache introspection.
+func mutateServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	// A 6-cycle: small enough that expected solve outputs are obvious.
+	g := graph.MustNew(6, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {0, 5}})
+	srv := New(Config{Workers: 2, CacheEntries: 32, Graphs: map[string]*graph.Graph{"ring": g}})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var raw json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatalf("response is not JSON: %v", err)
+	}
+	return resp, raw
+}
+
+// TestMutateMalformedBodies drives the mutate endpoint's whole error
+// surface: envelope problems, graph-level validation failures, stale epoch
+// pins, and mutations addressed at graphs the server does not hold (the
+// inline-only case — inline graphs have no name, so there is nothing to
+// mutate).
+func TestMutateMalformedBodies(t *testing.T) {
+	_, ts := mutateServer(t)
+	cases := []struct {
+		name   string
+		target string
+		body   string
+		status int
+		want   string
+	}{
+		{"empty body", "ring", ``, 400, "mutate request"},
+		{"not json", "ring", `hi`, 400, "mutate request"},
+		{"no mutations", "ring", `{}`, 400, "empty mutation batch"},
+		{"empty batch", "ring", `{"mutations":[]}`, 400, "empty mutation batch"},
+		{"unknown field", "ring", `{"mutations":[{"op":"add_edge","u":0,"v":2}],"zap":1}`, 400, "zap"},
+		{"missing op", "ring", `{"mutations":[{"u":0,"v":2}]}`, 400, "missing op"},
+		{"unknown op", "ring", `{"mutations":[{"op":"explode"}]}`, 400, "unknown op"},
+		{"add_edge with w", "ring", `{"mutations":[{"op":"add_edge","u":0,"v":2,"w":3}]}`, 400, `takes no "w"`},
+		{"add_vertex with fields", "ring", `{"mutations":[{"op":"add_vertex","u":1}]}`, 400, "takes no fields"},
+		{"set_weight with v", "ring", `{"mutations":[{"op":"set_weight","u":1,"v":2,"w":2}]}`, 400, `not "v"`},
+		{"unknown vertex", "ring", `{"mutations":[{"op":"add_edge","u":0,"v":17}]}`, 400, "out of range"},
+		{"self-loop", "ring", `{"mutations":[{"op":"add_edge","u":3,"v":3}]}`, 400, "self-loop"},
+		{"duplicate edge", "ring", `{"mutations":[{"op":"add_edge","u":0,"v":1}]}`, 400, "duplicate edge"},
+		{"duplicate within batch", "ring", `{"mutations":[{"op":"add_edge","u":0,"v":2},{"op":"add_edge","u":2,"v":0}]}`, 400, "duplicate edge"},
+		{"remove absent", "ring", `{"mutations":[{"op":"remove_edge","u":0,"v":3}]}`, 400, "no edge"},
+		{"weight below one", "ring", `{"mutations":[{"op":"set_weight","u":1,"w":0.25}]}`, 400, "outside [1, ∞)"},
+		{"stale epoch", "ring", `{"epoch":7,"mutations":[{"op":"add_edge","u":0,"v":2}]}`, 409, "stale epoch"},
+		{"unpreloaded graph", "nope", `{"mutations":[{"op":"add_edge","u":0,"v":2}]}`, 404, "unknown graph"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := postJSON(t, ts.URL+"/v1/graphs/"+tc.target+"/mutate", tc.body)
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status = %d, want %d (body %s)", resp.StatusCode, tc.status, body)
+			}
+			var er graphio.ErrorResponse
+			if err := json.Unmarshal(body, &er); err != nil {
+				t.Fatalf("error body is not an ErrorResponse: %v", err)
+			}
+			if !strings.Contains(er.Error, tc.want) {
+				t.Fatalf("error %q does not contain %q", er.Error, tc.want)
+			}
+		})
+	}
+	// A failed batch must not have advanced the epoch or the topology.
+	resp, body := postJSON(t, ts.URL+"/v1/graphs/ring/mutate", `{"epoch":0,"mutations":[{"op":"remove_edge","u":0,"v":1}]}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("epoch-0 pin after failed batches: status %d (body %s)", resp.StatusCode, body)
+	}
+}
+
+// TestMutateVertexCap pins the growth bound: mutations accumulate across
+// requests, so the server enforces the inline-path vertex limit on the
+// post-batch size instead of letting a preload grow without bound.
+func TestMutateVertexCap(t *testing.T) {
+	g := graph.MustNew(6, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {0, 5}})
+	srv := New(Config{Workers: 1, MaxInlineVertices: 8, Graphs: map[string]*graph.Graph{"ring": g}})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	resp, body := postJSON(t, ts.URL+"/v1/graphs/ring/mutate",
+		`{"mutations":[{"op":"add_vertex"},{"op":"add_vertex"},{"op":"add_vertex"}]}`)
+	if resp.StatusCode != 400 || !strings.Contains(string(body), "exceeding the server limit") {
+		t.Fatalf("over-cap batch: %d %s", resp.StatusCode, body)
+	}
+	// At the cap is fine; the next growth attempt is not.
+	resp, body = postJSON(t, ts.URL+"/v1/graphs/ring/mutate",
+		`{"mutations":[{"op":"add_vertex"},{"op":"add_vertex"}]}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("at-cap batch: %d %s", resp.StatusCode, body)
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/graphs/ring/mutate", `{"mutations":[{"op":"add_vertex"}]}`)
+	if resp.StatusCode != 400 {
+		t.Fatalf("post-cap growth: %d %s", resp.StatusCode, body)
+	}
+}
+
+func TestMutateLifecycle(t *testing.T) {
+	_, ts := mutateServer(t)
+	// Epoch 1: rewire the ring into a wheel-ish graph with a new hub.
+	resp, body := postJSON(t, ts.URL+"/v1/graphs/ring/mutate",
+		`{"epoch":0,"mutations":[{"op":"add_vertex"},{"op":"add_edge","u":6,"v":0},{"op":"add_edge","u":6,"v":2},{"op":"add_edge","u":6,"v":4},{"op":"remove_edge","u":0,"v":1}]}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("mutate: %d %s", resp.StatusCode, body)
+	}
+	var mr graphio.MutateResponse
+	if err := json.Unmarshal(body, &mr); err != nil {
+		t.Fatal(err)
+	}
+	if mr.Epoch != 1 || mr.N != 7 || mr.M != 8 || mr.Name != "ring" {
+		t.Fatalf("mutate response %+v", mr)
+	}
+	if mr.Touched != 5 { // 0,1,2,4,6
+		t.Fatalf("touched = %d, want 5", mr.Touched)
+	}
+
+	// The graphs listing reflects the new epoch and digest.
+	gresp, err := http.Get(ts.URL + "/v1/graphs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gresp.Body.Close()
+	var listing struct {
+		Graphs []graphInfo `json:"graphs"`
+	}
+	if err := json.NewDecoder(gresp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Graphs) != 1 || listing.Graphs[0].Epoch != 1 || listing.Graphs[0].Digest != mr.Digest ||
+		listing.Graphs[0].N != 7 {
+		t.Fatalf("listing %+v, want epoch 1 digest %s", listing.Graphs[0], mr.Digest)
+	}
+
+	// Solves: epoch-pinned current epoch succeeds and echoes it; a stale
+	// pin is rejected with 409; an unpinned solve works.
+	resp, body = postJSON(t, ts.URL+"/v1/solve", `{"graph_ref":"ring","epoch":1,"seed":3}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("pinned solve: %d %s", resp.StatusCode, body)
+	}
+	var sr graphio.SolveResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Epoch != 1 || sr.N != 7 || sr.Digest != mr.Digest {
+		t.Fatalf("pinned solve response: epoch %d n %d digest %s", sr.Epoch, sr.N, sr.Digest)
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/solve", `{"graph_ref":"ring","epoch":0,"seed":3}`)
+	if resp.StatusCode != 409 || !strings.Contains(string(body), "stale epoch") {
+		t.Fatalf("stale solve: %d %s", resp.StatusCode, body)
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/solve", `{"graph":{"n":2,"edges":[[0,1]]},"epoch":1}`)
+	if resp.StatusCode != 400 || !strings.Contains(string(body), "requires") {
+		t.Fatalf("inline epoch solve: %d %s", resp.StatusCode, body)
+	}
+
+	// Weights: absent until a set_weight mutation lands, then usable.
+	resp, body = postJSON(t, ts.URL+"/v1/solve", `{"graph_ref":"ring","use_graph_weights":true}`)
+	if resp.StatusCode != 400 || !strings.Contains(string(body), "has no weights") {
+		t.Fatalf("weightless use_graph_weights: %d %s", resp.StatusCode, body)
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/graphs/ring/mutate", `{"mutations":[{"op":"set_weight","u":6,"w":5}]}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("set_weight: %d %s", resp.StatusCode, body)
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/solve", `{"graph_ref":"ring","use_graph_weights":true,"seed":3}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("weighted solve: %d %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Epoch != 2 || sr.WeightedCost < float64(sr.Size) {
+		t.Fatalf("weighted solve: epoch %d cost %v size %d", sr.Epoch, sr.WeightedCost, sr.Size)
+	}
+}
+
+// TestMutateInvalidatesCache proves the LRU actually drops entries whose
+// digest a mutation invalidated — including the revert case, where the
+// digest returns to a previously cached value but the old entry must
+// already be gone.
+func TestMutateInvalidatesCache(t *testing.T) {
+	srv, ts := mutateServer(t)
+	solve := func(wantCached bool) graphio.SolveResponse {
+		t.Helper()
+		resp, body := postJSON(t, ts.URL+"/v1/solve", `{"graph_ref":"ring","seed":11}`)
+		if resp.StatusCode != 200 {
+			t.Fatalf("solve: %d %s", resp.StatusCode, body)
+		}
+		var sr graphio.SolveResponse
+		if err := json.Unmarshal(body, &sr); err != nil {
+			t.Fatal(err)
+		}
+		if sr.Cached != wantCached {
+			t.Fatalf("cached = %v, want %v", sr.Cached, wantCached)
+		}
+		return sr
+	}
+	first := solve(false)
+	solve(true)
+	if entries, _, _ := srv.Stats(); entries != 1 {
+		t.Fatalf("cache entries = %d, want 1", entries)
+	}
+
+	mutate := func(body string) graphio.MutateResponse {
+		t.Helper()
+		resp, raw := postJSON(t, ts.URL+"/v1/graphs/ring/mutate", body)
+		if resp.StatusCode != 200 {
+			t.Fatalf("mutate: %d %s", resp.StatusCode, raw)
+		}
+		var mr graphio.MutateResponse
+		if err := json.Unmarshal(raw, &mr); err != nil {
+			t.Fatal(err)
+		}
+		return mr
+	}
+	mutate(`{"mutations":[{"op":"add_edge","u":0,"v":3}]}`)
+	if entries, _, _ := srv.Stats(); entries != 0 {
+		t.Fatalf("cache entries after mutation = %d, want 0 (old digest dropped)", entries)
+	}
+	second := solve(false)
+	if second.Digest == first.Digest {
+		t.Fatal("digest unchanged by mutation")
+	}
+	solve(true)
+
+	// Revert: the digest returns to the original value, but the original
+	// cache entry was dropped at the first mutation, so this is a miss —
+	// and the response carries the new epoch despite the old digest.
+	mr := mutate(`{"mutations":[{"op":"remove_edge","u":0,"v":3}]}`)
+	if mr.Digest != first.Digest {
+		t.Fatalf("revert digest %s, want original %s", mr.Digest, first.Digest)
+	}
+	if entries, _, _ := srv.Stats(); entries != 0 {
+		t.Fatalf("cache entries after revert = %d, want 0", entries)
+	}
+	reverted := solve(false)
+	if reverted.Digest != first.Digest || reverted.Epoch != 2 {
+		t.Fatalf("reverted solve: digest %s epoch %d, want %s epoch 2", reverted.Digest, reverted.Epoch, first.Digest)
+	}
+	if reverted.Size != first.Size {
+		t.Fatalf("reverted solve size %d, want %d (same topology, same seed)", reverted.Size, first.Size)
+	}
+
+	// A weight-only batch changes no topology: the digest stays, the epoch
+	// advances, and the cache keeps its entries (they are keyed on digest
+	// plus a weights hash, so they remain exactly right).
+	solve(true)
+	mr = mutate(`{"mutations":[{"op":"set_weight","u":2,"w":4}]}`)
+	if mr.Digest != first.Digest || mr.Epoch != 3 || mr.Touched != 0 {
+		t.Fatalf("weight-only mutate: %+v, want original digest, epoch 3, 0 touched", mr)
+	}
+	if entries, _, _ := srv.Stats(); entries != 1 {
+		t.Fatalf("cache entries after weight-only mutate = %d, want 1 (nothing invalidated)", entries)
+	}
+	solve(true)
+}
+
+// TestConcurrentMutateAndSolve hammers one mutable graph with interleaved
+// mutations and solves from many goroutines; -race in CI makes this the
+// holder-locking probe. Every response must be internally consistent: a
+// 200 solve reports a digest/epoch pair that existed at some point, never
+// a torn combination (checked via the returned n, which changes with every
+// vertex addition).
+func TestConcurrentMutateAndSolve(t *testing.T) {
+	_, ts := mutateServer(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				resp, err := http.Post(ts.URL+"/v1/solve", "application/json",
+					strings.NewReader(fmt.Sprintf(`{"graph_ref":"ring","seed":%d}`, w*100+i)))
+				if err != nil {
+					errs <- err
+					return
+				}
+				var sr graphio.SolveResponse
+				err = json.NewDecoder(resp.Body).Decode(&sr)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.StatusCode != 200 {
+					errs <- fmt.Errorf("solve status %d", resp.StatusCode)
+					return
+				}
+				if sr.N < 6 || sr.Size < 1 {
+					errs <- fmt.Errorf("implausible solve n=%d size=%d", sr.N, sr.Size)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 8; i++ {
+			body := fmt.Sprintf(`{"mutations":[{"op":"add_vertex"},{"op":"add_edge","u":%d,"v":0}]}`, 6+i)
+			resp, err := http.Post(ts.URL+"/v1/graphs/ring/mutate", "application/json", strings.NewReader(body))
+			if err != nil {
+				errs <- err
+				return
+			}
+			var mr graphio.MutateResponse
+			err = json.NewDecoder(resp.Body).Decode(&mr)
+			resp.Body.Close()
+			if err != nil {
+				errs <- err
+				return
+			}
+			if resp.StatusCode != 200 || mr.Epoch != int64(i+1) || mr.N != 7+i {
+				errs <- fmt.Errorf("mutate %d: status %d epoch %d n %d", i, resp.StatusCode, mr.Epoch, mr.N)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

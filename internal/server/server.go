@@ -10,9 +10,11 @@ import (
 	"net/http"
 	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"kwmds"
+	"kwmds/internal/dyngraph"
 	"kwmds/internal/graph"
 	"kwmds/internal/graphio"
 )
@@ -44,13 +46,27 @@ type Server struct {
 	sem    chan struct{}
 	cache  *resultCache
 	mux    *http.ServeMux
-	graphs map[string]preloaded
+	graphs map[string]*preloaded
 	names  []string
 }
 
+// preloaded is one named graph, mutable through POST /v1/graphs/{name}/
+// mutate. Solves snapshot (graph, digest, epoch) under the read lock and
+// compute outside it — snapshots are immutable, so an interleaved mutation
+// never disturbs a running solve; it only changes what later requests see.
+// Mutations hold the write lock across apply + commit + digest, so the
+// three fields always agree.
 type preloaded struct {
-	g      *graph.Graph
+	mu     sync.RWMutex
+	dyn    *dyngraph.Dynamic
 	digest string
+}
+
+// snapshot returns a consistent (graph, digest, epoch, costs) view.
+func (p *preloaded) snapshot() (*graph.Graph, string, int64, []float64) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.dyn.Graph(), p.digest, p.dyn.Epoch(), p.dyn.Costs()
 }
 
 // New builds a Server from cfg, applying defaults for zero fields.
@@ -75,15 +91,16 @@ func New(cfg Config) *Server {
 		sem:    make(chan struct{}, cfg.Workers),
 		cache:  newResultCache(cfg.CacheEntries),
 		mux:    http.NewServeMux(),
-		graphs: make(map[string]preloaded, len(cfg.Graphs)),
+		graphs: make(map[string]*preloaded, len(cfg.Graphs)),
 	}
 	for name, g := range cfg.Graphs {
-		s.graphs[name] = preloaded{g: g, digest: graphio.Digest(g)}
+		s.graphs[name] = &preloaded{dyn: dyngraph.New(g), digest: graphio.Digest(g)}
 		s.names = append(s.names, name)
 	}
 	sort.Strings(s.names)
 	s.mux.HandleFunc("/v1/solve", s.handleSolve)
 	s.mux.HandleFunc("/v1/graphs", s.handleGraphs)
+	s.mux.HandleFunc("POST /v1/graphs/{name}/mutate", s.handleMutate)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	return s
 }
@@ -143,12 +160,25 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 func (s *Server) solve(req *graphio.SolveRequest) (*graphio.SolveResponse, error) {
 	var g *graph.Graph
 	var digest string
+	var epoch int64
 	if req.GraphRef != "" {
 		p, ok := s.graphs[req.GraphRef]
 		if !ok {
 			return nil, &httpError{http.StatusNotFound, fmt.Sprintf("unknown graph_ref %q (see /v1/graphs)", req.GraphRef)}
 		}
-		g, digest = p.g, p.digest
+		var costs []float64
+		g, digest, epoch, costs = p.snapshot()
+		if req.Epoch != nil && *req.Epoch != epoch {
+			return nil, &httpError{http.StatusConflict,
+				fmt.Sprintf("stale epoch: graph %q is at epoch %d, request pinned %d", req.GraphRef, epoch, *req.Epoch)}
+		}
+		if req.UseGraphWeights {
+			if costs == nil {
+				return nil, &httpError{http.StatusBadRequest,
+					fmt.Sprintf("graph %q has no weights (no set_weight mutation was ever applied)", req.GraphRef)}
+			}
+			req.Weights = costs
+		}
 	} else {
 		// Materialize and digest under the worker semaphore: decoding a
 		// body-sized edge list and building its CSR is real allocation
@@ -212,7 +242,96 @@ func (s *Server) solve(req *graphio.SolveRequest) (*graphio.SolveResponse, error
 	if !req.Members {
 		resp.Members = nil
 	}
+	// Epoch is per-request, not per-cache-entry: a mutate-and-revert
+	// sequence can bring a later epoch back to a cached digest, and the
+	// response must report the epoch the caller actually addressed.
+	resp.Epoch = epoch
 	return &resp, nil
+}
+
+// handleMutate applies one epoch batch to a mutable preloaded graph. The
+// write lock spans apply + commit + digest so concurrent solves always see
+// a consistent (graph, digest, epoch) triple; solves already running keep
+// their immutable snapshot. Cache entries under the pre-mutation digest
+// are dropped.
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	p, ok := s.graphs[name]
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown graph %q (see /v1/graphs); inline-only graphs cannot be mutated", name)
+		return
+	}
+	req, err := graphio.DecodeMutateRequest(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if req.Epoch != nil && *req.Epoch != p.dyn.Epoch() {
+		writeError(w, http.StatusConflict, "stale epoch: graph %q is at epoch %d, request pinned %d",
+			name, p.dyn.Epoch(), *req.Epoch)
+		return
+	}
+	// The same resource bound the inline-graph path enforces: mutations
+	// accumulate across requests, so without this check a client could
+	// grow a preload without limit one small batch at a time.
+	grows := 0
+	for _, m := range req.Mutations {
+		if m.Op == graphio.OpAddVertex {
+			grows++
+		}
+	}
+	if n := p.dyn.N() + grows; n > s.cfg.MaxInlineVertices {
+		writeError(w, http.StatusBadRequest,
+			"mutation batch would grow graph %q to n=%d, exceeding the server limit of %d vertices", name, n, s.cfg.MaxInlineVertices)
+		return
+	}
+	for i, m := range req.Mutations {
+		switch m.Op {
+		case graphio.OpAddEdge:
+			err = p.dyn.AddEdge(m.U, m.V)
+		case graphio.OpRemoveEdge:
+			err = p.dyn.RemoveEdge(m.U, m.V)
+		case graphio.OpAddVertex:
+			p.dyn.AddVertex()
+		case graphio.OpSetWeight:
+			err = p.dyn.SetWeight(m.U, m.W)
+		}
+		if err != nil {
+			p.dyn.Discard()
+			writeError(w, http.StatusBadRequest, "mutation %d: %v", i, err)
+			return
+		}
+	}
+	delta, err := p.dyn.Commit()
+	if err != nil {
+		p.dyn.Discard()
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Weight-only batches leave the topology (and so the digest) alone:
+	// no re-hash, and the cache keeps its entries — they are keyed on
+	// (digest, weights-hash) and remain exactly right.
+	if delta.Next != delta.Prev {
+		oldDigest := p.digest
+		p.digest = graphio.Digest(delta.Next)
+		s.cache.invalidateDigest(oldDigest)
+	}
+	writeJSON(w, http.StatusOK, graphio.MutateResponse{
+		Name:    name,
+		Epoch:   delta.Epoch,
+		Digest:  p.digest,
+		N:       delta.Next.N(),
+		M:       delta.Next.M(),
+		Touched: len(delta.Touched),
+	})
 }
 
 // run executes one pipeline configuration. Members are always materialized
@@ -293,6 +412,7 @@ type graphInfo struct {
 	M      int    `json:"m"`
 	MaxDeg int    `json:"max_degree"`
 	Digest string `json:"digest"`
+	Epoch  int64  `json:"epoch"`
 }
 
 func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
@@ -302,8 +422,8 @@ func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
 	}
 	infos := make([]graphInfo, 0, len(s.names))
 	for _, name := range s.names {
-		p := s.graphs[name]
-		infos = append(infos, graphInfo{Name: name, N: p.g.N(), M: p.g.M(), MaxDeg: p.g.MaxDegree(), Digest: p.digest})
+		g, digest, epoch, _ := s.graphs[name].snapshot()
+		infos = append(infos, graphInfo{Name: name, N: g.N(), M: g.M(), MaxDeg: g.MaxDegree(), Digest: digest, Epoch: epoch})
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"graphs": infos})
 }

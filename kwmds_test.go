@@ -2,8 +2,9 @@ package kwmds
 
 import (
 	"bytes"
-	"math"
 	"testing"
+
+	"kwmds/internal/testsupport"
 )
 
 func TestDominatingSetEndToEnd(t *testing.T) {
@@ -15,18 +16,14 @@ func TestDominatingSetEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !g.IsDominatingSet(res.InDS) {
-		t.Fatal("result not a dominating set")
-	}
+	testsupport.AssertDominatingSet(t, "sim pipeline", g, res.InDS)
 	if res.Size != SetSize(res.InDS) {
 		t.Errorf("Size = %d, members = %d", res.Size, SetSize(res.InDS))
 	}
 	if res.Size != res.JoinedRandom+res.JoinedFixup {
 		t.Errorf("join split %d+%d != %d", res.JoinedRandom, res.JoinedFixup, res.Size)
 	}
-	if !IsFractionallyFeasible(g, res.Fractional) {
-		t.Error("fractional stage infeasible")
-	}
+	testsupport.AssertFractionallyDominated(t, "sim pipeline", g, res.Fractional)
 	k := res.K
 	if want := (4*k*k + 2*k + 2) + 3; res.Rounds != want {
 		t.Errorf("Rounds = %d, want %d (LP) + 3 (rounding)", res.Rounds, want)
@@ -129,18 +126,8 @@ func TestWeightedPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !g.IsDominatingSet(res.InDS) {
-		t.Fatal("weighted pipeline not dominating")
-	}
-	var want float64
-	for v, in := range res.InDS {
-		if in {
-			want += weights[v]
-		}
-	}
-	if math.Abs(res.WeightedCost-want) > 1e-12 {
-		t.Errorf("WeightedCost = %v, want %v", res.WeightedCost, want)
-	}
+	testsupport.AssertDominatingSet(t, "weighted pipeline", g, res.InDS)
+	testsupport.AssertWeightedCost(t, "weighted pipeline", g, res.InDS, weights, res.WeightedCost)
 	// Weighted fractional bound against the weighted LP optimum.
 	frac, err := FractionalDominatingSet(g, Options{K: 3, Weights: weights})
 	if err != nil {
