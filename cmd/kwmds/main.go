@@ -13,6 +13,8 @@
 //	graphgen -family udg -n 500 -r 0.08 | kwmds -algo greedy
 //	kwmds -graph gen:udg:500:0.08:1 -algo kwcds
 //	kwmds serve -addr :8080 -workers 8 -preload udg-10k=gen:udg:10000:0.02:1
+//	kwmds convert -in network.edges -out network.kwcsr
+//	kwmds serve -preload big=network.kwcsr
 //	kwmds bench -scenario scenarios/serve-cached.json
 //	kwmds bench -validate BENCH_kwbench.json
 //
@@ -44,6 +46,13 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "bench" {
 		if err := benchMain(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "kwmds bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "convert" {
+		if err := convertMain(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "kwmds convert:", err)
 			os.Exit(1)
 		}
 		return
@@ -81,6 +90,17 @@ func serveMain(args []string) error {
 	ready := make(chan string, 1)
 	go func() { fmt.Fprintln(os.Stderr, "kwmds serve: listening on", <-ready) }()
 	return cli.RunServe(cfg, ready)
+}
+
+func convertMain(args []string) error {
+	var cfg cli.ConvertConfig
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	fs.StringVar(&cfg.In, "in", "", "input graph: edge-list file, '-' (stdin), 'gen:…' spec, or .kwcsr container")
+	fs.StringVar(&cfg.Out, "out", "", "output path (.kwcsr suffix selects the binary CSR container, anything else edge-list text)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	return cli.RunConvert(cfg, os.Stdout)
 }
 
 func benchMain(args []string) error {

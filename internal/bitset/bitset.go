@@ -76,8 +76,24 @@ func (s *Set) Count() int {
 	return c
 }
 
-// All reports whether every bit in [0, Len()) is set.
-func (s *Set) All() bool { return s.Count() == s.n }
+// All reports whether every bit in [0, Len()) is set. The scan exits at the
+// first non-full word instead of popcounting the whole array.
+func (s *Set) All() bool {
+	if s.n == 0 {
+		return true
+	}
+	last := len(s.words) - 1
+	for _, w := range s.words[:last] {
+		if w != ^uint64(0) {
+			return false
+		}
+	}
+	full := ^uint64(0)
+	if tail := uint(s.n) & 63; tail != 0 {
+		full = (1 << tail) - 1
+	}
+	return s.words[last] == full
+}
 
 // None reports whether no bit is set.
 func (s *Set) None() bool {
@@ -186,6 +202,98 @@ func (s *Set) NextClear(from int) int {
 		}
 	}
 	return -1
+}
+
+// NextSet returns the index of the first set bit at or after from, or -1 if
+// every bit in [from, Len()) is clear.
+func (s *Set) NextSet(from int) int {
+	if from < 0 {
+		from = 0
+	}
+	if from >= s.n {
+		return -1
+	}
+	wi := from >> 6
+	if w := s.words[wi] >> (uint(from) & 63); w != 0 {
+		return from + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(s.words); wi++ {
+		if w := s.words[wi]; w != 0 {
+			return wi<<6 + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// OrCount sets s = s | other and returns the number of set bits of the
+// result, fused into one pass over the words.
+func (s *Set) OrCount(other *Set) int {
+	c := 0
+	for i, w := range other.words {
+		nw := s.words[i] | w
+		s.words[i] = nw
+		c += bits.OnesCount64(nw)
+	}
+	return c
+}
+
+// ClearWords zeroes the word range [w0, w1) of the backing array — the
+// chunk-owned bulk reset the fastpath phases use, where each worker owns a
+// disjoint word range outright.
+func (s *Set) ClearWords(w0, w1 int) {
+	ws := s.words[w0:w1]
+	for i := range ws {
+		ws[i] = 0
+	}
+}
+
+// ClearRange clears every bit in [lo, hi).
+func (s *Set) ClearRange(lo, hi int) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > s.n {
+		hi = s.n
+	}
+	if lo >= hi {
+		return
+	}
+	wlo, whi := lo>>6, (hi-1)>>6
+	loMask := ^uint64(0) << (uint(lo) & 63)
+	hiMask := ^uint64(0) >> (63 - uint(hi-1)&63)
+	if wlo == whi {
+		s.words[wlo] &^= loMask & hiMask
+		return
+	}
+	s.words[wlo] &^= loMask
+	for i := wlo + 1; i < whi; i++ {
+		s.words[i] = 0
+	}
+	s.words[whi] &^= hiMask
+}
+
+// CountRange returns the number of set bits in [lo, hi).
+func (s *Set) CountRange(lo, hi int) int {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > s.n {
+		hi = s.n
+	}
+	if lo >= hi {
+		return 0
+	}
+	wlo, whi := lo>>6, (hi-1)>>6
+	loMask := ^uint64(0) << (uint(lo) & 63)
+	hiMask := ^uint64(0) >> (63 - uint(hi-1)&63)
+	if wlo == whi {
+		return bits.OnesCount64(s.words[wlo] & loMask & hiMask)
+	}
+	c := bits.OnesCount64(s.words[wlo] & loMask)
+	for i := wlo + 1; i < whi; i++ {
+		c += bits.OnesCount64(s.words[i])
+	}
+	return c + bits.OnesCount64(s.words[whi]&hiMask)
 }
 
 // ForEach calls fn for every set bit in increasing order.

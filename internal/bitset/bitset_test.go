@@ -169,6 +169,137 @@ func TestForEach(t *testing.T) {
 	}
 }
 
+func TestAllEarlyExit(t *testing.T) {
+	// All must handle tail words (capacity not a multiple of 64), empty
+	// sets, and must not be fooled by padding bits in the last word.
+	for _, n := range []int{0, 1, 63, 64, 65, 128, 130} {
+		s := New(n)
+		if n > 0 && s.All() {
+			t.Errorf("n=%d: empty set reported All", n)
+		}
+		for i := 0; i < n; i++ {
+			s.Set(i)
+		}
+		if !s.All() {
+			t.Errorf("n=%d: full set not All", n)
+		}
+		if n > 0 {
+			s.Clear(n / 2)
+			if s.All() {
+				t.Errorf("n=%d: set with bit %d clear reported All", n, n/2)
+			}
+		}
+	}
+}
+
+func TestNextSet(t *testing.T) {
+	s := New(200)
+	want := []int{3, 63, 64, 130, 199}
+	for _, i := range want {
+		s.Set(i)
+	}
+	got := []int{}
+	for i := s.NextSet(0); i >= 0; i = s.NextSet(i + 1) {
+		got = append(got, i)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("NextSet walk = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("NextSet walk = %v, want %v", got, want)
+		}
+	}
+	if s.NextSet(200) != -1 || s.NextSet(1000) != -1 {
+		t.Error("NextSet past capacity must return -1")
+	}
+	if s.NextSet(-5) != 3 {
+		t.Error("NextSet with negative from must scan from 0")
+	}
+	if New(70).NextSet(0) != -1 {
+		t.Error("NextSet on empty set must return -1")
+	}
+}
+
+func TestOrCount(t *testing.T) {
+	a, b := New(150), New(150)
+	for i := 0; i < 150; i += 2 {
+		a.Set(i)
+	}
+	for i := 0; i < 150; i += 3 {
+		b.Set(i)
+	}
+	ref := a.Clone()
+	ref.Or(b)
+	if got := a.OrCount(b); got != ref.Count() {
+		t.Errorf("OrCount = %d, want %d", got, ref.Count())
+	}
+	if !a.Equal(ref) {
+		t.Error("OrCount result differs from Or")
+	}
+}
+
+func TestClearRange(t *testing.T) {
+	cases := []struct{ lo, hi int }{
+		{0, 0}, {0, 1}, {0, 64}, {0, 130}, {5, 9}, {5, 64}, {5, 65},
+		{63, 65}, {64, 128}, {64, 130}, {100, 130}, {129, 130}, {-3, 200},
+	}
+	for _, c := range cases {
+		s := New(130)
+		s.SetAll()
+		s.ClearRange(c.lo, c.hi)
+		for i := 0; i < 130; i++ {
+			wantSet := i < c.lo || i >= c.hi
+			if s.Test(i) != wantSet {
+				t.Fatalf("ClearRange(%d,%d): bit %d = %v, want %v", c.lo, c.hi, i, s.Test(i), wantSet)
+			}
+		}
+	}
+	// Degenerate lo ≥ hi is a no-op.
+	s := New(70)
+	s.SetAll()
+	s.ClearRange(40, 40)
+	s.ClearRange(50, 10)
+	if s.Count() != 70 {
+		t.Error("degenerate ClearRange mutated the set")
+	}
+}
+
+func TestClearWords(t *testing.T) {
+	s := New(200) // 4 words
+	s.SetAll()
+	s.ClearWords(1, 3)
+	for i := 0; i < 200; i++ {
+		wantSet := i < 64 || i >= 192
+		if s.Test(i) != wantSet {
+			t.Fatalf("ClearWords(1,3): bit %d = %v, want %v", i, s.Test(i), wantSet)
+		}
+	}
+	s.ClearWords(2, 2) // empty range is a no-op
+	if got := s.Count(); got != 64+8 {
+		t.Errorf("Count after ClearWords = %d, want 72", got)
+	}
+}
+
+func TestCountRange(t *testing.T) {
+	s := New(300)
+	for i := 0; i < 300; i += 7 {
+		s.Set(i)
+	}
+	for _, c := range [][2]int{{0, 300}, {0, 0}, {1, 7}, {0, 64}, {63, 65}, {64, 192}, {100, 299}, {290, 300}, {-10, 400}} {
+		want := 0
+		lo, hi := c[0], c[1]
+		for i := 0; i < 300; i++ {
+			if i >= lo && i < hi && s.Test(i) {
+				want++
+			}
+		}
+		if got := s.CountRange(lo, hi); got != want {
+			t.Errorf("CountRange(%d,%d) = %d, want %d", lo, hi, got, want)
+		}
+	}
+}
+
 func TestString(t *testing.T) {
 	s := New(4)
 	s.Set(1)

@@ -156,9 +156,12 @@ func loadGraph(cfg Config) (*kwmds.Graph, error) {
 
 // LoadGraph resolves a -graph argument: "-" reads the edge-list format from
 // stdin, "gen:<family>:<args>" generates a graph in-process (see
-// ParseGenSpec), anything else is an edge-list file path. The serve
-// subsystem's -preload flag resolves its specs through the same function so
-// both command surfaces accept identical graph sources.
+// ParseGenSpec), a path ending in ".kwcsr" is a binary CSR container
+// (zero-parse; see internal/graphio and `kwmds convert`), anything else is
+// an edge-list file path. The serve subsystem's -preload flag resolves its
+// specs through the same function so both command surfaces accept identical
+// graph sources. A container's optional weight vector is ignored here:
+// weights enter solves per request, not per topology.
 func LoadGraph(path string, stdin io.Reader) (*kwmds.Graph, error) {
 	if path == "-" {
 		if stdin == nil {
@@ -174,6 +177,10 @@ func LoadGraph(path string, stdin io.Reader) (*kwmds.Graph, error) {
 		return nil, err
 	}
 	defer f.Close()
+	if strings.HasSuffix(path, ".kwcsr") {
+		g, _, err := graphio.ReadBinaryCSR(f)
+		return g, err
+	}
 	return graphio.ReadEdgeList(f)
 }
 

@@ -1,0 +1,54 @@
+package cli
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"kwmds/internal/graphio"
+)
+
+// ConvertConfig is the parsed command line of `kwmds convert`.
+type ConvertConfig struct {
+	In  string // any LoadGraph source: file, "-", "gen:" spec, ".kwcsr"
+	Out string // output path; ".kwcsr" suffix selects the binary container
+
+	Stdin io.Reader // defaults to os.Stdin
+}
+
+// RunConvert loads a graph from any -graph source and writes it to Out in
+// the format its extension selects: ".kwcsr" produces the zero-parse binary
+// CSR container, anything else the plain edge-list text. Both directions
+// work (text→binary for preload speed, binary→text for inspection); the
+// report line echoes the digest so operators can cross-check what a serve
+// instance will advertise for the preload.
+func RunConvert(cfg ConvertConfig, w io.Writer) error {
+	if cfg.In == "" || cfg.Out == "" {
+		return fmt.Errorf("convert: -in and -out are both required")
+	}
+	g, err := LoadGraph(cfg.In, cfg.Stdin)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(cfg.Out)
+	if err != nil {
+		return err
+	}
+	format := "edge-list"
+	if strings.HasSuffix(cfg.Out, ".kwcsr") {
+		format = "kwcsr"
+		err = graphio.WriteBinaryCSR(f, g, nil)
+	} else {
+		err = graphio.WriteEdgeList(f, g)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(cfg.Out)
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s (%s): n=%d m=%d digest=%s\n", cfg.Out, format, g.N(), g.M(), graphio.Digest(g))
+	return nil
+}

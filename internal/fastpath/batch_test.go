@@ -1,0 +1,134 @@
+package fastpath
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"kwmds/internal/rounding"
+)
+
+// batchOpts builds a mixed batch over one graph: runs of shared LP
+// configuration (varying only seed/variant) interleaved with configuration
+// switches (k, algorithm, weights), exercising both the LP-reuse fast path
+// and the re-arm path.
+func batchOpts(n int, workers int) []Options {
+	costs := make([]float64, n)
+	for i := range costs {
+		costs[i] = 1 + float64(i%7)/2
+	}
+	return []Options{
+		{K: 3, Seed: 1, Workers: workers},
+		{K: 3, Seed: 2, Workers: workers},
+		{K: 3, Seed: 2, Variant: rounding.LnMinusLnLn, Workers: workers},
+		{K: 4, Seed: 2, Workers: workers}, // k switch → LP re-run
+		{K: 4, Seed: 9, Workers: workers},
+		{K: 4, Seed: 9, Algorithm: Alg2, Workers: workers}, // algorithm switch
+		{K: 4, Seed: 10, Algorithm: Alg2, Workers: workers},
+		{K: 3, Seed: 1, Algorithm: AlgWeighted, Costs: costs, Workers: workers},
+		{K: 3, Seed: 5, Algorithm: AlgWeighted, Costs: costs, Workers: workers},
+		{K: 3, Seed: 5, Workers: workers}, // back to Alg3
+	}
+}
+
+// TestSolveManyMatchesSolo is the batch determinism contract: every element
+// of a SolveMany batch must be bit-identical to a standalone Solve with the
+// same options, at every worker count.
+func TestSolveManyMatchesSolo(t *testing.T) {
+	for _, wl := range workloads(t) {
+		for _, workers := range []int{1, 3, 8, 0} {
+			t.Run(fmt.Sprintf("%s/w%d", wl.name, workers), func(t *testing.T) {
+				opts := batchOpts(wl.g.N(), workers)
+				type snap struct {
+					x            []float64
+					inDS         []bool
+					size, jr, jf int
+				}
+				got := make([]snap, len(opts))
+				s := New()
+				err := s.SolveMany(wl.g, opts, func(i int, res Result) {
+					got[i] = snap{
+						x:    append([]float64(nil), res.X...),
+						inDS: append([]bool(nil), res.InDS...),
+						size: res.Size, jr: res.JoinedRandom, jf: res.JoinedFixup,
+					}
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, o := range opts {
+					want, err := New().Solve(wl.g, o)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got[i].size != want.Size || got[i].jr != want.JoinedRandom || got[i].jf != want.JoinedFixup {
+						t.Fatalf("element %d: size/joins (%d,%d,%d), solo (%d,%d,%d)",
+							i, got[i].size, got[i].jr, got[i].jf, want.Size, want.JoinedRandom, want.JoinedFixup)
+					}
+					for v := range want.X {
+						if got[i].x[v] != want.X[v] {
+							t.Fatalf("element %d: x[%d] = %v, solo %v", i, v, got[i].x[v], want.X[v])
+						}
+						if got[i].inDS[v] != want.InDS[v] {
+							t.Fatalf("element %d: inDS[%d] mismatch", i, v)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSolveManyValidation: one bad element fails the whole batch up front,
+// naming the offending index; the empty batch is a no-op.
+func TestSolveManyValidation(t *testing.T) {
+	g := workloads(t)[0].g
+	s := New()
+	calls := 0
+	err := s.SolveMany(g, []Options{{K: 3}, {K: -1}}, func(int, Result) { calls++ })
+	if err == nil || !strings.Contains(err.Error(), "element 1") {
+		t.Fatalf("bad k not rejected with element index: %v", err)
+	}
+	if calls != 0 {
+		t.Fatalf("callback ran %d times before validation failure", calls)
+	}
+	if err := s.SolveMany(g, nil, func(int, Result) { calls++ }); err != nil || calls != 0 {
+		t.Fatalf("empty batch: err=%v calls=%d", err, calls)
+	}
+	if err := s.SolveMany(nil, []Options{{K: 3}}, func(int, Result) {}); err == nil {
+		t.Fatal("nil graph not rejected")
+	}
+	bad := []Options{{K: 3}, {K: 3, Algorithm: AlgWeighted, Costs: []float64{1}}}
+	if err := s.SolveMany(g, bad, func(int, Result) {}); err == nil || !strings.Contains(err.Error(), "element 1") {
+		t.Fatalf("bad costs not rejected with element index: %v", err)
+	}
+}
+
+// TestSolveManyPooled: a pooled solver that already ran solo solves must
+// produce identical batch results (memo and d2 caches must not leak state).
+func TestSolveManyPooled(t *testing.T) {
+	wl := workloads(t)[1]
+	s := Acquire(wl.g.N())
+	defer Release(s)
+	if _, err := s.Solve(wl.g, Options{K: 5, Seed: 77}); err != nil {
+		t.Fatal(err)
+	}
+	opts := batchOpts(wl.g.N(), 2)
+	err := s.SolveMany(wl.g, opts, func(i int, res Result) {
+		want, err := New().Solve(wl.g, opts[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Size != want.Size {
+			t.Fatalf("element %d: size %d, solo %d", i, res.Size, want.Size)
+		}
+		for v := range want.X {
+			if res.X[v] != want.X[v] {
+				t.Fatalf("element %d: x[%d] = %v, solo %v", i, v, res.X[v], want.X[v])
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -47,21 +47,42 @@ func (s *Solver) Solve(g *graph.Graph, opt Options) (Result, error) {
 func (s *Solver) lpStage(g *graph.Graph, opt Options) {
 	switch opt.Algorithm {
 	case Alg2:
-		pw := core.PowTable(g.MaxDegree(), opt.K)
+		pw := s.powTable(g.MaxDegree(), opt.K)
 		s.lpThreshold(opt.K, pw, pw)
 	case AlgWeighted:
 		delta := g.MaxDegree()
-		pw := core.PowTable(delta, opt.K)
-		// Weighted activity thresholds [c_max(∆+1)]^{ℓ/k}.
-		wthr := make([]float64, opt.K+1)
-		base := s.curCmax * float64(delta+1)
-		for i := 0; i <= opt.K; i++ {
-			wthr[i] = math.Pow(base, float64(i)/float64(opt.K))
-		}
-		s.lpThreshold(opt.K, wthr, pw)
+		pw := s.powTable(delta, opt.K)
+		s.lpThreshold(opt.K, s.weightedThresholds(delta, opt.K), pw)
 	default:
 		s.lpAlg3(opt.K)
 	}
+}
+
+// powTable memoizes core.PowTable on (∆, k), so repeated solves against one
+// graph and configuration — the serving pattern, and every SolveMany batch —
+// pay the k+1 math.Pow calls once. A hit returns the exact floats the direct
+// call computes (same function, same arguments): bit-identity is unaffected.
+func (s *Solver) powTable(delta, k int) []float64 {
+	if !(s.pwValid && s.pwDelta == delta && s.pwK == k) {
+		s.pw = core.PowTable(delta, k)
+		s.pwDelta, s.pwK, s.pwValid = delta, k, true
+	}
+	return s.pw
+}
+
+// weightedThresholds memoizes the weighted activity thresholds
+// [c_max(∆+1)]^{ℓ/k} on (c_max(∆+1), k), with the same bit-identity
+// argument as powTable.
+func (s *Solver) weightedThresholds(delta, k int) []float64 {
+	base := s.curCmax * float64(delta+1)
+	if !(s.wthrValid && s.wthrBase == base && s.wthrK == k) {
+		s.wthr = growF64(s.wthr, k+1)
+		for i := 0; i <= k; i++ {
+			s.wthr[i] = math.Pow(base, float64(i)/float64(k))
+		}
+		s.wthrBase, s.wthrK, s.wthrValid = base, k, true
+	}
+	return s.wthr
 }
 
 // lpThreshold is the shared driver of Algorithm 2 and the weighted variant:
@@ -398,10 +419,7 @@ func (s *Solver) phaseGamma2(w int) {
 }
 
 func (s *Solver) phaseClearDirty(w int) {
-	dw := s.dirty.Words()
-	for wi := s.w0[w]; wi < s.w1[w]; wi++ {
-		dw[wi] = 0
-	}
+	s.dirty.ClearWords(s.w0[w], s.w1[w])
 }
 
 // phaseD1 computes the static δ⁽¹⁾ (max degree over N[v]).

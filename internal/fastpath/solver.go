@@ -104,7 +104,22 @@ type Solver struct {
 	w0, w1  []int // word-range bounds per worker
 	changed [][]int32
 	newGray [][]int32
+	zeroed  []int32  // applyNewGray scratch: vertices whose δ̃ hit zero
 	joinCnt [][2]int // per-worker {random, fixup} join counters
+
+	// Memoized derived tables, keyed by the inputs that produced them.
+	// Each holds the exact floats the direct computation yields (same
+	// function, same arguments), so a memo hit cannot perturb
+	// bit-identity; SolveMany batches hit these across elements.
+	pw           []float64 // core.PowTable(pwDelta, pwK)
+	pwDelta, pwK int
+	pwValid      bool
+	wthr         []float64 // weighted thresholds for (wthrBase, wthrK)
+	wthrBase     float64
+	wthrK        int
+	wthrValid    bool
+	scaleValid   bool // scaleTab currently holds scaleVariant over maxDeg+1 entries
+	scaleVariant rounding.Variant
 
 	// per-phase parameters, set by the drivers before dispatch
 	curThr     float64
@@ -354,28 +369,84 @@ func (s *Solver) markNbhd(words []uint64, u int32) {
 	}
 }
 
+// smallDegCutoff splits applyNewGray's decrement traversal into buckets:
+// vertices with at most this many neighbors touch a handful of scattered
+// cache lines, vertices above it stream long sorted adjacency runs.
+const smallDegCutoff = 64
+
 // applyNewGray performs the white→gray transitions collected by the
 // covering recheck: the only serial step of an iteration. Each vertex turns
 // gray exactly once over the whole run, so the total cost of the δ̃
 // decrements is O(n + m) — this is what replaces the references'
 // trueDtil full rescans.
+//
+// The transition runs in word-batched, degree-bucketed passes rather than
+// per-bit probes:
+//
+//  1. Gray marking. The per-worker newGray lists are ascending and the
+//     workers own disjoint ascending word ranges, so the concatenation is
+//     globally sorted; bits sharing a word accumulate into one mask and
+//     land with a single OR instead of one read-modify-write per vertex.
+//  2. δ̃ decrements, bucketed by degree. The small-degree bucket runs
+//     first — its updates are scattered single-cache-line touches that
+//     keep the dtil working set hot — and the large-degree bucket last,
+//     so its long sorted runs stream through dtil without interleaving
+//     evictions into the scattered updates. Decrements are commutative
+//     and each vertex's zero crossing happens exactly once regardless of
+//     order, so dtil and the zeroed set are bit-identical to the
+//     per-vertex order.
+//  3. Support clearing for the vertices whose δ̃ hit zero, collected into
+//     a scratch list during pass 2. At most n zero events occur over the
+//     whole run, so this pass costs O(n) total.
 func (s *Solver) applyNewGray() {
+	gw := s.gray.Words()
+	off, adj, dtil, acnt := s.off, s.adj, s.dtil, s.acnt
+
+	marked := 0
+	curW := -1
+	var mask uint64
 	for w := 0; w < s.workers; w++ {
 		for _, v := range s.newGray[w] {
-			s.gray.Set(int(v))
-			s.whiteCount--
-			s.acnt[v] = 0 // a(v) is defined as 0 for gray vertices
-			s.decDtil(v)
-			for _, u := range s.adj[s.off[v]:s.off[v+1]] {
-				s.decDtil(u)
+			if wi := int(v >> 6); wi != curW {
+				if curW >= 0 {
+					gw[curW] |= mask
+				}
+				curW, mask = wi, 0
+			}
+			mask |= 1 << (uint32(v) & 63)
+			acnt[v] = 0 // a(v) is defined as 0 for gray vertices
+			marked++
+		}
+	}
+	if curW >= 0 {
+		gw[curW] |= mask
+	}
+	s.whiteCount -= marked
+
+	s.zeroed = s.zeroed[:0]
+	for pass := 0; pass < 2; pass++ {
+		for w := 0; w < s.workers; w++ {
+			for _, v := range s.newGray[w] {
+				begin, end := off[v], off[v+1]
+				small := int(end-begin) <= smallDegCutoff
+				if small != (pass == 0) {
+					continue
+				}
+				dtil[v]--
+				if dtil[v] == 0 {
+					s.zeroed = append(s.zeroed, v)
+				}
+				for _, u := range adj[begin:end] {
+					dtil[u]--
+					if dtil[u] == 0 {
+						s.zeroed = append(s.zeroed, u)
+					}
+				}
 			}
 		}
 	}
-}
 
-func (s *Solver) decDtil(v int32) {
-	s.dtil[v]--
-	if s.dtil[v] == 0 {
+	for _, v := range s.zeroed {
 		s.support.Clear(int(v))
 	}
 }

@@ -13,14 +13,25 @@ import (
 // identical, regardless of the edge order or orientation they were built
 // from, so the digest is a stable cache key for topology-addressed caches.
 func Digest(g *graph.Graph) string {
+	off, adj := g.CSR()
+	sum := csrDigest(g.N(), off, adj)
+	return hex.EncodeToString(sum[:])
+}
+
+// csrDigest is the digest computation over raw CSR arrays, shared by Digest
+// (hex form) and the binary container (raw form embedded in the header, so
+// a .kwcsr file carries exactly the digest the server would compute for its
+// graph — no re-hash needed to address caches by topology).
+func csrDigest(n int, off, adj []int32) [sha256.Size]byte {
 	h := sha256.New()
 	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], uint64(g.N()))
+	binary.LittleEndian.PutUint64(buf[:], uint64(n))
 	h.Write(buf[:])
-	off, adj := g.CSR()
 	writeInt32s(h, off)
 	writeInt32s(h, adj)
-	return hex.EncodeToString(h.Sum(nil))
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	return sum
 }
 
 // writeInt32s hashes xs through a chunk buffer — one Write per 64 KiB, not

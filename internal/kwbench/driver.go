@@ -20,6 +20,10 @@ import (
 type LoadedGraph struct {
 	Name string
 	G    *graph.Graph
+	// LoadMS is how long materializing the graph took (generation, text
+	// parse, or binary load) — reported per graph so graph-acquisition
+	// cost is visible separately from solve cost.
+	LoadMS float64
 }
 
 // Request is one operation of the workload: a graph selection plus one
@@ -69,6 +73,7 @@ func newDriver(sc *Scenario, concurrency int) (Driver, error) {
 			d.url = sc.HTTP.URL
 			d.workers = sc.HTTP.Workers
 			d.cacheEntries = sc.HTTP.CacheEntries
+			d.noBatch = sc.HTTP.NoBatch
 			if sc.HTTP.TimeoutSec > 0 {
 				d.timeout = time.Duration(sc.HTTP.TimeoutSec * float64(time.Second))
 			}
@@ -144,6 +149,35 @@ func (d *inprocDriver) Do(req Request) (OpResult, error) {
 
 func (d *inprocDriver) Close() error { return nil }
 
+// DoBatch executes consecutive requests through kwmds.DominatingSetMany,
+// splitting at graph changes (a batch shares one graph by construction of
+// the facade API). Outputs are bit-identical to per-request Do calls; the
+// runner's cross-check pass verifies exactly that against the sim backend.
+// Only kw|kw2 requests are valid here (enforced at scenario validation).
+func (d *inprocDriver) DoBatch(reqs []Request) ([]OpResult, error) {
+	out := make([]OpResult, 0, len(reqs))
+	for start := 0; start < len(reqs); {
+		end := start + 1
+		for end < len(reqs) && reqs[end].Graph == reqs[start].Graph {
+			end++
+		}
+		run := reqs[start:end]
+		optsList := make([]kwmds.Options, len(run))
+		for i, r := range run {
+			optsList[i] = d.options(r)
+		}
+		results, err := kwmds.DominatingSetMany(d.graphs[run[0].Graph].G, optsList)
+		if err != nil {
+			return nil, err
+		}
+		for _, res := range results {
+			out = append(out, OpResult{Size: res.Size, InDS: res.InDS})
+		}
+		start = end
+	}
+	return out, nil
+}
+
 // httpDriver drives POST /v1/solve. With no URL it spawns an in-process
 // serve instance preloaded with the scenario's graph set — the whole stack
 // (HTTP transport, JSON codec, worker pool, LRU, single-flight) is on the
@@ -154,6 +188,7 @@ type httpDriver struct {
 	workers      int
 	cacheEntries int
 	concurrency  int
+	noBatch      bool
 	timeout      time.Duration
 
 	graphs  []LoadedGraph
@@ -174,9 +209,10 @@ func (d *httpDriver) Prepare(graphs []LoadedGraph) error {
 			m[lg.Name] = lg.G
 		}
 		d.srv = server.New(server.Config{
-			Workers:      d.workers,
-			CacheEntries: d.cacheEntries,
-			Graphs:       m,
+			Workers:         d.workers,
+			CacheEntries:    d.cacheEntries,
+			Graphs:          m,
+			DisableBatching: d.noBatch,
 		})
 		d.ts = httptest.NewServer(d.srv.Handler())
 		d.baseURL = d.ts.URL

@@ -47,6 +47,35 @@ type GraphInfo struct {
 	Name string `json:"name"`
 	N    int    `json:"n"`
 	M    int    `json:"m"`
+	// LoadMS is how long materializing this graph took (generation, text
+	// parse, or binary container load), measured outside the op windows.
+	LoadMS float64 `json:"load_ms,omitempty"`
+}
+
+// LoadCompare is the extra block of a load-loop scenario: the same graph
+// loaded as edge-list text versus the kwcsr binary container. Both means
+// are wall-clock per full load, digest-verified against the generated
+// original.
+type LoadCompare struct {
+	// TextOps is how many loads the text and verified-binary arms each
+	// average over (the trusted-binary side's op count is the scenario's
+	// Ops field).
+	TextOps int `json:"text_ops"`
+	// All three timings are medians: the arms run few ops and a single GC
+	// pause or writeback stall would poison a mean.
+	TextParseMS float64 `json:"text_parse_ms"`
+	// BinaryLoadMS is the trusted-reader median: structural validation but
+	// no SHA-256 recompute inside the stopwatch — symmetric with the text
+	// parser, which verifies nothing. The harness digest-checks every load
+	// of both arms outside the timing.
+	BinaryLoadMS float64 `json:"binary_load_ms"`
+	// BinaryVerifyMS is the verifying-reader median (embedded digest
+	// recomputed in the stopwatch) — the cost a cold serve preload pays.
+	BinaryVerifyMS float64 `json:"binary_verify_ms"`
+	// Speedup is TextParseMS / BinaryLoadMS.
+	Speedup     float64 `json:"speedup"`
+	TextBytes   int64   `json:"text_bytes"`
+	BinaryBytes int64   `json:"binary_bytes"`
 }
 
 // MobilityResult is the dynamic-graph extras of a mobility replay.
@@ -80,7 +109,7 @@ type ScenarioResult struct {
 	Name        string      `json:"name"`
 	Description string      `json:"description,omitempty"`
 	Driver      string      `json:"driver"`
-	Loop        string      `json:"loop"` // closed | open | replay
+	Loop        string      `json:"loop"` // closed | open | replay | load
 	Graphs      []GraphInfo `json:"graphs"`
 	Combos      int         `json:"combos"`
 	Seeds       int         `json:"seeds"`
@@ -88,6 +117,11 @@ type ScenarioResult struct {
 	// Concurrency is the closed-loop worker count (0 for open loop and
 	// replay).
 	Concurrency int `json:"concurrency,omitempty"`
+
+	// BatchSize is the closed-loop solve-batch width: workers claimed
+	// requests in contiguous chunks of this size and executed each chunk
+	// through the batched facade (0/absent means per-op solves).
+	BatchSize int `json:"batch_size,omitempty"`
 
 	WarmupOps  int     `json:"warmup_ops"`
 	Ops        int     `json:"ops"`
@@ -122,6 +156,9 @@ type ScenarioResult struct {
 	Mismatches   int `json:"mismatches,omitempty"`
 
 	Mobility *MobilityResult `json:"mobility,omitempty"`
+
+	// Load is the text-vs-binary comparison block of a load-loop scenario.
+	Load *LoadCompare `json:"load,omitempty"`
 }
 
 // CurrentEnvironment captures the running process's environment block.
@@ -231,7 +268,7 @@ func ValidateReport(rep *Report) error {
 			return fail("unknown driver %q", s.Driver)
 		}
 		switch s.Loop {
-		case "closed", "open", "replay":
+		case "closed", "open", "replay", "load":
 		default:
 			return fail("unknown loop %q", s.Loop)
 		}
@@ -259,6 +296,12 @@ func ValidateReport(rep *Report) error {
 		}
 		if s.Loop == "replay" && s.Mobility == nil {
 			return fail("replay without a mobility block")
+		}
+		if s.Loop == "load" && s.Load == nil {
+			return fail("load loop without a load block")
+		}
+		if s.Load != nil && (s.Load.TextParseMS <= 0 || s.Load.BinaryLoadMS <= 0 || s.Load.BinaryVerifyMS <= 0 || s.Load.Speedup <= 0) {
+			return fail("degenerate load comparison: %+v", *s.Load)
 		}
 		if len(s.Graphs) == 0 {
 			return fail("empty graph list")

@@ -4,12 +4,15 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"kwmds/internal/gen"
+	"kwmds/internal/graph"
 	"kwmds/internal/graphio"
 )
 
@@ -28,6 +31,9 @@ type RunOptions struct {
 func Run(sc *Scenario, opts RunOptions) (*ScenarioResult, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
+	}
+	if sc.Load != nil {
+		return runLoad(sc, opts)
 	}
 	if sc.Mobility != nil {
 		return runMobility(sc, opts)
@@ -96,11 +102,15 @@ func effectiveSeeds(sc *Scenario) int {
 	return sc.Seeds
 }
 
-// loadGraphs materializes the scenario's graph set.
+// loadGraphs materializes the scenario's graph set, timing each graph's
+// materialization (generation, parse, or binary load) into LoadMS so
+// reports separate graph-acquisition cost from solve cost. A File spec
+// ending in ".kwcsr" is read as the binary CSR container.
 func loadGraphs(specs []GraphSpec) ([]LoadedGraph, error) {
 	out := make([]LoadedGraph, 0, len(specs))
 	for _, s := range specs {
 		lg := LoadedGraph{Name: s.EffectiveName()}
+		t0 := time.Now()
 		switch {
 		case s.Gen != "":
 			g, err := gen.FromSpec(s.Gen)
@@ -119,13 +129,19 @@ func loadGraphs(specs []GraphSpec) ([]LoadedGraph, error) {
 			if err != nil {
 				return nil, fmt.Errorf("kwbench: graph %q: %w", lg.Name, err)
 			}
-			g, err := graphio.ReadEdgeList(f)
+			var g *graph.Graph
+			if strings.HasSuffix(s.File, ".kwcsr") {
+				g, _, err = graphio.ReadBinaryCSR(f)
+			} else {
+				g, err = graphio.ReadEdgeList(f)
+			}
 			f.Close()
 			if err != nil {
 				return nil, fmt.Errorf("kwbench: graph %q: %w", lg.Name, err)
 			}
 			lg.G = g
 		}
+		lg.LoadMS = float64(time.Since(t0)) / float64(time.Millisecond)
 		out = append(out, lg)
 	}
 	return out, nil
@@ -134,7 +150,7 @@ func loadGraphs(specs []GraphSpec) ([]LoadedGraph, error) {
 func graphInfos(graphs []LoadedGraph) []GraphInfo {
 	infos := make([]GraphInfo, len(graphs))
 	for i, lg := range graphs {
-		infos[i] = GraphInfo{Name: lg.Name, N: lg.G.N(), M: lg.G.M()}
+		infos[i] = GraphInfo{Name: lg.Name, N: lg.G.N(), M: lg.G.M(), LoadMS: lg.LoadMS}
 	}
 	return infos
 }
@@ -213,6 +229,14 @@ func runClosed(sc *Scenario, opts RunOptions, driver Driver, graphs []LoadedGrap
 	measured := reqs[warm:]
 
 	workers := sc.Closed.Concurrency
+	bs := 1
+	if sc.BatchSize > 1 {
+		bs = sc.BatchSize
+		res.BatchSize = bs
+	}
+	batcher, _ := driver.(interface {
+		DoBatch([]Request) ([]OpResult, error)
+	})
 	hists := make([]*Histogram, workers)
 	sizes := make([]int, len(measured))
 	var next atomic.Int64
@@ -220,6 +244,14 @@ func runClosed(sc *Scenario, opts RunOptions, driver Driver, graphs []LoadedGrap
 	var errMu sync.Mutex
 	var firstErr error
 	var wg sync.WaitGroup
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		stop.Store(true)
+	}
 
 	var msBefore runtime.MemStats
 	runtime.ReadMemStats(&msBefore)
@@ -231,23 +263,46 @@ func runClosed(sc *Scenario, opts RunOptions, driver Driver, graphs []LoadedGrap
 		go func() {
 			defer wg.Done()
 			for !stop.Load() {
-				i := next.Add(1) - 1
-				if i >= int64(len(measured)) {
+				// Workers claim BatchSize consecutive requests at a time
+				// (bs = 1 is the plain per-op loop). Batched latency is
+				// recorded as the batch total divided evenly — the shared
+				// LP stage makes a truthful per-op split impossible.
+				i0 := next.Add(int64(bs)) - int64(bs)
+				if i0 >= int64(len(measured)) {
 					return
 				}
-				t0 := time.Now()
-				got, err := driver.Do(measured[i])
-				h.Record(time.Since(t0))
-				if err != nil {
-					errMu.Lock()
-					if firstErr == nil {
-						firstErr = err
+				i1 := i0 + int64(bs)
+				if i1 > int64(len(measured)) {
+					i1 = int64(len(measured))
+				}
+				chunk := measured[i0:i1]
+				if bs > 1 && batcher != nil {
+					t0 := time.Now()
+					got, err := batcher.DoBatch(chunk)
+					per := time.Since(t0) / time.Duration(len(chunk))
+					if err != nil {
+						fail(err)
+						return
 					}
-					errMu.Unlock()
-					stop.Store(true)
-					return
+					for j := range chunk {
+						h.Record(per)
+						sizes[int(i0)+j] = got[j].Size
+					}
+					continue
 				}
-				sizes[i] = got.Size
+				for j := range chunk {
+					if stop.Load() {
+						return
+					}
+					t0 := time.Now()
+					got, err := driver.Do(chunk[j])
+					h.Record(time.Since(t0))
+					if err != nil {
+						fail(err)
+						return
+					}
+					sizes[int(i0)+j] = got.Size
+				}
 			}
 		}()
 	}
@@ -430,6 +485,172 @@ func fillCommon(res *ScenarioResult, h *Histogram, ops int, elapsed time.Duratio
 		res.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(ops)
 		res.BytesPerOp = float64(after.TotalAlloc-before.TotalAlloc) / float64(ops)
 	}
+}
+
+// runLoad executes a format-comparison scenario: materialize the graph,
+// write it as edge-list text and as a kwcsr binary container into a temp
+// directory, then time TextOps parses of the text form and Ops loads of the
+// binary form. Every load is digest-verified against the original, so the
+// comparison cannot silently measure loading a different graph. The binary
+// loads are the scenario's measured operations (latency histogram,
+// throughput, allocations); the text side lands in the load_compare block.
+func runLoad(sc *Scenario, opts RunOptions) (*ScenarioResult, error) {
+	spec := sc.Load
+	name, genSpec := spec.Tier, Tiers[spec.Tier]
+	if spec.Gen != "" {
+		name, genSpec = spec.Gen, spec.Gen
+	}
+	t0 := time.Now()
+	g, err := gen.FromSpec(genSpec)
+	if err != nil {
+		return nil, fmt.Errorf("kwbench: load graph %q: %w", name, err)
+	}
+	genMS := float64(time.Since(t0)) / float64(time.Millisecond)
+	wantDigest := graphio.Digest(g)
+
+	dir, err := os.MkdirTemp("", "kwbench-load-")
+	if err != nil {
+		return nil, fmt.Errorf("kwbench: %w", err)
+	}
+	defer os.RemoveAll(dir)
+	textPath := filepath.Join(dir, "graph.edges")
+	binPath := filepath.Join(dir, "graph.kwcsr")
+	if err := writeGraphFile(textPath, g, func(w *os.File, g *graph.Graph) error {
+		return graphio.WriteEdgeList(w, g)
+	}); err != nil {
+		return nil, err
+	}
+	if err := writeGraphFile(binPath, g, func(w *os.File, g *graph.Graph) error {
+		return graphio.WriteBinaryCSR(w, g, nil)
+	}); err != nil {
+		return nil, err
+	}
+	textBytes, binBytes := fileSize(textPath), fileSize(binPath)
+	// Warm both files untimed (settles writeback, populates the page cache)
+	// so the timed arms measure load cost, not the state the writer left
+	// the filesystem in.
+	for _, path := range []string{textPath, binPath} {
+		if raw, err := os.ReadFile(path); err != nil || len(raw) == 0 {
+			return nil, fmt.Errorf("kwbench: warming %s: %w", path, err)
+		}
+	}
+
+	ops, textOps := spec.Ops, spec.TextOps
+	if textOps == 0 {
+		textOps = 1
+	}
+	if opts.Quick {
+		ops, textOps = quickOps(ops), 1
+	}
+
+	timeLoads := func(path string, n int, read func(*os.File) (*graph.Graph, error)) (*Histogram, error) {
+		h := &Histogram{}
+		// Start each arm with a clean heap: a load allocates on the order
+		// of the file size, and GC debt from the previous arm must not be
+		// charged to this one.
+		runtime.GC()
+		for i := 0; i < n; i++ {
+			f, err := os.Open(path)
+			if err != nil {
+				return nil, fmt.Errorf("kwbench: %w", err)
+			}
+			t0 := time.Now()
+			got, err := read(f)
+			h.Record(time.Since(t0))
+			f.Close()
+			if err != nil {
+				return nil, fmt.Errorf("kwbench: loading %s: %w", path, err)
+			}
+			if d := graphio.Digest(got); d != wantDigest {
+				return nil, fmt.Errorf("kwbench: load of %s produced digest %s, want %s", path, d, wantDigest)
+			}
+		}
+		return h, nil
+	}
+
+	textHist, err := timeLoads(textPath, textOps, func(f *os.File) (*graph.Graph, error) {
+		return graphio.ReadEdgeList(f)
+	})
+	if err != nil {
+		return nil, err
+	}
+	// The verifying reader is the comparison arm with the embedded SHA-256
+	// recomputed inside the stopwatch (the serve-preload contract).
+	verHist, err := timeLoads(binPath, textOps, func(f *os.File) (*graph.Graph, error) {
+		g, _, err := graphio.ReadBinaryCSR(f)
+		return g, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	// The measured operations use the trusted reader: like the text parser,
+	// it does no integrity recompute inside the stopwatch — the digest
+	// equality check right after each load (outside the timing, same as the
+	// text side) is what proves every op loaded the right graph.
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
+	start := time.Now()
+	binHist, err := timeLoads(binPath, ops, func(f *os.File) (*graph.Graph, error) {
+		g, _, err := graphio.ReadBinaryCSRTrusted(f)
+		return g, err
+	})
+	elapsed := time.Since(start)
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &ScenarioResult{
+		Name:        sc.Name,
+		Description: sc.Description,
+		Driver:      sc.Driver,
+		Loop:        "load",
+		Graphs:      []GraphInfo{{Name: name, N: g.N(), M: g.M(), LoadMS: genMS}},
+		Combos:      1,
+		Seeds:       1,
+	}
+	fillCommon(res, binHist, ops, elapsed, &msBefore, &msAfter)
+	// Medians, not means: a single GC pause or writeback stall inside one op
+	// would otherwise poison the whole arm, and the arms have few ops.
+	text, bin, ver := textHist.Summary(), binHist.Summary(), verHist.Summary()
+	lc := &LoadCompare{
+		TextOps:        textOps,
+		TextParseMS:    text.P50,
+		BinaryLoadMS:   bin.P50,
+		BinaryVerifyMS: ver.P50,
+		TextBytes:      textBytes,
+		BinaryBytes:    binBytes,
+	}
+	if bin.P50 > 0 {
+		lc.Speedup = text.P50 / bin.P50
+	}
+	res.Load = lc
+	return res, nil
+}
+
+// writeGraphFile writes g to path through one of the graphio writers.
+func writeGraphFile(path string, g *graph.Graph, write func(*os.File, *graph.Graph) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("kwbench: %w", err)
+	}
+	err = write(f, g)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("kwbench: writing %s: %w", path, err)
+	}
+	return nil
+}
+
+func fileSize(path string) int64 {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0
+	}
+	return fi.Size()
 }
 
 // quickOps shrinks an op count for smoke runs.

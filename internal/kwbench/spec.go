@@ -101,9 +101,38 @@ type Scenario struct {
 	// epoch, recording per-epoch latency and set/edge churn.
 	Mobility *MobilitySpec `json:"mobility,omitempty"`
 
+	// BatchSize > 1 switches the closed loop to batched operations: each
+	// worker claims BatchSize consecutive requests and runs them through
+	// one DominatingSetMany call (the SolveMany amortization path).
+	// Per-operation latency is the batch total divided evenly. Requires
+	// the inproc-fast driver, a closed loop, and kw|kw2 algos only;
+	// cross_check still verifies every operation against the other
+	// backend solo — batch outputs are bit-identical by contract.
+	BatchSize int `json:"batch_size,omitempty"`
+
+	// Load switches the scenario to a format comparison: one graph is
+	// materialized and written as edge-list text and as a kwcsr binary
+	// container, then timed loads of both measure the zero-parse win. No
+	// loop mode, graphs list or matrix applies.
+	Load *LoadSpec `json:"load,omitempty"`
+
 	// HTTP tunes the http-serve driver; nil selects a spawned in-process
 	// server with default sizing.
 	HTTP *HTTPSpec `json:"http,omitempty"`
+}
+
+// LoadSpec parameterizes a format-comparison scenario. Exactly one of Tier
+// and Gen selects the graph.
+type LoadSpec struct {
+	Tier string `json:"tier,omitempty"`
+	Gen  string `json:"gen,omitempty"`
+	// Ops is the number of timed binary-container loads (the measured
+	// operations of the scenario).
+	Ops int `json:"ops"`
+	// TextOps is the number of timed edge-list parses the binary loads are
+	// compared against (default 1 — text parsing of large graphs is slow,
+	// which is the point).
+	TextOps int `json:"text_ops,omitempty"`
 }
 
 // GraphSpec names one graph of the scenario's preloaded set. Exactly one
@@ -188,6 +217,10 @@ type MobilitySpec struct {
 
 // HTTPSpec tunes the http-serve driver.
 type HTTPSpec struct {
+	// NoBatch disables the spawned server's same-digest cold-solve
+	// batching (server.Config.DisableBatching) — the control arm for
+	// measuring the batching win. Ignored for remote targets.
+	NoBatch bool `json:"no_batch,omitempty"`
 	// URL targets a remote serve instance; "" spawns one in-process. A
 	// remote target must already have the scenario's graphs preloaded
 	// under their names.
@@ -214,6 +247,7 @@ var Tiers = map[string]string{
 	"udg-10k":  "udg:10000:0.02:1",
 	"udg-20k":  "udg:20000:0.014:109",
 	"udg-100k": "udg:100000:0.0065:109",
+	"udg-1m":   "udg:1000000:0.002:111",
 	"gnp-500":  "gnp:500:0.012:107",
 	"gnp-2k":   "gnp:2000:0.003:107",
 	"gnp-40k":  "gnp:40000:0.00020000500012500312:110",
@@ -319,6 +353,59 @@ func (sc *Scenario) Validate() error {
 		return bad("missing driver (want %s|%s|%s)", DriverInprocFast, DriverInprocSim, DriverHTTPServe)
 	default:
 		return bad("unknown driver %q (want %s|%s|%s)", sc.Driver, DriverInprocFast, DriverInprocSim, DriverHTTPServe)
+	}
+
+	if sc.Load != nil {
+		if sc.Mobility != nil {
+			return bad("load and mobility are mutually exclusive")
+		}
+		if sc.Closed != nil || sc.Open != nil {
+			return bad("load scenarios take no loop spec (the timed loads are the operations)")
+		}
+		if sc.Driver != DriverInprocFast {
+			return bad("load scenarios require the %s driver", DriverInprocFast)
+		}
+		if len(sc.Graphs) > 0 {
+			return bad("load scenarios name their graph in the load block; drop the graphs list")
+		}
+		if sc.BatchSize > 1 || sc.CrossCheck || sc.HTTP != nil {
+			return bad("load scenarios take no batch_size, cross_check or http block")
+		}
+		l := sc.Load
+		if (l.Tier == "") == (l.Gen == "") {
+			return bad("load: exactly one of tier and gen is required")
+		}
+		if l.Tier != "" {
+			if _, ok := Tiers[l.Tier]; !ok {
+				return bad("load: bad tier %q (known: %s)", l.Tier, tierNames())
+			}
+		}
+		if l.Ops < 1 {
+			return bad("load needs ops ≥ 1 (got %d)", l.Ops)
+		}
+		if l.TextOps < 0 {
+			return bad("load text_ops must be ≥ 0 (got %d)", l.TextOps)
+		}
+		return nil
+	}
+	if sc.BatchSize < 0 {
+		return bad("batch_size must be ≥ 0 (got %d)", sc.BatchSize)
+	}
+	if sc.BatchSize > 1 {
+		if sc.Driver != DriverInprocFast {
+			return bad("batch_size > 1 requires the %s driver (batching is a fastpath concept)", DriverInprocFast)
+		}
+		if sc.Mobility != nil {
+			return bad("batch_size > 1 does not apply to mobility replays")
+		}
+		if sc.Closed == nil {
+			return bad("batch_size > 1 requires a closed loop")
+		}
+		for _, c := range sc.Matrix.combos() {
+			if c.Algo != "kw" && c.Algo != "kw2" {
+				return bad("batch_size > 1 supports algos kw|kw2 (got %q)", c.Algo)
+			}
+		}
 	}
 
 	if sc.Mobility != nil {

@@ -1,0 +1,165 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kwmds"
+	"kwmds/internal/graph"
+	"kwmds/internal/graphio"
+)
+
+// maxSolveBatch caps how many cold solves one batch carries. A full batch
+// occupies a single worker slot for its whole duration; the cap keeps one
+// hot digest from turning the bounded pool into a convoy.
+const maxSolveBatch = 64
+
+// batchWindow is how long a drainer waits before each claim so that
+// concurrent cold solves of the same digest can join the batch.
+const batchWindow = 200 * time.Microsecond
+
+// solveBatcher groups in-flight cold solves by topology digest and runs
+// each group through kwmds.DominatingSetMany on one pooled solver. The
+// single-flight cache already coalesces *identical* requests; the batcher
+// sits behind it and coalesces *distinct* requests (different seed, k,
+// variant, …) that share a graph — the serving pattern where batching pays:
+// solver acquisition, table setup and, for elements sharing an LP
+// configuration, the entire deterministic LP stage are amortized across the
+// group. Outputs are bit-identical to solo solves, so batching is invisible
+// to clients except in latency.
+type solveBatcher struct {
+	mu sync.Mutex
+	// groups maps digest → queued items. Key presence means a drainer
+	// goroutine is alive for that digest: enqueue spawns one exactly when
+	// it creates the key, and the drainer deletes the key (under mu) only
+	// after observing an empty queue, so no item is ever left behind.
+	groups map[string][]*batchItem
+
+	batches       atomic.Int64 // DominatingSetMany calls issued
+	batchedSolves atomic.Int64 // solves carried by those calls
+}
+
+// batchItem is one cold solve waiting for its group to run.
+type batchItem struct {
+	g            *graph.Graph
+	digest       string
+	algo, engine string
+	opts         kwmds.Options
+	done         chan struct{}
+	resp         *graphio.SolveResponse
+	err          error
+}
+
+// batchable reports whether this cold solve can ride a digest batch: the
+// fastpath engine only (the batch runs on one pooled solver), and only the
+// plain pipeline — frac answers a different response shape and kwcds runs a
+// post-pass outside the batchable pipeline.
+func (s *Server) batchable(algo string, opts kwmds.Options) bool {
+	return !s.cfg.DisableBatching && opts.Sequential && algo != "frac" && algo != "kwcds"
+}
+
+// solveBatched enqueues one cold solve into its digest group and blocks
+// until the group's drainer has run it.
+func (s *Server) solveBatched(g *graph.Graph, digest, algo, engine string, opts kwmds.Options) (*graphio.SolveResponse, error) {
+	it := &batchItem{g: g, digest: digest, algo: algo, engine: engine, opts: opts, done: make(chan struct{})}
+	b := &s.batcher
+	b.mu.Lock()
+	_, active := b.groups[digest]
+	b.groups[digest] = append(b.groups[digest], it)
+	b.mu.Unlock()
+	if !active {
+		go s.drainGroup(digest)
+	}
+	<-it.done
+	return it.resp, it.err
+}
+
+// drainGroup runs batches for one digest until its queue is empty. Each
+// round claims up to maxSolveBatch queued items (leaving the remainder for
+// the next round), takes one worker-pool slot, and runs the claim as a
+// single batch; requests arriving while a round computes queue up and form
+// the next one — natural backpressure-driven batch sizing. The
+// check-and-delete on the empty queue happens under the same mutex
+// enqueues append under, so a drainer never exits with items pending.
+func (s *Server) drainGroup(digest string) {
+	b := &s.batcher
+	for {
+		// Micro-batching window: park briefly before claiming so concurrent
+		// arrivals can enqueue first. A spawned goroutine lands in the
+		// scheduler's run-next slot; with few Ps and solves shorter than the
+		// preemption quantum it would otherwise always outrun the handler
+		// goroutines racing to enqueue and drain singleton batches forever.
+		// Sleeping (rather than Gosched) also lets the netpoller deliver
+		// requests still sitting in socket buffers. The window is ~10% of
+		// the cheapest cold solve, the worst-case latency tax on an idle
+		// server; under concurrent load it multiplies throughput.
+		time.Sleep(batchWindow)
+		b.mu.Lock()
+		pending := b.groups[digest]
+		if len(pending) == 0 {
+			delete(b.groups, digest)
+			b.mu.Unlock()
+			return
+		}
+		batch := pending
+		if len(batch) > maxSolveBatch {
+			batch = pending[:maxSolveBatch:maxSolveBatch]
+			b.groups[digest] = pending[maxSolveBatch:]
+		} else {
+			b.groups[digest] = nil
+		}
+		b.mu.Unlock()
+
+		s.sem <- struct{}{}
+		s.runBatch(batch)
+		<-s.sem
+	}
+}
+
+// lpKey orders items so those sharing an LP configuration sit adjacent:
+// SolveMany reuses the LP stage across *consecutive* equal configurations,
+// and results are assigned per item, so the order is free to choose.
+func lpKey(opts kwmds.Options) string {
+	return fmt.Sprintf("%d|%t|%s", opts.K, opts.KnownDelta, weightsKey(opts.Weights))
+}
+
+// runBatch executes one claimed group. All items share a digest, so the
+// first item's graph serves the whole batch (digest-equal graphs have
+// identical CSR arrays — inline uploads of the same topology batch with
+// preloaded references). Per-item elapsed_ms is the batch total divided
+// evenly: the shared LP stage makes a truthful per-item split impossible,
+// and the even split keeps throughput arithmetic (ops/sec × elapsed) honest.
+func (s *Server) runBatch(batch []*batchItem) {
+	b := &s.batcher
+	b.batches.Add(1)
+	b.batchedSolves.Add(int64(len(batch)))
+	sort.SliceStable(batch, func(i, j int) bool { return lpKey(batch[i].opts) < lpKey(batch[j].opts) })
+	optsList := make([]kwmds.Options, len(batch))
+	for i, it := range batch {
+		optsList[i] = it.opts
+	}
+	start := time.Now()
+	results, err := kwmds.DominatingSetMany(batch[0].g, optsList)
+	perItemMS := float64(time.Since(start)) / float64(time.Millisecond) / float64(len(batch))
+	for i, it := range batch {
+		if err != nil {
+			it.err = err
+		} else {
+			resp := &graphio.SolveResponse{Digest: it.digest, Algo: it.algo, Engine: it.engine, N: it.g.N(), M: it.g.M()}
+			fillResult(resp, results[i])
+			resp.ElapsedMS = perItemMS
+			it.resp = resp
+		}
+		close(it.done)
+	}
+}
+
+// BatchStats reports the batcher's lifetime counters: DominatingSetMany
+// calls issued and the solves they carried (batched_solves / solve_batches
+// is the achieved amortization factor). Also served by /healthz.
+func (s *Server) BatchStats() (batches, batchedSolves int64) {
+	return s.batcher.batches.Load(), s.batcher.batchedSolves.Load()
+}

@@ -1,0 +1,166 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"kwmds"
+	"kwmds/internal/gen"
+	"kwmds/internal/graph"
+	"kwmds/internal/graphio"
+)
+
+// TestBatchedSolvesMatchSolo is the batcher's correctness contract:
+// concurrent distinct-seed cold solves against one digest — the traffic the
+// batcher groups — must return exactly what an unbatched server returns.
+func TestBatchedSolvesMatchSolo(t *testing.T) {
+	g, err := gen.UnitDisk(300, 0.1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(disable bool) (*Server, *httptest.Server) {
+		srv := New(Config{Workers: 4, CacheEntries: 128, DisableBatching: disable,
+			Graphs: map[string]*graph.Graph{"g": g}})
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		return srv, ts
+	}
+	batched, tsB := mk(false)
+	solo, tsS := mk(true)
+
+	const reqs = 24
+	type out struct {
+		seed int
+		resp graphio.SolveResponse
+	}
+	collect := func(ts *httptest.Server) map[int]graphio.SolveResponse {
+		ch := make(chan out, reqs)
+		var wg sync.WaitGroup
+		for i := 0; i < reqs; i++ {
+			wg.Add(1)
+			go func(seed int) {
+				defer wg.Done()
+				// Mix algos and k so the batch spans LP configurations.
+				algo, k := "kw", 0
+				if seed%3 == 0 {
+					algo, k = "kw2", 4
+				}
+				body := fmt.Sprintf(`{"graph_ref":"g","algo":%q,"k":%d,"seed":%d,"members":true}`, algo, k, seed)
+				resp, raw := postSolve(t, ts, body)
+				if resp.StatusCode != 200 {
+					t.Errorf("seed %d: status %d (%s)", seed, resp.StatusCode, raw)
+					return
+				}
+				var sr graphio.SolveResponse
+				if err := json.Unmarshal(raw, &sr); err != nil {
+					t.Errorf("seed %d: %v", seed, err)
+					return
+				}
+				ch <- out{seed, sr}
+			}(i)
+		}
+		wg.Wait()
+		close(ch)
+		got := make(map[int]graphio.SolveResponse, reqs)
+		for o := range ch {
+			got[o.seed] = o.resp
+		}
+		return got
+	}
+
+	gotB, gotS := collect(tsB), collect(tsS)
+	if len(gotB) != reqs || len(gotS) != reqs {
+		t.Fatalf("collected %d batched / %d solo responses, want %d", len(gotB), len(gotS), reqs)
+	}
+	for seed, b := range gotB {
+		s := gotS[seed]
+		if b.Size != s.Size || b.K != s.K || b.LPObjective != s.LPObjective ||
+			b.JoinedRandom != s.JoinedRandom || b.JoinedFixup != s.JoinedFixup {
+			t.Errorf("seed %d: batched (size=%d k=%d lp=%v) != solo (size=%d k=%d lp=%v)",
+				seed, b.Size, b.K, b.LPObjective, s.Size, s.K, s.LPObjective)
+		}
+		if len(b.Members) != len(s.Members) {
+			t.Errorf("seed %d: member count %d != %d", seed, len(b.Members), len(s.Members))
+			continue
+		}
+		for i := range b.Members {
+			if b.Members[i] != s.Members[i] {
+				t.Errorf("seed %d: members differ at %d", seed, i)
+				break
+			}
+		}
+	}
+
+	if batches, solves := batched.BatchStats(); batches == 0 || solves == 0 {
+		t.Errorf("batching server reported no batch activity: batches=%d solves=%d", batches, solves)
+	} else if solves < batches {
+		t.Errorf("batched_solves %d < solve_batches %d", solves, batches)
+	}
+	if batches, solves := solo.BatchStats(); batches != 0 || solves != 0 {
+		t.Errorf("DisableBatching server batched anyway: batches=%d solves=%d", batches, solves)
+	}
+}
+
+// TestBatchableRouting: frac and kwcds responses carry shapes the batch
+// pipeline cannot produce, and the sim engine runs outside the fastpath —
+// all three must bypass the batcher (and still answer correctly).
+func TestBatchableRouting(t *testing.T) {
+	srv := New(Config{Workers: 2})
+	cases := []struct {
+		algo, engine string
+		want         bool
+	}{
+		{"kw", "", true},
+		{"kw2", "", true},
+		{"kw", "sim", false},
+		{"frac", "", false},
+		{"kwcds", "", false},
+	}
+	for _, c := range cases {
+		opts := kwmds.Options{Sequential: c.engine != "sim"}
+		if got := srv.batchable(c.algo, opts); got != c.want {
+			t.Errorf("batchable(%q, engine=%q) = %v, want %v", c.algo, c.engine, got, c.want)
+		}
+	}
+	off := New(Config{Workers: 2, DisableBatching: true})
+	if off.batchable("kw", kwmds.Options{Sequential: true}) {
+		t.Error("DisableBatching ignored")
+	}
+}
+
+// TestHealthReportsBatchCounters: the new /healthz fields exist and move.
+func TestHealthReportsBatchCounters(t *testing.T) {
+	g, err := gen.Grid(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{Workers: 2, Graphs: map[string]*graph.Graph{"g": g}})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	postSolve(t, ts, `{"graph_ref":"g","seed":1}`)
+	resp, raw := postSolve(t, ts, `{"graph_ref":"g","seed":2}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("solve failed: %s", raw)
+	}
+	hr, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	var h map[string]any
+	if err := json.NewDecoder(hr.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"solve_batches", "batched_solves"} {
+		v, ok := h[k].(float64)
+		if !ok {
+			t.Fatalf("healthz missing %q: %v", k, h)
+		}
+		if v < 1 {
+			t.Errorf("healthz %s = %v, want ≥ 1 after two cold solves", k, v)
+		}
+	}
+}

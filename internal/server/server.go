@@ -37,17 +37,23 @@ type Config struct {
 	// enormous vertex count and graph.New allocates O(n) regardless —
 	// unchecked, a 40-byte request could OOM the process. Default 2e6.
 	MaxInlineVertices int
+	// DisableBatching turns off same-digest cold-solve batching (see
+	// solveBatcher): every cold solve then runs solo through the worker
+	// pool. Outputs are identical either way; the switch exists for
+	// benchmarking the batching win and as an operational escape hatch.
+	DisableBatching bool
 }
 
 // Server answers dominating-set queries over HTTP. It is safe for
 // concurrent use; every pipeline run goes through the bounded worker pool.
 type Server struct {
-	cfg    Config
-	sem    chan struct{}
-	cache  *resultCache
-	mux    *http.ServeMux
-	graphs map[string]*preloaded
-	names  []string
+	cfg     Config
+	sem     chan struct{}
+	cache   *resultCache
+	mux     *http.ServeMux
+	graphs  map[string]*preloaded
+	names   []string
+	batcher solveBatcher
 }
 
 // preloaded is one named graph, mutable through POST /v1/graphs/{name}/
@@ -93,6 +99,7 @@ func New(cfg Config) *Server {
 		mux:    http.NewServeMux(),
 		graphs: make(map[string]*preloaded, len(cfg.Graphs)),
 	}
+	s.batcher.groups = make(map[string][]*batchItem)
 	for name, g := range cfg.Graphs {
 		s.graphs[name] = &preloaded{dyn: dyngraph.New(g), digest: graphio.Digest(g)}
 		s.names = append(s.names, name)
@@ -226,6 +233,12 @@ func (s *Server) solve(req *graphio.SolveRequest) (*graphio.SolveResponse, error
 
 	key := cacheKey(digest, req, opts)
 	cached, hit, err := s.cache.getOrCompute(key, func() (*graphio.SolveResponse, error) {
+		// Distinct-key cold solves sharing a digest ride one batched
+		// DominatingSetMany run (see batch.go); everything else takes a
+		// worker slot and runs solo.
+		if s.batchable(req.Algo, opts) {
+			return s.solveBatched(g, digest, req.Algo, req.Engine, opts)
+		}
 		s.sem <- struct{}{}
 		defer func() { <-s.sem }()
 		return s.run(g, digest, req.Algo, req.Engine, opts)
@@ -438,12 +451,15 @@ func (s *Server) Stats() (entries int, hits, misses int64) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	entries, hits, misses := s.cache.stats()
+	batches, batched := s.BatchStats()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":        "ok",
-		"workers":       s.cfg.Workers,
-		"graphs":        len(s.graphs),
-		"cache_entries": entries,
-		"cache_hits":    hits,
-		"cache_misses":  misses,
+		"status":         "ok",
+		"workers":        s.cfg.Workers,
+		"graphs":         len(s.graphs),
+		"cache_entries":  entries,
+		"cache_hits":     hits,
+		"cache_misses":   misses,
+		"solve_batches":  batches,
+		"batched_solves": batched,
 	})
 }

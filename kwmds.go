@@ -261,6 +261,49 @@ func fastDominatingSet(g *Graph, opts Options) (*Result, error) {
 	return res, nil
 }
 
+// DominatingSetMany runs the full pipeline once per element of optsList
+// against one graph on a single pooled solver, amortizing solver
+// acquisition, table setup and — for consecutive elements sharing an LP
+// configuration (K/KnownDelta/Weights) — the deterministic LP stage itself,
+// so only the rounding phases run per element. Every returned Result is
+// bit-identical to DominatingSet with the same options; all elements run
+// Sequential (the batch is a fastpath concept). This is the serve
+// subsystem's cold-path batching primitive.
+func DominatingSetMany(g *Graph, optsList []Options) ([]*Result, error) {
+	if len(optsList) == 0 {
+		return nil, nil
+	}
+	delta := g.MaxDegree()
+	fopts := make([]fastpath.Options, len(optsList))
+	out := make([]*Result, len(optsList))
+	for i, opts := range optsList {
+		if err := opts.Validate(g); err != nil {
+			return nil, fmt.Errorf("kwmds: batch element %d: %w", i, err)
+		}
+		fopts[i] = fastOptions(opts, effectiveK(opts.K, delta))
+	}
+	s := fastpath.Acquire(g.N())
+	err := s.SolveMany(g, fopts, func(i int, fres fastpath.Result) {
+		out[i] = &Result{
+			InDS:         append(make([]bool, 0, len(fres.InDS)), fres.InDS...),
+			Size:         fres.Size,
+			Fractional:   append(make([]float64, 0, len(fres.X)), fres.X...),
+			K:            fopts[i].K,
+			JoinedRandom: fres.JoinedRandom,
+			JoinedFixup:  fres.JoinedFixup,
+		}
+	})
+	fastpath.Release(s)
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range out {
+		res.LPObjective = lp.Objective(res.Fractional)
+		res.WeightedCost = weightedCost(optsList[i].Weights, res.InDS, res.Size)
+	}
+	return out, nil
+}
+
 // weightedCost is Σ_{v∈DS} c_v, or |DS| when costs are nil.
 func weightedCost(weights []float64, inDS []bool, size int) float64 {
 	if weights == nil {
