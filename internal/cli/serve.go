@@ -4,14 +4,17 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"kwmds/internal/graph"
 	"kwmds/internal/server"
 )
 
-// ServeConfig is the parsed command line of `kwmds serve`.
+// ServeConfig is the parsed command line of `kwmds serve` and `kwmds shard`.
 type ServeConfig struct {
 	Addr         string
 	Workers      int
@@ -23,6 +26,24 @@ type ServeConfig struct {
 	// internal/dyngraph engine behind the server keeps the name stable
 	// while the topology, digest and epoch advance).
 	Preload []string
+	// Shards > 1 runs cold fast-engine solves of preloaded graphs on the
+	// partitioned in-process engine (see server.Config.Shards).
+	Shards int
+
+	// ShardWorker makes this process a shard worker (`kwmds shard`): it
+	// opens the mesh data listener on DataAddr and serves /shard/v1/* so a
+	// serve router can scatter to it. DataAdvertise overrides the address
+	// peers are told to dial.
+	ShardWorker   bool
+	DataAddr      string
+	DataAdvertise string
+
+	// RouterWorkers, when non-empty, makes this process a serve router
+	// over the listed worker base URLs instead of a solver: solves are
+	// placed by consistent hashing on graph_ref and — with Shards > 1 —
+	// scattered across the fleet. Replicas is the failover width.
+	RouterWorkers []string
+	Replicas      int
 }
 
 // BuildServer resolves the preload specs and constructs the HTTP service.
@@ -46,17 +67,52 @@ func BuildServer(cfg ServeConfig) (*server.Server, error) {
 		Workers:      cfg.Workers,
 		CacheEntries: cfg.CacheEntries,
 		Graphs:       graphs,
+		Shards:       cfg.Shards,
 	}), nil
 }
 
-// RunServe builds the server and blocks serving on cfg.Addr. ready, when
+// buildHandler constructs whichever service the config selects: a router
+// over a worker fleet, a shard worker, or a plain server. cleanup releases
+// the shard worker's mesh listener.
+func buildHandler(cfg ServeConfig) (h http.Handler, cleanup func(), err error) {
+	if len(cfg.RouterWorkers) > 0 {
+		if len(cfg.Preload) > 0 {
+			return nil, nil, fmt.Errorf("-router and -preload are mutually exclusive (the workers hold the graphs)")
+		}
+		r, err := server.NewRouter(server.RouterConfig{
+			Workers:  cfg.RouterWorkers,
+			Shards:   cfg.Shards,
+			Replicas: cfg.Replicas,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		return r.Handler(), func() {}, nil
+	}
+	srv, err := BuildServer(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if cfg.ShardWorker {
+		if _, err := srv.EnableShardWorker(cfg.DataAddr, cfg.DataAdvertise); err != nil {
+			return nil, nil, fmt.Errorf("shard data listener: %w", err)
+		}
+	}
+	return srv.Handler(), srv.Close, nil
+}
+
+// RunServe builds the configured service and blocks serving on cfg.Addr
+// until SIGTERM or SIGINT, then drains gracefully: the listener closes,
+// in-flight solves (including any riding a batch window) complete and are
+// answered, and RunServe returns nil so the process exits 0. ready, when
 // non-nil, receives the bound address once the listener is up (tests use it
 // with addr ":0").
 func RunServe(cfg ServeConfig, ready chan<- string) error {
-	srv, err := BuildServer(cfg)
+	h, cleanup, err := buildHandler(cfg)
 	if err != nil {
 		return err
 	}
+	defer cleanup()
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		return err
@@ -64,6 +120,18 @@ func RunServe(cfg ServeConfig, ready chan<- string) error {
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
-	hs := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
-	return hs.Serve(ln)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	defer signal.Stop(sig)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-sig:
+			close(stop)
+		case <-done:
+		}
+	}()
+	return server.Graceful(ln, h, stop, 30*time.Second)
 }

@@ -1,0 +1,63 @@
+package fastpath
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestCancelPreClosed: a solve whose cancel channel is already closed must
+// return ErrCanceled without producing a result, and the solver must stay
+// reusable afterwards.
+func TestCancelPreClosed(t *testing.T) {
+	g := workloads(t)[0].g
+	closed := make(chan struct{})
+	close(closed)
+	s := New()
+	opt := Options{K: 3, Seed: 7, Cancel: closed}
+	if _, err := s.Solve(g, opt); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Solve with closed cancel: err = %v, want ErrCanceled", err)
+	}
+	if _, err := s.Fractional(g, opt); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Fractional with closed cancel: err = %v, want ErrCanceled", err)
+	}
+
+	// The same solver, uncanceled, must solve normally and match a fresh
+	// one bit for bit (cancellation leaves no residue).
+	opt.Cancel = nil
+	got, err := s.Solve(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := New().Solve(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size != ref.Size {
+		t.Fatalf("post-cancel reuse: size %d, want %d", got.Size, ref.Size)
+	}
+	sameX(t, "post-cancel", got.X, ref.X)
+}
+
+// TestCancelMidSolve closes the channel from another goroutine while the
+// solve runs; whichever side wins, the call must return promptly with
+// either a complete result or ErrCanceled — never a partial result or a
+// hang.
+func TestCancelMidSolve(t *testing.T) {
+	g := workloads(t)[1].g
+	cancel := make(chan struct{})
+	go close(cancel)
+	res, err := New().Solve(g, Options{K: 4, Seed: 3, Cancel: cancel})
+	if err != nil {
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("err = %v, want ErrCanceled or nil", err)
+		}
+		return
+	}
+	ref, err := New().Solve(g, Options{K: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Size != ref.Size {
+		t.Fatalf("completed-despite-cancel solve diverges: %d vs %d", res.Size, ref.Size)
+	}
+}

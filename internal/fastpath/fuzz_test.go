@@ -5,6 +5,7 @@ import (
 
 	"kwmds/internal/core"
 	"kwmds/internal/gen"
+	"kwmds/internal/graph"
 	"kwmds/internal/rounding"
 	"kwmds/internal/testsupport"
 )
@@ -121,6 +122,37 @@ func FuzzDifferential(f *testing.F) {
 				}
 			}
 			testsupport.AssertDominatingSet(t, "fastpath fuzz", g, got.InDS)
+		}
+
+		// Sharded differential: the merged sharded solve must be bit-identical
+		// to the unsharded fastpath at a fuzz-derived shard count (the count is
+		// derived from existing arguments so the seed corpus stays valid).
+		S := 1 + int(nRaw^pRaw^kRaw)%4
+		sc, err := graph.Partition(g, S)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := Options{K: k, Algorithm: Alg3, Seed: gseed ^ int64(kRaw), Variant: rounding.Ln}
+		want, err := s.Solve(g, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantX := append([]float64(nil), want.X...)
+		wantDS := append([]bool(nil), want.InDS...)
+		sharded, err := SolveShardedCSR(sc, opt)
+		if err != nil {
+			t.Fatalf("sharded S=%d: %v", S, err)
+		}
+		if sharded.Size != want.Size || sharded.JoinedRandom != want.JoinedRandom || sharded.JoinedFixup != want.JoinedFixup {
+			t.Fatalf("sharded S=%d: counts (%d,%d,%d), want (%d,%d,%d)", S,
+				sharded.Size, sharded.JoinedRandom, sharded.JoinedFixup,
+				want.Size, want.JoinedRandom, want.JoinedFixup)
+		}
+		for v := 0; v < n; v++ {
+			if sharded.X[v] != wantX[v] || sharded.InDS[v] != wantDS[v] {
+				t.Fatalf("sharded S=%d: vertex %d diverges (x %v vs %v, inDS %v vs %v)",
+					S, v, sharded.X[v], wantX[v], sharded.InDS[v], wantDS[v])
+			}
 		}
 	})
 }

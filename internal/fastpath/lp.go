@@ -24,7 +24,12 @@ func (s *Solver) Fractional(g *graph.Graph, opt Options) ([]float64, error) {
 		return nil, err
 	}
 	defer s.stopWorkers()
+	s.cancel = opt.Cancel
+	defer func() { s.cancel = nil }()
 	s.lpStage(g, opt)
+	if s.canceled() {
+		return nil, ErrCanceled
+	}
 	return s.x[:s.n], nil
 }
 
@@ -38,10 +43,28 @@ func (s *Solver) Solve(g *graph.Graph, opt Options) (Result, error) {
 		return Result{}, err
 	}
 	defer s.stopWorkers()
+	s.cancel = opt.Cancel
+	defer func() { s.cancel = nil }()
 	s.lpStage(g, opt)
+	if s.canceled() {
+		return Result{}, ErrCanceled
+	}
 	res := s.roundPhases(s.x[:s.n], opt)
 	res.X = s.x[:s.n]
 	return res, nil
+}
+
+// canceled polls Options.Cancel; a nil channel never fires. The LP drivers
+// call it at iteration boundaries and bail out, leaving x partial; the
+// entry points translate the state into ErrCanceled so no partial solution
+// ever escapes.
+func (s *Solver) canceled() bool {
+	select {
+	case <-s.cancel:
+		return true
+	default:
+		return false
+	}
 }
 
 func (s *Solver) lpStage(g *graph.Graph, opt Options) {
@@ -97,7 +120,7 @@ func (s *Solver) lpThreshold(k int, thrTab, pw []float64) {
 		}
 		s.curThr = thrTab[l] * (1 - core.ThrSlack)
 		for m := k - 1; m >= 0; m-- {
-			if s.whiteCount == 0 {
+			if s.whiteCount == 0 || s.canceled() {
 				return
 			}
 			s.curXval = 1 / pw[m]
@@ -149,7 +172,7 @@ func (s *Solver) lpAlg3(k int) {
 			s.powTabL[i] = math.Pow(float64(i), expL)
 		}
 		for m := k - 1; m >= 0; m-- {
-			if s.whiteCount == 0 {
+			if s.whiteCount == 0 || s.canceled() {
 				return
 			}
 			s.dispatch(s.fnA3Active)

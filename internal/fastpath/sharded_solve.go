@@ -1,0 +1,80 @@
+package fastpath
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"kwmds/internal/graph"
+	"kwmds/internal/shard"
+)
+
+// SolveShardedCSR runs a sharded solve over every shard of sc inside this
+// process: one goroutine per shard, each on a pooled solver, boundary state
+// swapped through an in-proc exchange. The merged Result is bit-identical to
+// an unsharded Solve over sc.G and — unlike Solve's — owns its slices (the
+// per-shard ranges are copied out before the solvers return to the pool).
+//
+// opt.Workers bounds the TOTAL phase parallelism and is divided across the
+// shards (0 selects GOMAXPROCS); per-shard goroutines already provide
+// shard-count-fold parallelism, so per-shard pools stay narrow.
+func SolveShardedCSR(sc *graph.ShardedCSR, opt Options) (Result, error) {
+	if sc == nil {
+		return Result{}, fmt.Errorf("fastpath: nil partition")
+	}
+	nshards := sc.NumShards
+	total := opt.Workers
+	if total <= 0 {
+		total = runtime.GOMAXPROCS(0)
+	}
+	opt.Workers = total / nshards
+	if opt.Workers < 1 {
+		opt.Workers = 1
+	}
+
+	group := shard.NewInProcGroup(nshards)
+	x := make([]float64, sc.N)
+	inDS := make([]bool, sc.N)
+	results := make([]ShardResult, nshards)
+	errs := make([]error, nshards)
+	var wg sync.WaitGroup
+	for si := 0; si < nshards; si++ {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					err := fmt.Errorf("fastpath: shard %d panicked: %v", si, p)
+					errs[si] = err
+					group.Fail(err)
+				}
+			}()
+			s := Acquire(sc.N)
+			res, err := s.SolveShard(sc, si, group.Member(si), opt)
+			if err != nil {
+				errs[si] = err
+				group.Fail(err)
+				Release(s)
+				return
+			}
+			// Copy the owned range out while the solver is still ours.
+			copy(x[res.Lo:res.Hi], res.X)
+			copy(inDS[res.Lo:res.Hi], res.InDS)
+			results[si] = res
+			Release(s)
+		}(si)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	res := Result{X: x, InDS: inDS}
+	for si := range results {
+		res.JoinedRandom += results[si].JoinedRandom
+		res.JoinedFixup += results[si].JoinedFixup
+	}
+	res.Size = res.JoinedRandom + res.JoinedFixup
+	return res, nil
+}

@@ -1,0 +1,79 @@
+package fastpath
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"kwmds/internal/graph"
+	"kwmds/internal/rounding"
+	"kwmds/internal/shard"
+)
+
+// TestShardedOverTCPMatchesSolve runs the shard group over a real loopback
+// TCP mesh — the multi-process transport — and requires the merged output to
+// stay bit-identical to the unsharded solver.
+func TestShardedOverTCPMatchesSolve(t *testing.T) {
+	g := workloads(t)[1].g // udg-150
+	opt := Options{K: 3, Algorithm: Alg3, Seed: 21, Variant: rounding.Ln, Workers: 2}
+	ref, err := New().Solve(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refX := append([]float64(nil), ref.X...)
+	refDS := append([]bool(nil), ref.InDS...)
+
+	for _, S := range []int{2, 3} {
+		sc, err := graph.Partition(g, S)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mls := make([]*shard.MeshListener, S)
+		addrs := make([]string, S)
+		for i := 0; i < S; i++ {
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			mls[i] = shard.NewMeshListener(l)
+			addrs[i] = mls[i].Addr()
+			defer mls[i].Close()
+		}
+		x := make([]float64, sc.N)
+		inDS := make([]bool, sc.N)
+		errs := make([]error, S)
+		var wg sync.WaitGroup
+		for si := 0; si < S; si++ {
+			wg.Add(1)
+			go func(si int) {
+				defer wg.Done()
+				ex, err := shard.ConnectMesh(uint64(7000+S), si, addrs, mls[si], 10*time.Second)
+				if err != nil {
+					errs[si] = err
+					return
+				}
+				defer ex.Close()
+				res, err := New().SolveShard(sc, si, ex, opt)
+				if err != nil {
+					errs[si] = err
+					return
+				}
+				copy(x[res.Lo:res.Hi], res.X)
+				copy(inDS[res.Lo:res.Hi], res.InDS)
+			}(si)
+		}
+		wg.Wait()
+		for si, err := range errs {
+			if err != nil {
+				t.Fatalf("S=%d shard %d: %v", S, si, err)
+			}
+		}
+		sameX(t, "tcp-sharded", x, refX)
+		for v := range refDS {
+			if inDS[v] != refDS[v] {
+				t.Fatalf("S=%d: InDS[%d] = %v, want %v", S, v, inDS[v], refDS[v])
+			}
+		}
+	}
+}

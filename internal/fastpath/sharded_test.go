@@ -1,0 +1,200 @@
+package fastpath
+
+import (
+	"sync"
+	"testing"
+
+	"kwmds/internal/graph"
+	"kwmds/internal/rounding"
+	"kwmds/internal/shard"
+)
+
+var shardCounts = []int{1, 2, 3, 4}
+
+// solveOpts is the option matrix the sharded determinism suite sweeps:
+// every algorithm, both rounding variants, two seeds.
+func shardOptMatrix(g *graph.Graph) []Options {
+	return []Options{
+		{K: 3, Algorithm: Alg3, Seed: 1, Variant: rounding.Ln},
+		{K: 3, Algorithm: Alg3, Seed: 99, Variant: rounding.LnMinusLnLn},
+		{K: 4, Algorithm: Alg2, Seed: 7, Variant: rounding.Ln},
+		{K: 2, Algorithm: AlgWeighted, Costs: costsFor(g), Seed: 5, Variant: rounding.Ln},
+	}
+}
+
+// TestShardedMatchesSolve is the acceptance bar of the sharded engine: for
+// every workload, option set, shard count and per-shard worker count, the
+// merged sharded output is bit-identical to the unsharded solver.
+func TestShardedMatchesSolve(t *testing.T) {
+	for _, w := range workloads(t) {
+		for oi, opt := range shardOptMatrix(w.g) {
+			ref, err := New().Solve(w.g, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refX := append([]float64(nil), ref.X...)
+			refDS := append([]bool(nil), ref.InDS...)
+			for _, S := range shardCounts {
+				sc, err := graph.Partition(w.g, S)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, workers := range workerCounts {
+					o := opt
+					o.Workers = workers
+					got, err := SolveShardedCSR(sc, o)
+					if err != nil {
+						t.Fatalf("%s opt%d S=%d workers=%d: %v", w.name, oi, S, workers, err)
+					}
+					ctx := w.name + " sharded"
+					sameX(t, ctx, got.X, refX)
+					for v := range refDS {
+						if got.InDS[v] != refDS[v] {
+							t.Fatalf("%s opt%d S=%d workers=%d: InDS[%d] = %v, want %v", w.name, oi, S, workers, v, got.InDS[v], refDS[v])
+						}
+					}
+					if got.Size != ref.Size || got.JoinedRandom != ref.JoinedRandom || got.JoinedFixup != ref.JoinedFixup {
+						t.Fatalf("%s opt%d S=%d workers=%d: counts (%d,%d,%d), want (%d,%d,%d)",
+							w.name, oi, S, workers, got.Size, got.JoinedRandom, got.JoinedFixup,
+							ref.Size, ref.JoinedRandom, ref.JoinedFixup)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedPooledReuse exercises the d2done lockstep handshake: a solver
+// that cached δ⁽¹⁾/δ⁽²⁾ for a partition must stay aligned with fresh peers
+// that still need the static pass. Shard 0 keeps one solver across rounds
+// while the peers acquire fresh ones.
+func TestShardedPooledReuse(t *testing.T) {
+	g := workloads(t)[0].g
+	const S = 3
+	sc, err := graph.Partition(g, S)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{K: 3, Algorithm: Alg3, Seed: 11, Variant: rounding.Ln, Workers: 1}
+	ref, err := New().Solve(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refX := append([]float64(nil), ref.X...)
+
+	keeper := New() // shard 0's long-lived solver, d2done after round 0
+	for round := 0; round < 3; round++ {
+		group := shard.NewInProcGroup(S)
+		x := make([]float64, sc.N)
+		var wg sync.WaitGroup
+		errs := make([]error, S)
+		for si := 0; si < S; si++ {
+			wg.Add(1)
+			go func(si int) {
+				defer wg.Done()
+				s := keeper
+				if si != 0 {
+					s = New() // fresh peer: needs the δ⁽¹⁾/δ⁽²⁾ pass
+				}
+				res, err := s.SolveShard(sc, si, group.Member(si), opt)
+				if err != nil {
+					errs[si] = err
+					group.Fail(err)
+					return
+				}
+				copy(x[res.Lo:res.Hi], res.X)
+			}(si)
+		}
+		wg.Wait()
+		for si, err := range errs {
+			if err != nil {
+				t.Fatalf("round %d shard %d: %v", round, si, err)
+			}
+		}
+		sameX(t, "pooled-reuse", x, refX)
+	}
+}
+
+// TestShardedConfigMismatch ensures diverging options are caught by the
+// hello handshake instead of silently corrupting the lockstep.
+func TestShardedConfigMismatch(t *testing.T) {
+	g := workloads(t)[0].g
+	sc, err := graph.Partition(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	group := shard.NewInProcGroup(2)
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for si := 0; si < 2; si++ {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			opt := Options{K: 3, Algorithm: Alg3, Seed: int64(si), Workers: 1} // seeds differ
+			_, err := New().SolveShard(sc, si, group.Member(si), opt)
+			errs[si] = err
+			if err != nil {
+				group.Fail(err)
+			}
+		}(si)
+	}
+	wg.Wait()
+	if errs[0] == nil && errs[1] == nil {
+		t.Fatal("mismatched configurations not detected")
+	}
+}
+
+// TestShardedValidation covers the SolveShard argument checks.
+func TestShardedValidation(t *testing.T) {
+	g := workloads(t)[0].g
+	sc, err := graph.Partition(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := shard.NewInProcGroup(2).Member(0)
+	opt := Options{K: 3}
+	if _, err := New().SolveShard(nil, 0, ex, opt); err == nil {
+		t.Error("nil partition accepted")
+	}
+	if _, err := New().SolveShard(sc, 0, nil, opt); err == nil {
+		t.Error("nil exchange accepted")
+	}
+	if _, err := New().SolveShard(sc, 1, ex, opt); err == nil {
+		t.Error("shard/exchange index mismatch accepted")
+	}
+	if _, err := New().SolveShard(sc, 0, shard.NewInProcGroup(3).Member(0), opt); err == nil {
+		t.Error("member-count/shard-count mismatch accepted")
+	}
+	if _, err := New().SolveShard(sc, 0, ex, Options{K: -1}); err == nil {
+		t.Error("invalid K accepted")
+	}
+}
+
+// TestShardedEdgeCases: empty and edgeless graphs through every shard count.
+func TestShardedEdgeCases(t *testing.T) {
+	for _, g := range []*graph.Graph{graph.MustNew(0, nil), graph.MustNew(70, nil), graph.MustNew(1, nil)} {
+		ref, err := New().Solve(g, Options{K: 2, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		refDS := append([]bool(nil), ref.InDS...)
+		for _, S := range shardCounts {
+			sc, err := graph.Partition(g, S)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := SolveShardedCSR(sc, Options{K: 2, Seed: 3})
+			if err != nil {
+				t.Fatalf("n=%d S=%d: %v", g.N(), S, err)
+			}
+			if got.Size != ref.Size {
+				t.Fatalf("n=%d S=%d: size %d, want %d", g.N(), S, got.Size, ref.Size)
+			}
+			for v := range refDS {
+				if got.InDS[v] != refDS[v] {
+					t.Fatalf("n=%d S=%d: InDS[%d] mismatch", g.N(), S, v)
+				}
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package fastpath
 
 import (
+	"errors"
 	"fmt"
 	"math/bits"
 	"runtime"
@@ -42,7 +43,19 @@ type Options struct {
 	// Workers bounds the phase parallelism; 0 selects GOMAXPROCS. Output
 	// is bit-identical for every worker count.
 	Workers int
+	// Cancel, when non-nil, aborts the solve early once the channel
+	// closes: Solve and Fractional return ErrCanceled at the next LP
+	// iteration boundary (a few kernel dispatches of latency at most).
+	// The solver's buffers stay reusable — a canceled pooled solver is
+	// released and reacquired as usual. SolveMany and SolveShard ignore
+	// it: a batch amortizes work across callers, and a shard group can
+	// only abandon a solve through its exchange failing.
+	Cancel <-chan struct{}
 }
+
+// ErrCanceled reports that a solve was abandoned because Options.Cancel
+// closed before the pipeline finished.
+var ErrCanceled = errors.New("fastpath: solve canceled")
 
 // Result is the outcome of Solve or Round. All slices alias the solver's
 // internal storage: they are valid until the solver's next run (or its
@@ -66,6 +79,9 @@ type Solver struct {
 	workers int
 	n       int // vertices of the current graph
 	nw      int // bitset words covering n
+	// cancel, when non-nil, aborts the LP drivers at the next iteration
+	// boundary (see Options.Cancel). Set per solve, cleared on return.
+	cancel <-chan struct{}
 	off     []int32
 	adj     []int32
 

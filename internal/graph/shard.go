@@ -1,0 +1,204 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MaxShards bounds a partition's shard count: per-vertex peer membership is
+// tracked in one uint64 mask, which also keeps the all-to-all exchange state
+// of the sharded solver O(64²) at worst.
+const MaxShards = 64
+
+// ShardCSR is one contiguous vertex range of a ShardedCSR together with
+// everything a per-shard solver needs to run the phase kernels locally and
+// exchange boundary state with its peers.
+//
+// The vertex range [Lo, Hi) is word-aligned (Lo is a multiple of 64, except
+// that Hi of the last shard is n): the fastpath solver chunks its bitsets by
+// 64-bit words, so a shard owns its words outright and the per-shard kernels
+// are the existing per-worker kernels with the shard's word range installed.
+type ShardCSR struct {
+	// Index is this shard's position in ShardedCSR.Shards.
+	Index int
+	// Lo and Hi delimit the owned vertex range [Lo, Hi).
+	Lo, Hi int
+	// W0 and W1 delimit the owned bitset word range [W0, W1).
+	W0, W1 int
+
+	// Off is the shard's row-offset view, indexed by GLOBAL vertex id:
+	// Adj[Off[v]:Off[v+1]] is v's sorted (global-id) adjacency for every
+	// owned v. Entries below Lo are unused. Adj aliases the parent CSR's
+	// adjacency array — a partition copies no adjacency data.
+	Off []int32
+	Adj []int32
+
+	// PeerMask[v-Lo] has bit t set when owned vertex v has at least one
+	// neighbor owned by shard t (t ≠ Index).
+	PeerMask []uint64
+
+	// Out[t] lists, ascending, the owned boundary vertices with at least
+	// one neighbor in shard t: exactly the vertices whose state shard t
+	// needs after each phase barrier. By edge symmetry Out[t] of this shard
+	// equals In[Index] of shard t.
+	Out [][]int32
+	// In[t] lists, ascending, the halo vertices owned by shard t that some
+	// owned vertex is adjacent to (= shard t's Out[Index]).
+	In [][]int32
+	// RevOff[t]/RevAdj[t] index the halo reverse adjacency: the owned
+	// neighbors of halo vertex In[t][i] are RevAdj[t][RevOff[t][i]:
+	// RevOff[t][i+1]], ascending. This is the boundary-vertex index the
+	// receive side uses to scatter a halo update (a remote x-raise or
+	// white→gray transition) onto the owned vertices it affects.
+	RevOff [][]int32
+	RevAdj [][]int32
+}
+
+// ShardedCSR partitions a Graph into contiguous, word-aligned vertex ranges
+// for sharded solving. The partition is a read-only view: it aliases the
+// graph's adjacency storage and copies only offsets and boundary indexes.
+type ShardedCSR struct {
+	// G is the partitioned graph.
+	G *Graph
+	// N and MaxDeg mirror the graph (every shard computes against the
+	// global vertex count and global ∆).
+	N      int
+	MaxDeg int
+	// NumShards is len(Shards).
+	NumShards int
+	// Deg[v] is the degree of global vertex v — shared static state so the
+	// per-shard δ⁽¹⁾ kernel can read neighbor degrees without owning the
+	// neighbor's CSR row.
+	Deg []int32
+	// Shards are the per-shard views, in vertex order.
+	Shards []ShardCSR
+}
+
+// Partition splits g into nshards contiguous word-aligned vertex ranges.
+// Shard s owns bitset words [s·nw/S, (s+1)·nw/S) — the same split rule the
+// fastpath solver uses for its per-worker chunks — so ranges are balanced to
+// within one word and may be empty when the graph has fewer words than
+// shards. A 1-shard partition is the degenerate case: one range covering
+// everything, no boundary state, and Off/Adj aliasing the graph's arrays.
+func Partition(g *Graph, nshards int) (*ShardedCSR, error) {
+	if g == nil {
+		return nil, fmt.Errorf("graph: Partition: nil graph")
+	}
+	if nshards < 1 {
+		return nil, fmt.Errorf("graph: Partition: shard count %d < 1", nshards)
+	}
+	if nshards > MaxShards {
+		return nil, fmt.Errorf("graph: Partition: shard count %d exceeds the maximum of %d", nshards, MaxShards)
+	}
+	n := g.N()
+	nw := (n + 63) / 64
+	sc := &ShardedCSR{
+		G:         g,
+		N:         n,
+		MaxDeg:    g.MaxDegree(),
+		NumShards: nshards,
+		Deg:       make([]int32, n),
+		Shards:    make([]ShardCSR, nshards),
+	}
+	for v := 0; v < n; v++ {
+		sc.Deg[v] = g.off[v+1] - g.off[v]
+	}
+
+	// wordShard[w] is the owner of bitset word w; shardOf(v) follows.
+	wordShard := make([]int32, nw)
+	for s := 0; s < nshards; s++ {
+		w0, w1 := s*nw/nshards, (s+1)*nw/nshards
+		for w := w0; w < w1; w++ {
+			wordShard[w] = int32(s)
+		}
+		lo, hi := min(w0*64, n), min(w1*64, n)
+		if s == nshards-1 {
+			hi = n
+		}
+		sc.Shards[s] = ShardCSR{Index: s, Lo: lo, Hi: hi, W0: w0, W1: w1}
+	}
+
+	for s := 0; s < nshards; s++ {
+		sh := &sc.Shards[s]
+		lo, hi := sh.Lo, sh.Hi
+		if nshards == 1 {
+			sh.Off, sh.Adj = g.off, g.adj
+		} else {
+			base := g.off[lo]
+			sh.Off = make([]int32, hi+1)
+			for v := lo; v <= hi; v++ {
+				sh.Off[v] = g.off[v] - base
+			}
+			sh.Adj = g.adj[base:g.off[hi]]
+		}
+		sh.PeerMask = make([]uint64, hi-lo)
+		sh.Out = make([][]int32, nshards)
+		sh.In = make([][]int32, nshards)
+		sh.RevOff = make([][]int32, nshards)
+		sh.RevAdj = make([][]int32, nshards)
+		if nshards == 1 {
+			continue
+		}
+
+		// One scan over the shard's rows collects, per peer t, the owned
+		// boundary vertices (Out) and the (halo, owned) incidence pairs the
+		// reverse index is built from.
+		type pair struct{ halo, own int32 }
+		pairs := make([][]pair, nshards)
+		lastOut := make([]int32, nshards)
+		for t := range lastOut {
+			lastOut[t] = -1
+		}
+		for v := lo; v < hi; v++ {
+			for _, u := range g.adj[g.off[v]:g.off[v+1]] {
+				t := wordShard[u>>6]
+				if int(t) == s {
+					continue
+				}
+				sh.PeerMask[v-lo] |= 1 << uint(t)
+				if lastOut[t] != int32(v) {
+					lastOut[t] = int32(v)
+					sh.Out[t] = append(sh.Out[t], int32(v))
+				}
+				pairs[t] = append(pairs[t], pair{halo: u, own: int32(v)})
+			}
+		}
+		for t := 0; t < nshards; t++ {
+			ps := pairs[t]
+			if len(ps) == 0 {
+				continue
+			}
+			// Stable by halo id: pairs were appended own-major with each
+			// row's halo ids ascending, so after the sort each halo vertex's
+			// owned neighbors come out ascending too.
+			sort.SliceStable(ps, func(i, j int) bool { return ps[i].halo < ps[j].halo })
+			in := make([]int32, 0, len(ps))
+			revOff := make([]int32, 0, len(ps)+1)
+			revAdj := make([]int32, len(ps))
+			for i, p := range ps {
+				if len(in) == 0 || in[len(in)-1] != p.halo {
+					in = append(in, p.halo)
+					revOff = append(revOff, int32(i))
+				}
+				revAdj[i] = p.own
+			}
+			revOff = append(revOff, int32(len(ps)))
+			sh.In[t], sh.RevOff[t], sh.RevAdj[t] = in, revOff, revAdj
+		}
+	}
+	return sc, nil
+}
+
+// Shard returns the i'th shard view.
+func (sc *ShardedCSR) Shard(i int) *ShardCSR { return &sc.Shards[i] }
+
+// HaloIndex returns the position of global vertex u in sh.In[t], or -1 when
+// u is not a halo vertex of peer t. O(log |In[t]|).
+func (sh *ShardCSR) HaloIndex(t int, u int32) int {
+	in := sh.In[t]
+	i := sort.Search(len(in), func(i int) bool { return in[i] >= u })
+	if i < len(in) && in[i] == u {
+		return i
+	}
+	return -1
+}

@@ -1,0 +1,226 @@
+package graph
+
+import (
+	"testing"
+)
+
+// partitionWorkloads builds a few shapes whose boundary structure differs:
+// a path (chain boundaries), a dense-ish random block, a star (one hub seen
+// by every shard), and tiny/empty graphs.
+func partitionWorkloads(t *testing.T) map[string]*Graph {
+	t.Helper()
+	path := func(n int) *Graph {
+		edges := make([][2]int, 0, n-1)
+		for v := 0; v+1 < n; v++ {
+			edges = append(edges, [2]int{v, v + 1})
+		}
+		return MustNew(n, edges)
+	}
+	star := func(n int) *Graph {
+		edges := make([][2]int, 0, n-1)
+		for v := 1; v < n; v++ {
+			edges = append(edges, [2]int{0, v})
+		}
+		return MustNew(n, edges)
+	}
+	block := func(n int) *Graph {
+		var edges [][2]int
+		for v := 0; v < n; v++ {
+			for d := 1; d <= 5; d++ {
+				if u := (v*7 + d*13) % n; u != v {
+					edges = append(edges, [2]int{v, u})
+				}
+			}
+		}
+		return MustNew(n, edges)
+	}
+	return map[string]*Graph{
+		"path-300":  path(300),
+		"star-200":  star(200),
+		"block-257": block(257),
+		"tiny-5":    path(5),
+		"empty":     MustNew(0, nil),
+		"edgeless":  MustNew(70, nil),
+	}
+}
+
+func TestPartitionStructure(t *testing.T) {
+	for name, g := range partitionWorkloads(t) {
+		n := g.N()
+		for _, S := range []int{1, 2, 3, 4, 7} {
+			sc, err := Partition(g, S)
+			if err != nil {
+				t.Fatalf("%s S=%d: %v", name, S, err)
+			}
+			if sc.N != n || sc.NumShards != S || sc.MaxDeg != g.MaxDegree() {
+				t.Fatalf("%s S=%d: header mismatch", name, S)
+			}
+			// Ranges tile [0, n) in order, word-aligned.
+			want := 0
+			for s := 0; s < S; s++ {
+				sh := &sc.Shards[s]
+				if sh.Lo != want {
+					t.Fatalf("%s S=%d shard %d: Lo=%d, want %d", name, S, s, sh.Lo, want)
+				}
+				if sh.Lo%64 != 0 && sh.Lo != n {
+					t.Fatalf("%s S=%d shard %d: Lo=%d not word-aligned", name, S, s, sh.Lo)
+				}
+				if sh.Hi < sh.Lo || sh.Hi > n {
+					t.Fatalf("%s S=%d shard %d: bad range [%d,%d)", name, S, s, sh.Lo, sh.Hi)
+				}
+				want = sh.Hi
+			}
+			if want != n {
+				t.Fatalf("%s S=%d: ranges cover [0,%d), want [0,%d)", name, S, want, n)
+			}
+			// Per-shard rows equal the graph's rows.
+			for s := 0; s < S; s++ {
+				sh := &sc.Shards[s]
+				for v := sh.Lo; v < sh.Hi; v++ {
+					row := sh.Adj[sh.Off[v]:sh.Off[v+1]]
+					ref := g.Neighbors(v)
+					if len(row) != len(ref) {
+						t.Fatalf("%s S=%d v=%d: row len %d, want %d", name, S, v, len(row), len(ref))
+					}
+					for i := range ref {
+						if row[i] != ref[i] {
+							t.Fatalf("%s S=%d v=%d: row[%d]=%d, want %d", name, S, v, i, row[i], ref[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// shardOf maps a vertex to its owning shard.
+func shardOf(sc *ShardedCSR, v int32) int {
+	for s := range sc.Shards {
+		if int(v) >= sc.Shards[s].Lo && int(v) < sc.Shards[s].Hi {
+			return s
+		}
+	}
+	return -1
+}
+
+func TestPartitionBoundaryIndex(t *testing.T) {
+	for name, g := range partitionWorkloads(t) {
+		for _, S := range []int{2, 3, 4} {
+			sc, err := Partition(g, S)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for s := 0; s < S; s++ {
+				sh := &sc.Shards[s]
+				// Out[t] = exactly the owned vertices with a neighbor in t,
+				// ascending; PeerMask agrees.
+				for t2 := 0; t2 < S; t2++ {
+					if t2 == s {
+						if len(sh.Out[t2]) != 0 || len(sh.In[t2]) != 0 {
+							t.Fatalf("%s S=%d shard %d: self boundary non-empty", name, S, s)
+						}
+						continue
+					}
+					wantOut := []int32{}
+					for v := sh.Lo; v < sh.Hi; v++ {
+						has := false
+						for _, u := range g.Neighbors(v) {
+							if shardOf(sc, u) == t2 {
+								has = true
+								break
+							}
+						}
+						if has {
+							wantOut = append(wantOut, int32(v))
+						}
+						if got := sh.PeerMask[v-sh.Lo]&(1<<uint(t2)) != 0; got != has {
+							t.Fatalf("%s S=%d shard %d v=%d peer %d: mask %v, want %v", name, S, s, v, t2, got, has)
+						}
+					}
+					if len(wantOut) != len(sh.Out[t2]) {
+						t.Fatalf("%s S=%d shard %d→%d: |Out|=%d, want %d", name, S, s, t2, len(sh.Out[t2]), len(wantOut))
+					}
+					for i := range wantOut {
+						if sh.Out[t2][i] != wantOut[i] {
+							t.Fatalf("%s S=%d shard %d→%d: Out[%d]=%d, want %d", name, S, s, t2, i, sh.Out[t2][i], wantOut[i])
+						}
+					}
+				}
+			}
+			// Symmetry: In[t] of shard s equals Out[s] of shard t, and the
+			// reverse adjacency lists exactly the owned neighbors.
+			for s := 0; s < S; s++ {
+				sh := &sc.Shards[s]
+				for t2 := 0; t2 < S; t2++ {
+					if t2 == s {
+						continue
+					}
+					peerOut := sc.Shards[t2].Out[s]
+					if len(sh.In[t2]) != len(peerOut) {
+						t.Fatalf("%s S=%d: |In[%d]| of shard %d = %d, want %d", name, S, t2, s, len(sh.In[t2]), len(peerOut))
+					}
+					for i := range peerOut {
+						if sh.In[t2][i] != peerOut[i] {
+							t.Fatalf("%s S=%d: In mismatch at %d", name, S, i)
+						}
+					}
+					for i, u := range sh.In[t2] {
+						rev := sh.RevAdj[t2][sh.RevOff[t2][i]:sh.RevOff[t2][i+1]]
+						want := []int32{}
+						for _, w := range g.Neighbors(int(u)) {
+							if shardOf(sc, w) == s {
+								want = append(want, w)
+							}
+						}
+						if len(rev) != len(want) {
+							t.Fatalf("%s S=%d shard %d halo %d: |rev|=%d, want %d", name, S, s, u, len(rev), len(want))
+						}
+						for j := range want {
+							if rev[j] != want[j] {
+								t.Fatalf("%s S=%d shard %d halo %d: rev[%d]=%d, want %d", name, S, s, u, j, rev[j], want[j])
+							}
+						}
+						if got := sh.HaloIndex(t2, u); got != i {
+							t.Fatalf("%s S=%d: HaloIndex(%d,%d)=%d, want %d", name, S, t2, u, got, i)
+						}
+					}
+					if sh.HaloIndex(t2, int32(sc.N+1)) != -1 {
+						t.Fatalf("%s S=%d: HaloIndex found a non-halo vertex", name, S)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPartitionDegenerateAliases(t *testing.T) {
+	g := partitionWorkloads(t)["block-257"]
+	sc, err := Partition(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, adj := g.CSR()
+	sh := sc.Shard(0)
+	if len(sh.Off) != len(off) || (len(off) > 0 && &sh.Off[0] != &off[0]) {
+		t.Fatal("1-shard partition must alias the graph's offset array")
+	}
+	if len(adj) > 0 && &sh.Adj[0] != &adj[0] {
+		t.Fatal("1-shard partition must alias the graph's adjacency array")
+	}
+	if sh.Lo != 0 || sh.Hi != g.N() {
+		t.Fatal("1-shard range must cover the graph")
+	}
+}
+
+func TestPartitionRejects(t *testing.T) {
+	g := MustNew(4, [][2]int{{0, 1}})
+	if _, err := Partition(nil, 2); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := Partition(g, 0); err == nil {
+		t.Error("0 shards accepted")
+	}
+	if _, err := Partition(g, MaxShards+1); err == nil {
+		t.Error("65 shards accepted")
+	}
+}

@@ -60,15 +60,16 @@ type Driver interface {
 
 // newDriver constructs the scenario's driver. concurrency is the peak
 // number of in-flight operations, used to size per-solve parallelism and
-// HTTP connection pools.
-func newDriver(sc *Scenario, concurrency int) (Driver, error) {
+// HTTP connection pools. shards > 1 selects the partitioned engine (one
+// sweep arm of Scenario.Shards); 0 or 1 is the plain unsharded path.
+func newDriver(sc *Scenario, concurrency, shards int) (Driver, error) {
 	switch sc.Driver {
 	case DriverInprocFast:
-		return &inprocDriver{sequential: true, concurrency: concurrency}, nil
+		return &inprocDriver{sequential: true, concurrency: concurrency, shards: shards}, nil
 	case DriverInprocSim:
 		return &inprocDriver{sequential: false, concurrency: concurrency}, nil
 	case DriverHTTPServe:
-		d := &httpDriver{concurrency: concurrency, timeout: 120 * time.Second}
+		d := &httpDriver{concurrency: concurrency, shards: shards, timeout: 120 * time.Second}
 		if sc.HTTP != nil {
 			d.url = sc.HTTP.URL
 			d.workers = sc.HTTP.Workers
@@ -91,11 +92,26 @@ func newDriver(sc *Scenario, concurrency int) (Driver, error) {
 type inprocDriver struct {
 	sequential  bool
 	concurrency int
+	shards      int
 	graphs      []LoadedGraph
+	// parts are the per-graph partitions for sharded arms (shards > 1):
+	// built once in Prepare so the measured operations solve through
+	// DominatingSetSharded without re-partitioning per op.
+	parts []*graph.ShardedCSR
 }
 
 func (d *inprocDriver) Prepare(graphs []LoadedGraph) error {
 	d.graphs = graphs
+	if d.shards > 1 {
+		d.parts = make([]*graph.ShardedCSR, len(graphs))
+		for i, lg := range graphs {
+			sc, err := kwmds.PartitionGraph(lg.G, d.shards)
+			if err != nil {
+				return fmt.Errorf("kwbench: partitioning %q into %d shards: %w", lg.Name, d.shards, err)
+			}
+			d.parts[i] = sc
+		}
+	}
 	return nil
 }
 
@@ -139,7 +155,13 @@ func (d *inprocDriver) Do(req Request) (OpResult, error) {
 		}
 		return OpResult{Size: res.Size, InDS: res.InDS}, nil
 	default: // kw, kw2
-		res, err := kwmds.DominatingSet(g, opts)
+		var res *kwmds.Result
+		var err error
+		if d.shards > 1 {
+			res, err = kwmds.DominatingSetSharded(d.parts[req.Graph], opts)
+		} else {
+			res, err = kwmds.DominatingSet(g, opts)
+		}
 		if err != nil {
 			return OpResult{}, err
 		}
@@ -189,6 +211,7 @@ type httpDriver struct {
 	cacheEntries int
 	concurrency  int
 	noBatch      bool
+	shards       int
 	timeout      time.Duration
 
 	graphs  []LoadedGraph
@@ -213,6 +236,7 @@ func (d *httpDriver) Prepare(graphs []LoadedGraph) error {
 			CacheEntries:    d.cacheEntries,
 			Graphs:          m,
 			DisableBatching: d.noBatch,
+			Shards:          d.shards,
 		})
 		d.ts = httptest.NewServer(d.srv.Handler())
 		d.baseURL = d.ts.URL

@@ -46,7 +46,7 @@ func runMobility(sc *Scenario, opts RunOptions) (*ScenarioResult, error) {
 		graphs[e] = LoadedGraph{Name: fmt.Sprintf("epoch-%d", e), G: g}
 	}
 
-	driver, err := newDriver(sc, 1)
+	driver, err := newDriver(sc, 1, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -135,7 +135,7 @@ func runMobility(sc *Scenario, opts RunOptions) (*ScenarioResult, error) {
 		}
 	}
 	if sc.CrossCheck {
-		checker, err := crossCheckDriver(sc, graphs)
+		checker, err := crossCheckDriver(sc, graphs, 0)
 		if err != nil {
 			return nil, err
 		}

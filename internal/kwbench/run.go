@@ -51,7 +51,45 @@ func Run(sc *Scenario, opts RunOptions) (*ScenarioResult, error) {
 			concurrency = 256
 		}
 	}
-	driver, err := newDriver(sc, concurrency)
+	// A shards list sweeps the partitioned engine: the identical loop runs
+	// once per count and every arm lands in the shard_sweep rows, with the
+	// last count's measurements as the scenario's main result block. No
+	// list is a single arm on the driver's default (unsharded) path.
+	counts := sc.Shards
+	if len(counts) == 0 {
+		counts = []int{0}
+	}
+	var res *ScenarioResult
+	var sweep []ShardRun
+	for _, nsh := range counts {
+		arm, err := runArm(sc, opts, graphs, concurrency, nsh)
+		if err != nil {
+			return nil, err
+		}
+		res = arm
+		if len(sc.Shards) > 0 {
+			sweep = append(sweep, ShardRun{
+				Shards:     nsh,
+				Ops:        arm.Ops,
+				ElapsedSec: arm.ElapsedSec,
+				OpsPerSec:  arm.OpsPerSec,
+				P50:        arm.Latency.P50,
+				P99:        arm.Latency.P99,
+			})
+		}
+	}
+	if len(sc.Shards) > 0 {
+		res.Shards = counts[len(counts)-1]
+		res.ShardSweep = sweep
+	}
+	return res, nil
+}
+
+// runArm executes one full warmup+measure pass of the scenario's loop with
+// one driver instance (one shard count of a sweep; shards 0 is the plain
+// path).
+func runArm(sc *Scenario, opts RunOptions, graphs []LoadedGraph, concurrency, shards int) (*ScenarioResult, error) {
+	driver, err := newDriver(sc, concurrency, shards)
 	if err != nil {
 		return nil, err
 	}
@@ -72,10 +110,10 @@ func Run(sc *Scenario, opts RunOptions) (*ScenarioResult, error) {
 	if sc.Closed != nil {
 		res.Loop = "closed"
 		res.Concurrency = sc.Closed.Concurrency
-		err = runClosed(sc, opts, driver, graphs, res)
+		err = runClosed(sc, opts, driver, graphs, shards, res)
 	} else {
 		res.Loop = "open"
-		err = runOpen(sc, opts, driver, graphs, res)
+		err = runOpen(sc, opts, driver, graphs, shards, res)
 	}
 	if err != nil {
 		return nil, err
@@ -88,8 +126,8 @@ func Run(sc *Scenario, opts RunOptions) (*ScenarioResult, error) {
 		}
 	}
 	if res.Mismatches > 0 {
-		return nil, fmt.Errorf("kwbench: scenario %q: %d/%d cross-checked operations disagreed between fast and sim backends (bit-identical contract broken)",
-			sc.Name, res.Mismatches, res.CrossChecked)
+		return nil, fmt.Errorf("kwbench: scenario %q (shards=%d): %d/%d cross-checked operations disagreed with the reference backend (bit-identical contract broken)",
+			sc.Name, shards, res.Mismatches, res.CrossChecked)
 	}
 	return res, nil
 }
@@ -196,15 +234,21 @@ func buildRequests(sc *Scenario, nGraphs, n int) []Request {
 	return reqs
 }
 
-// crossCheckDriver builds the opposite inproc backend for verification.
-func crossCheckDriver(sc *Scenario, graphs []LoadedGraph) (Driver, error) {
-	other := DriverInprocSim
-	if sc.Driver == DriverInprocSim {
-		other = DriverInprocFast
-	}
+// crossCheckDriver builds the reference backend for verification: normally
+// the opposite inproc backend (fast↔sim), but a sharded fast arm verifies
+// against the UNSHARDED fast path — the contract under test there is "shard
+// count never affects output", and the 1-shard path is its anchor.
+func crossCheckDriver(sc *Scenario, graphs []LoadedGraph, shards int) (Driver, error) {
 	mirror := *sc
-	mirror.Driver = other
-	d, err := newDriver(&mirror, 1)
+	mirror.Shards = nil
+	if !(shards > 1 && sc.Driver == DriverInprocFast) {
+		if sc.Driver == DriverInprocSim {
+			mirror.Driver = DriverInprocFast
+		} else {
+			mirror.Driver = DriverInprocSim
+		}
+	}
+	d, err := newDriver(&mirror, 1, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -216,7 +260,7 @@ func crossCheckDriver(sc *Scenario, graphs []LoadedGraph) (Driver, error) {
 
 // runClosed drives the fixed-concurrency loop: warmup ops round-robin, then
 // the measured ops pulled from a shared counter by Concurrency workers.
-func runClosed(sc *Scenario, opts RunOptions, driver Driver, graphs []LoadedGraph, res *ScenarioResult) error {
+func runClosed(sc *Scenario, opts RunOptions, driver Driver, graphs []LoadedGraph, shards int, res *ScenarioResult) error {
 	ops := sc.Closed.Ops
 	if opts.Quick {
 		ops = quickOps(ops)
@@ -324,7 +368,7 @@ func runClosed(sc *Scenario, opts RunOptions, driver Driver, graphs []LoadedGrap
 	// windows: re-solve every measured request on the opposite backend
 	// and compare sizes.
 	if sc.CrossCheck {
-		checker, err := crossCheckDriver(sc, graphs)
+		checker, err := crossCheckDriver(sc, graphs, shards)
 		if err != nil {
 			return err
 		}
@@ -374,7 +418,7 @@ func markWarm(d Driver) {
 // scheduled tick — queueing delay from a saturated backend is charged to
 // the operation instead of silently slowing the load (the coordinated-
 // omission correction).
-func runOpen(sc *Scenario, opts RunOptions, driver Driver, graphs []LoadedGraph, res *ScenarioResult) error {
+func runOpen(sc *Scenario, opts RunOptions, driver Driver, graphs []LoadedGraph, shards int, res *ScenarioResult) error {
 	rate := sc.Open.Rate
 	duration := time.Duration(sc.Open.DurationSec * float64(time.Second))
 	if opts.Quick && duration > 500*time.Millisecond {
@@ -453,7 +497,7 @@ func runOpen(sc *Scenario, opts RunOptions, driver Driver, graphs []LoadedGraph,
 	// Verification pass, outside every measurement window (as in
 	// runClosed).
 	if sc.CrossCheck {
-		checker, err := crossCheckDriver(sc, graphs)
+		checker, err := crossCheckDriver(sc, graphs, shards)
 		if err != nil {
 			return err
 		}

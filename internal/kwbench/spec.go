@@ -116,6 +116,17 @@ type Scenario struct {
 	// loop mode, graphs list or matrix applies.
 	Load *LoadSpec `json:"load,omitempty"`
 
+	// Shards, when non-empty, sweeps the partitioned engine: the closed
+	// loop runs once per listed shard count (same precomputed request
+	// schedule every arm). With the inproc-fast driver each graph is
+	// partitioned once and kw/kw2 operations solve through the sharded
+	// engine; with the http-serve driver the spawned server is sized with
+	// server.Config.Shards. The last count populates the scenario's main
+	// result block and every arm lands in the report's shard_sweep rows —
+	// outputs are bit-identical across counts by the engine contract, which
+	// cross_check verifies against the unsharded (1-shard) path.
+	Shards []int `json:"shards,omitempty"`
+
 	// HTTP tunes the http-serve driver; nil selects a spawned in-process
 	// server with default sizing.
 	HTTP *HTTPSpec `json:"http,omitempty"`
@@ -368,8 +379,8 @@ func (sc *Scenario) Validate() error {
 		if len(sc.Graphs) > 0 {
 			return bad("load scenarios name their graph in the load block; drop the graphs list")
 		}
-		if sc.BatchSize > 1 || sc.CrossCheck || sc.HTTP != nil {
-			return bad("load scenarios take no batch_size, cross_check or http block")
+		if sc.BatchSize > 1 || sc.CrossCheck || sc.HTTP != nil || len(sc.Shards) > 0 {
+			return bad("load scenarios take no batch_size, cross_check, shards or http block")
 		}
 		l := sc.Load
 		if (l.Tier == "") == (l.Gen == "") {
@@ -540,6 +551,34 @@ func (sc *Scenario) Validate() error {
 		}
 		if sc.CrossCheck && c.Algo == "frac" {
 			return bad("cross_check compares dominating-set sizes; algo frac has none")
+		}
+	}
+
+	if len(sc.Shards) > 0 {
+		if sc.Driver == DriverInprocSim {
+			return bad("shards requires the %s or %s driver (the simulation has no sharded engine)", DriverInprocFast, DriverHTTPServe)
+		}
+		if sc.Mobility != nil {
+			return bad("shards does not apply to mobility replays")
+		}
+		if sc.BatchSize > 1 {
+			return bad("shards and batch_size > 1 are mutually exclusive (sharding replaces batching on the cold path)")
+		}
+		if sc.Closed == nil {
+			return bad("shards sweeps require a closed loop")
+		}
+		if sc.HTTP != nil && sc.HTTP.URL != "" {
+			return bad("shards sizes the spawned server; a remote target configures its own shard count")
+		}
+		for _, n := range sc.Shards {
+			if n < 1 || n > kwmds.MaxShards {
+				return bad("shard count %d outside [1, %d]", n, kwmds.MaxShards)
+			}
+		}
+		for _, c := range sc.Matrix.combos() {
+			if c.Algo != "kw" && c.Algo != "kw2" {
+				return bad("sharded scenarios support algos kw|kw2 (got %q)", c.Algo)
+			}
 		}
 	}
 

@@ -7,6 +7,7 @@ package server
 
 import (
 	"container/list"
+	"context"
 	"strings"
 	"sync"
 
@@ -32,10 +33,17 @@ type cacheEntry struct {
 	val *graphio.SolveResponse
 }
 
+// inflightCall is one running computation with a refcount of interested
+// requests. The cancel channel closes when the LAST waiter abandons the
+// call (its request context ended) — one impatient client among several
+// never kills a solve the others still want; only a unanimous walkout does.
 type inflightCall struct {
-	done chan struct{}
-	val  *graphio.SolveResponse
-	err  error
+	done     chan struct{}
+	cancel   chan struct{}
+	waiters  int  // guarded by resultCache.mu
+	canceled bool // guarded by resultCache.mu
+	val      *graphio.SolveResponse
+	err      error
 }
 
 func newResultCache(capacity int) *resultCache {
@@ -51,7 +59,15 @@ func newResultCache(capacity int) *resultCache {
 // also on behalf of any concurrent callers with the same key — and caches
 // its result. hit reports whether the caller got a previously computed
 // response (including one computed by the call it piggybacked on).
-func (c *resultCache) getOrCompute(key string, compute func() (*graphio.SolveResponse, error)) (val *graphio.SolveResponse, hit bool, err error) {
+//
+// ctx is the caller's interest in the answer, not the computation's
+// lifetime: a caller whose ctx ends stops waiting and gets ctx.Err(), but
+// the computation keeps running as long as ANY caller still waits. compute
+// receives a cancel channel that closes only when every interested caller
+// has walked out — wire it to the solver's Options.Cancel and an abandoned
+// solve stops burning the worker pool. Canceled computations return errors
+// and are never cached.
+func (c *resultCache) getOrCompute(ctx context.Context, key string, compute func(cancel <-chan struct{}) (*graphio.SolveResponse, error)) (val *graphio.SolveResponse, hit bool, err error) {
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
 		c.order.MoveToFront(el)
@@ -59,32 +75,59 @@ func (c *resultCache) getOrCompute(key string, compute func() (*graphio.SolveRes
 		c.mu.Unlock()
 		return el.Value.(*cacheEntry).val, true, nil
 	}
-	if call, ok := c.inflight[key]; ok {
+	if call, ok := c.inflight[key]; ok && !call.canceled {
+		call.waiters++
 		c.hits++
 		c.mu.Unlock()
-		<-call.done
-		return call.val, true, call.err
+		return c.wait(ctx, call, true)
 	}
-	call := &inflightCall{done: make(chan struct{})}
+	// A canceled in-flight call may still be winding down under this key;
+	// the new call replaces it in the map (the old goroutine's cleanup
+	// checks identity before deleting).
+	call := &inflightCall{done: make(chan struct{}), cancel: make(chan struct{}), waiters: 1}
 	c.inflight[key] = call
 	c.misses++
 	c.mu.Unlock()
 
-	call.val, call.err = compute()
-
-	c.mu.Lock()
-	delete(c.inflight, key)
-	if call.err == nil && c.capacity > 0 {
-		c.items[key] = c.order.PushFront(&cacheEntry{key: key, val: call.val})
-		for c.order.Len() > c.capacity {
-			oldest := c.order.Back()
-			c.order.Remove(oldest)
-			delete(c.items, oldest.Value.(*cacheEntry).key)
+	go func() {
+		v, cerr := compute(call.cancel)
+		c.mu.Lock()
+		if c.inflight[key] == call {
+			delete(c.inflight, key)
 		}
+		if cerr == nil && c.capacity > 0 {
+			if _, dup := c.items[key]; !dup {
+				c.items[key] = c.order.PushFront(&cacheEntry{key: key, val: v})
+				for c.order.Len() > c.capacity {
+					oldest := c.order.Back()
+					c.order.Remove(oldest)
+					delete(c.items, oldest.Value.(*cacheEntry).key)
+				}
+			}
+		}
+		c.mu.Unlock()
+		call.val, call.err = v, cerr
+		close(call.done)
+	}()
+	return c.wait(ctx, call, false)
+}
+
+// wait blocks until the call completes or the caller's ctx ends. The last
+// waiter to leave closes the call's cancel channel.
+func (c *resultCache) wait(ctx context.Context, call *inflightCall, hit bool) (*graphio.SolveResponse, bool, error) {
+	select {
+	case <-call.done:
+		return call.val, hit, call.err
+	case <-ctx.Done():
+		c.mu.Lock()
+		call.waiters--
+		if call.waiters == 0 && !call.canceled {
+			call.canceled = true
+			close(call.cancel)
+		}
+		c.mu.Unlock()
+		return nil, false, ctx.Err()
 	}
-	c.mu.Unlock()
-	close(call.done)
-	return call.val, false, call.err
 }
 
 // invalidateDigest drops every cached entry keyed under the given topology

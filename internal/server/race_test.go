@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -112,7 +113,7 @@ func TestSingleFlight(t *testing.T) {
 	computes.Add(1)
 	var calls int32
 	var mu sync.Mutex
-	compute := func() (*graphio.SolveResponse, error) {
+	compute := func(<-chan struct{}) (*graphio.SolveResponse, error) {
 		mu.Lock()
 		calls++
 		mu.Unlock()
@@ -126,7 +127,7 @@ func TestSingleFlight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			v, _, err := c.getOrCompute("k", compute)
+			v, _, err := c.getOrCompute(context.Background(), "k", compute)
 			if err != nil {
 				t.Error(err)
 			}

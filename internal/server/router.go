@@ -1,0 +1,438 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kwmds"
+	"kwmds/internal/graphio"
+	"kwmds/internal/lp"
+	"kwmds/internal/shard"
+)
+
+// RouterConfig sizes a serve router.
+type RouterConfig struct {
+	// Workers are the base URLs of the shard workers behind the router
+	// (e.g. "http://10.0.0.7:8080"). At least one is required; order is
+	// irrelevant — placement hashes names onto a ring.
+	Workers []string
+	// Shards is the scatter width for sharded solves: a kw/kw2 fast-engine
+	// solve of a preloaded graph fans out to this many shard workers and
+	// the responses are gathered back into one answer. 0 or 1 disables
+	// scattering — every solve proxies whole to its placed worker.
+	// Capped at kwmds.MaxShards.
+	Shards int
+	// Replicas is how many ring-consecutive workers can answer for one
+	// graph: proxied solves fail over down this candidate list, and the
+	// hottest graphs are effectively replicated across it (every worker
+	// preloads every graph; replication here is about request placement,
+	// not data movement). Default 2, capped at len(Workers).
+	Replicas int
+	// MaxScatters bounds how many scatter-gather solves run concurrently;
+	// excess requests queue. Shard workers run shard solves outside their
+	// own worker pools (see handleShardSolve), so this gate is what keeps
+	// a request flood from oversubscribing the fleet. Default 4.
+	MaxScatters int
+	// Client is the HTTP client used for worker calls. Default: a client
+	// with a 120 s timeout.
+	Client *http.Client
+	// MaxBodyBytes caps client request bodies. Default 64 MiB.
+	MaxBodyBytes int64
+}
+
+// Router is the scatter-gather front of a shard-worker fleet. It holds no
+// graph data: placement is by consistent hashing on the graph_ref, so every
+// worker stays engine-oblivious to routing and the router stays oblivious
+// to topologies. Unshardable requests (inline graphs excepted — those are
+// rejected, the router has no worker affinity for anonymous topologies)
+// proxy whole to the placed worker.
+type Router struct {
+	cfg    RouterConfig
+	ring   *shard.Ring
+	client *http.Client
+	mux    *http.ServeMux
+	gate   chan struct{}
+
+	// solveSeq disambiguates concurrent scatters' exchange meshes. The
+	// process start time salts it so a restarted router cannot collide
+	// with connections parked from its previous life.
+	solveSeq  atomic.Uint64
+	solveBase uint64
+
+	// dataAddrs caches each worker's advertised mesh address (fetched
+	// lazily from /shard/v1/info once per worker).
+	mu        sync.Mutex
+	dataAddrs map[string]string
+}
+
+// NewRouter builds a Router from cfg, applying defaults for zero fields.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, fmt.Errorf("server: router needs at least one worker")
+	}
+	// The CLI documents bare host:port worker addresses; URL parsing
+	// needs a scheme, so default to http.
+	workers := make([]string, len(cfg.Workers))
+	for i, w := range cfg.Workers {
+		if !strings.Contains(w, "://") {
+			w = "http://" + w
+		}
+		workers[i] = strings.TrimRight(w, "/")
+	}
+	cfg.Workers = workers
+	if cfg.Shards > kwmds.MaxShards {
+		cfg.Shards = kwmds.MaxShards
+	}
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 2
+	}
+	if cfg.Replicas > len(cfg.Workers) {
+		cfg.Replicas = len(cfg.Workers)
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 64 << 20
+	}
+	if cfg.MaxScatters <= 0 {
+		cfg.MaxScatters = 4
+	}
+	ring, err := shard.NewRing(cfg.Workers, 0)
+	if err != nil {
+		return nil, fmt.Errorf("server: router: %w", err)
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 120 * time.Second}
+	}
+	r := &Router{
+		cfg:       cfg,
+		ring:      ring,
+		client:    client,
+		mux:       http.NewServeMux(),
+		gate:      make(chan struct{}, cfg.MaxScatters),
+		solveBase: uint64(time.Now().UnixNano()) << 20,
+		dataAddrs: make(map[string]string),
+	}
+	r.mux.HandleFunc("/v1/solve", r.handleSolve)
+	r.mux.HandleFunc("/v1/graphs", r.handleGraphs)
+	r.mux.HandleFunc("POST /v1/graphs/{name}/mutate", r.handleMutate)
+	r.mux.HandleFunc("/healthz", r.handleHealth)
+	return r, nil
+}
+
+// Handler returns the router's HTTP handler.
+func (r *Router) Handler() http.Handler { return r.mux }
+
+func (r *Router) handleHealth(w http.ResponseWriter, req *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"mode":     "router",
+		"workers":  len(r.cfg.Workers),
+		"shards":   r.cfg.Shards,
+		"replicas": r.cfg.Replicas,
+	})
+}
+
+// handleMutate: mutation through the router would have to fan out to every
+// worker atomically (they each hold a full copy); that coordination is not
+// implemented — mutate against the workers directly, or run an unsharded
+// serve.
+func (r *Router) handleMutate(w http.ResponseWriter, req *http.Request) {
+	writeJSON(w, http.StatusNotImplemented, graphio.ErrorResponse{
+		Error: "mutations are not routed; apply them to the shard workers directly",
+		Code:  graphio.CodeNotImplemented,
+	})
+}
+
+// handleGraphs proxies the listing from the first reachable worker (all
+// workers preload the same graph set).
+func (r *Router) handleGraphs(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	for _, worker := range r.ring.Workers() {
+		resp, err := r.client.Get(worker + "/v1/graphs")
+		if err != nil {
+			continue
+		}
+		relay(w, resp)
+		return
+	}
+	writeJSON(w, http.StatusServiceUnavailable, graphio.ErrorResponse{
+		Error: "no worker reachable for /v1/graphs",
+		Code:  graphio.CodeWorkerUnavailable,
+	})
+}
+
+func (r *Router) handleSolve(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	sreq, err := graphio.DecodeSolveRequest(http.MaxBytesReader(w, req.Body, r.cfg.MaxBodyBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if sreq.GraphRef == "" {
+		writeError(w, http.StatusBadRequest, "router mode requires \"graph_ref\": inline graphs have no placement (POST them to a worker directly)")
+		return
+	}
+	if r.scatterable(sreq) {
+		r.scatterSolve(w, sreq)
+		return
+	}
+	r.proxySolve(w, sreq)
+}
+
+// scatterable reports whether this solve runs on the partitioned engine:
+// the kw/kw2 fast-engine pipeline, unweighted (exactly what SolveShard
+// implements). Everything else proxies whole.
+func (r *Router) scatterable(sreq *graphio.SolveRequest) bool {
+	return r.cfg.Shards > 1 &&
+		(sreq.Algo == "kw" || sreq.Algo == "kw2") &&
+		sreq.Engine == "fast" &&
+		len(sreq.Weights) == 0 && !sreq.UseGraphWeights
+}
+
+// placement returns the replica candidate workers for one graph, primary
+// first.
+func (r *Router) placement(graphRef string) []string {
+	return r.ring.LookupN(graphRef, r.cfg.Replicas)
+}
+
+// proxySolve forwards the whole request to the graph's placed worker,
+// failing over down the replica list on transport errors (an HTTP-level
+// error is a real answer — workers agree on validation, so retrying it
+// elsewhere only duplicates work).
+func (r *Router) proxySolve(w http.ResponseWriter, sreq *graphio.SolveRequest) {
+	body, err := json.Marshal(sreq)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	var lastErr error
+	for _, worker := range r.placement(sreq.GraphRef) {
+		resp, err := r.client.Post(worker+"/v1/solve", "application/json", bytes.NewReader(body))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		relay(w, resp)
+		return
+	}
+	writeJSON(w, http.StatusServiceUnavailable, graphio.ErrorResponse{
+		Error: fmt.Sprintf("no placed worker reachable for graph %q: %v", sreq.GraphRef, lastErr),
+		Code:  graphio.CodeWorkerUnavailable,
+	})
+}
+
+// dataAddr resolves (and caches) a worker's advertised mesh address.
+func (r *Router) dataAddr(worker string) (string, error) {
+	r.mu.Lock()
+	addr, ok := r.dataAddrs[worker]
+	r.mu.Unlock()
+	if ok {
+		return addr, nil
+	}
+	resp, err := r.client.Get(worker + "/shard/v1/info")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("worker %s: /shard/v1/info answered %d (not running as a shard worker?)", worker, resp.StatusCode)
+	}
+	var info graphio.ShardInfoResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&info); err != nil {
+		return "", fmt.Errorf("worker %s: %w", worker, err)
+	}
+	if info.DataAddr == "" {
+		return "", fmt.Errorf("worker %s advertises no data address", worker)
+	}
+	r.mu.Lock()
+	r.dataAddrs[worker] = info.DataAddr
+	r.mu.Unlock()
+	return info.DataAddr, nil
+}
+
+// scatterSolve fans one solve out to Shards placed workers and gathers the
+// shard slices back into a single response. The merge is deterministic by
+// construction: shard s owns the contiguous vertex range [Lo_s, Hi_s),
+// ranges tile [0, n) in shard order, and each slice is copied into its own
+// range — so the assembled solution (and the member list, concatenated in
+// shard order) is identical no matter which response arrives first. The LP
+// objective is summed over the assembled vector in flat vertex order,
+// matching the unsharded facade bit for bit.
+func (r *Router) scatterSolve(w http.ResponseWriter, sreq *graphio.SolveRequest) {
+	shards := r.cfg.Shards
+	workers := r.ring.LookupN(sreq.GraphRef, shards)
+	// Fewer distinct workers than shards: wrap around — a worker can host
+	// several shards of one solve (its mesh listener keys connections by
+	// (solve, shard), not by peer address).
+	assign := make([]string, shards)
+	addrs := make([]string, shards)
+	for i := range assign {
+		assign[i] = workers[i%len(workers)]
+		addr, err := r.dataAddr(assign[i])
+		if err != nil {
+			writeJSON(w, http.StatusServiceUnavailable, graphio.ErrorResponse{
+				Error: fmt.Sprintf("shard %d: %v", i, err),
+				Code:  graphio.CodeWorkerUnavailable,
+			})
+			return
+		}
+		addrs[i] = addr
+	}
+	solveID := r.solveBase + r.solveSeq.Add(1)
+
+	// One gate slot per whole scatter — never per shard, so admission can
+	// never split a solve's shards across the gate and deadlock the mesh.
+	r.gate <- struct{}{}
+	defer func() { <-r.gate }()
+
+	start := time.Now()
+	results := make([]*graphio.ShardSolveResponse, shards)
+	errs := make([]error, shards)
+	statuses := make([]*graphio.ErrorResponse, shards)
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, _ := json.Marshal(graphio.ShardSolveRequest{
+				GraphRef:  sreq.GraphRef,
+				SolveID:   solveID,
+				Shard:     i,
+				Shards:    shards,
+				DataAddrs: addrs,
+				Algo:      sreq.Algo,
+				K:         sreq.K,
+				Seed:      sreq.Seed,
+				Variant:   sreq.Variant,
+			})
+			resp, err := r.client.Post(assign[i]+"/shard/v1/solve", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				var er graphio.ErrorResponse
+				json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&er)
+				if er.Error == "" {
+					er.Error = fmt.Sprintf("worker answered %d", resp.StatusCode)
+				}
+				statuses[i] = &er
+				errs[i] = fmt.Errorf("shard %d on %s: %s", i, assign[i], er.Error)
+				return
+			}
+			var sr graphio.ShardSolveResponse
+			if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+				errs[i] = fmt.Errorf("shard %d on %s: %w", i, assign[i], err)
+				return
+			}
+			results[i] = &sr
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			// A worker's own validation errors (bad algo, unknown graph)
+			// relay with their status; everything else — transport
+			// failures, mesh failures — is the typed 503.
+			if st := statuses[i]; st != nil && st.Code == "" {
+				writeJSON(w, http.StatusBadRequest, st)
+				return
+			}
+			writeJSON(w, http.StatusServiceUnavailable, graphio.ErrorResponse{
+				Error: err.Error(),
+				Code:  graphio.CodeWorkerUnavailable,
+			})
+			return
+		}
+	}
+
+	// Gather. Shard responses must describe one topology at one epoch: a
+	// mutation applied to part of the fleet mid-scatter surfaces here.
+	first := results[0]
+	for i, sr := range results {
+		if sr.Digest != first.Digest || sr.Epoch != first.Epoch {
+			writeError(w, http.StatusConflict,
+				"shard %d answered digest %s epoch %d, shard 0 answered %s epoch %d (fleet out of sync?)",
+				i, sr.Digest, sr.Epoch, first.Digest, first.Epoch)
+			return
+		}
+		if sr.Lo != prevHi(results, i) || len(sr.X) != sr.Hi-sr.Lo {
+			writeError(w, http.StatusBadGateway, "shard %d answered malformed range [%d, %d) with %d values", i, sr.Lo, sr.Hi, len(sr.X))
+			return
+		}
+	}
+	x := make([]float64, first.N)
+	members := make([]int, 0)
+	joinedRandom, joinedFixup := 0, 0
+	for _, sr := range results {
+		copy(x[sr.Lo:sr.Hi], sr.X)
+		members = append(members, sr.Members...)
+		joinedRandom += sr.JoinedRandom
+		joinedFixup += sr.JoinedFixup
+	}
+	if !sort.IntsAreSorted(members) {
+		writeError(w, http.StatusBadGateway, "gathered member list out of order")
+		return
+	}
+	resp := &graphio.SolveResponse{
+		Digest:       first.Digest,
+		Algo:         sreq.Algo,
+		Engine:       "fast",
+		K:            first.K,
+		N:            first.N,
+		M:            first.M,
+		Size:         len(members),
+		WeightedCost: float64(len(members)),
+		LPObjective:  lp.Objective(x),
+		JoinedRandom: joinedRandom,
+		JoinedFixup:  joinedFixup,
+		Epoch:        first.Epoch,
+		ElapsedMS:    float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	if sreq.Members {
+		resp.Members = members
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func prevHi(results []*graphio.ShardSolveResponse, i int) int {
+	if i == 0 {
+		return 0
+	}
+	return results[i-1].Hi
+}
+
+// relay copies a worker's response — status, content type, body — to the
+// client untouched.
+func relay(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}

@@ -1,0 +1,305 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"kwmds"
+	"kwmds/internal/gen"
+	"kwmds/internal/graph"
+	"kwmds/internal/graphio"
+)
+
+// shardFleet spins up n shard workers, each preloading the same graph set,
+// and a router in front of them. Returns the router's test server and the
+// worker test servers (for targeted failure injection).
+func shardFleet(t *testing.T, n, shards int, graphs map[string]*graph.Graph) (*httptest.Server, []*httptest.Server) {
+	t.Helper()
+	workers := make([]*httptest.Server, n)
+	urls := make([]string, n)
+	for i := range workers {
+		srv := New(Config{Workers: 4, Graphs: graphs})
+		if _, err := srv.EnableShardWorker("127.0.0.1:0", ""); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(srv.Close)
+		workers[i] = httptest.NewServer(srv.Handler())
+		t.Cleanup(workers[i].Close)
+		urls[i] = workers[i].URL
+	}
+	router, err := NewRouter(RouterConfig{Workers: urls, Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts := httptest.NewServer(router.Handler())
+	t.Cleanup(rts.Close)
+	return rts, workers
+}
+
+func routerGraphs(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	g1, err := gen.UnitDisk(300, 0.1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := gen.GNP(250, 0.03, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*graph.Graph{"udg-300": g1, "gnp-250": g2}
+}
+
+// TestRouterScatterMatchesDirect: a solve scattered across the fleet must be
+// bit-identical — size, LP objective, joined counts, members — to the same
+// solve run through the plain unsharded facade.
+func TestRouterScatterMatchesDirect(t *testing.T) {
+	graphs := routerGraphs(t)
+	for _, shards := range []int{2, 4} {
+		rts, _ := shardFleet(t, 3, shards, graphs)
+		for name, g := range graphs {
+			for _, algo := range []string{"kw", "kw2"} {
+				ref, err := kwmds.DominatingSet(g, kwmds.Options{K: 3, Seed: 9, KnownDelta: algo == "kw2", Sequential: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				body := fmt.Sprintf(`{"graph_ref":%q,"algo":%q,"k":3,"seed":9,"members":true}`, name, algo)
+				resp, err := http.Post(rts.URL+"/v1/solve", "application/json", strings.NewReader(body))
+				if err != nil {
+					t.Fatal(err)
+				}
+				var sr graphio.SolveResponse
+				if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+					t.Fatal(err)
+				}
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					t.Fatalf("shards=%d %s/%s: status %d", shards, name, algo, resp.StatusCode)
+				}
+				if sr.Size != ref.Size || sr.LPObjective != ref.LPObjective ||
+					sr.JoinedRandom != ref.JoinedRandom || sr.JoinedFixup != ref.JoinedFixup || sr.K != ref.K {
+					t.Fatalf("shards=%d %s/%s: (%d, %v, %d, %d, k=%d), want (%d, %v, %d, %d, k=%d)",
+						shards, name, algo, sr.Size, sr.LPObjective, sr.JoinedRandom, sr.JoinedFixup, sr.K,
+						ref.Size, ref.LPObjective, ref.JoinedRandom, ref.JoinedFixup, ref.K)
+				}
+				if !reflect.DeepEqual(sr.Members, kwmds.SetMembers(ref.InDS)) {
+					t.Fatalf("shards=%d %s/%s: member list diverges", shards, name, algo)
+				}
+			}
+		}
+	}
+}
+
+// TestRouterBareHostPortWorkers: the CLI documents scheme-less worker
+// addresses (-router 127.0.0.1:8081,...); NewRouter must default them to
+// http and still scatter correctly.
+func TestRouterBareHostPortWorkers(t *testing.T) {
+	graphs := routerGraphs(t)
+	var urls []string
+	for i := 0; i < 2; i++ {
+		srv := New(Config{Workers: 2, Graphs: graphs})
+		if _, err := srv.EnableShardWorker("127.0.0.1:0", ""); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(srv.Close)
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		urls = append(urls, strings.TrimPrefix(ts.URL, "http://")+"/")
+	}
+	router, err := NewRouter(RouterConfig{Workers: urls, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts := httptest.NewServer(router.Handler())
+	t.Cleanup(rts.Close)
+	ref, err := kwmds.DominatingSet(graphs["udg-300"], kwmds.Options{K: 3, Seed: 9, Sequential: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(rts.URL+"/v1/solve", "application/json",
+		strings.NewReader(`{"graph_ref":"udg-300","k":3,"seed":9}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr graphio.SolveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 || sr.Size != ref.Size {
+		t.Fatalf("status %d size %d, want 200 size %d", resp.StatusCode, sr.Size, ref.Size)
+	}
+}
+
+// TestRouterScatterDeterministicMerge hammers one scatter configuration from
+// many goroutines (run under -race in CI): every response must be identical
+// — the gather order is fixed by shard ranges, not by arrival order.
+func TestRouterScatterDeterministicMerge(t *testing.T) {
+	graphs := routerGraphs(t)
+	rts, _ := shardFleet(t, 2, 3, graphs)
+	const clients = 8
+	responses := make([]*graphio.SolveResponse, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			resp, err := http.Post(rts.URL+"/v1/solve", "application/json",
+				strings.NewReader(`{"graph_ref":"udg-300","k":2,"seed":33,"members":true}`))
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != 200 {
+				errs[c] = fmt.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			var sr graphio.SolveResponse
+			if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+				errs[c] = err
+				return
+			}
+			responses[c] = &sr
+		}(c)
+	}
+	wg.Wait()
+	for c, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", c, err)
+		}
+	}
+	first := responses[0]
+	for c, sr := range responses[1:] {
+		sr.ElapsedMS, sr.Cached = first.ElapsedMS, first.Cached
+		if !reflect.DeepEqual(sr, first) {
+			t.Fatalf("client %d got a different response: %+v vs %+v", c+1, sr, first)
+		}
+	}
+}
+
+// TestRouterWorkerFailure kills a fleet member and asserts scatters answer
+// the typed 503 instead of hanging or 500ing, while proxied (1-shard)
+// solves fail over to the surviving replica.
+func TestRouterWorkerFailure(t *testing.T) {
+	graphs := routerGraphs(t)
+
+	// Scatter path: with shards > live workers' mesh fleet broken, the
+	// error must be the typed worker_unavailable.
+	rts, workers := shardFleet(t, 2, 2, graphs)
+	// Warm the data-addr cache so the failure hits the scatter itself.
+	resp, err := http.Post(rts.URL+"/v1/solve", "application/json",
+		strings.NewReader(`{"graph_ref":"udg-300","seed":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("warmup answered %d", resp.StatusCode)
+	}
+	workers[0].Close()
+	workers[1].Close()
+	resp, err = http.Post(rts.URL+"/v1/solve", "application/json",
+		strings.NewReader(`{"graph_ref":"udg-300","seed":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("dead fleet answered %d, want 503", resp.StatusCode)
+	}
+	var er graphio.ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Code != graphio.CodeWorkerUnavailable {
+		t.Fatalf("error code = %q, want %q", er.Code, graphio.CodeWorkerUnavailable)
+	}
+
+	// Proxy path: 1-shard router with one dead worker still answers from
+	// the replica.
+	rts2, workers2 := shardFleet(t, 3, 1, graphs)
+	workers2[0].Close() // whichever placement order, at least one replica survives
+	for _, name := range []string{"udg-300", "gnp-250"} {
+		resp, err := http.Post(rts2.URL+"/v1/solve", "application/json",
+			strings.NewReader(fmt.Sprintf(`{"graph_ref":%q,"seed":3}`, name)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("proxy with one dead worker answered %d for %s", resp.StatusCode, name)
+		}
+	}
+}
+
+// TestRouterRejections: inline graphs and mutations are not routable.
+func TestRouterRejections(t *testing.T) {
+	rts, _ := shardFleet(t, 2, 2, routerGraphs(t))
+	resp, err := http.Post(rts.URL+"/v1/solve", "application/json",
+		strings.NewReader(`{"graph":{"n":3,"edges":[[0,1]]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("inline graph answered %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Post(rts.URL+"/v1/graphs/udg-300/mutate", "application/json",
+		strings.NewReader(`{"mutations":[{"op":"add_vertex"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("mutate answered %d, want 501", resp.StatusCode)
+	}
+	var er graphio.ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Code != graphio.CodeNotImplemented {
+		t.Fatalf("error code = %q, want %q", er.Code, graphio.CodeNotImplemented)
+	}
+}
+
+// TestServerInProcShards: Config.Shards runs preloaded cold solves on the
+// partitioned in-process engine; responses must match the unsharded server
+// field for field.
+func TestServerInProcShards(t *testing.T) {
+	graphs := routerGraphs(t)
+	plain := httptest.NewServer(New(Config{Workers: 4, Graphs: graphs}).Handler())
+	t.Cleanup(plain.Close)
+	sharded := httptest.NewServer(New(Config{Workers: 4, Shards: 4, Graphs: graphs}).Handler())
+	t.Cleanup(sharded.Close)
+	for _, body := range []string{
+		`{"graph_ref":"udg-300","k":3,"seed":5,"members":true}`,
+		`{"graph_ref":"udg-300","algo":"kw2","k":2,"seed":8,"members":true}`,
+		`{"graph_ref":"gnp-250","variant":"ln-lnln","seed":2,"members":true}`,
+	} {
+		var got [2]graphio.SolveResponse
+		for i, ts := range []*httptest.Server{plain, sharded} {
+			resp, err := http.Post(ts.URL+"/v1/solve", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&got[i]); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != 200 {
+				t.Fatalf("status %d for %s", resp.StatusCode, body)
+			}
+		}
+		got[1].ElapsedMS = got[0].ElapsedMS
+		if !reflect.DeepEqual(got[0], got[1]) {
+			t.Fatalf("sharded server diverges for %s:\n%+v\n%+v", body, got[0], got[1])
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -17,6 +18,7 @@ import (
 	"kwmds/internal/dyngraph"
 	"kwmds/internal/graph"
 	"kwmds/internal/graphio"
+	"kwmds/internal/shard"
 )
 
 // Config sizes the service.
@@ -42,6 +44,14 @@ type Config struct {
 	// pool. Outputs are identical either way; the switch exists for
 	// benchmarking the batching win and as an operational escape hatch.
 	DisableBatching bool
+	// Shards, when > 1, runs cold kw/kw2 fast-engine solves of preloaded
+	// graphs through the partitioned in-process engine (one engine
+	// goroutine per shard over a cached partition) instead of the batcher.
+	// Results are bit-identical to unsharded solves — sharding trades
+	// per-request batching for parallelism within a single solve. Other
+	// pipelines (frac, kwcds, sim, inline graphs) ignore the setting.
+	// Capped at kwmds.MaxShards.
+	Shards int
 }
 
 // Server answers dominating-set queries over HTTP. It is safe for
@@ -54,6 +64,11 @@ type Server struct {
 	graphs  map[string]*preloaded
 	names   []string
 	batcher solveBatcher
+	// Shard-worker state (nil unless EnableShardWorker was called): the
+	// mesh listener peers dial for boundary exchanges, and the address
+	// advertised for it.
+	mesh     *shard.MeshListener
+	meshAddr string
 }
 
 // preloaded is one named graph, mutable through POST /v1/graphs/{name}/
@@ -66,6 +81,12 @@ type preloaded struct {
 	mu     sync.RWMutex
 	dyn    *dyngraph.Dynamic
 	digest string
+	// parts caches partitions of the current topology keyed by shard
+	// count — building one is O(n + m), and sharded serving re-solves the
+	// same preload with varying options, so the partition is the reusable
+	// artifact. Dropped on topology mutations (weight-only epochs keep it:
+	// a partition is pure topology).
+	parts map[int]*graph.ShardedCSR
 }
 
 // snapshot returns a consistent (graph, digest, epoch, costs) view.
@@ -73,6 +94,34 @@ func (p *preloaded) snapshot() (*graph.Graph, string, int64, []float64) {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	return p.dyn.Graph(), p.digest, p.dyn.Epoch(), p.dyn.Costs()
+}
+
+// partition returns a shards-way partition of the snapshot graph g, serving
+// it from the cache when g is still the current topology. A snapshot
+// superseded by a concurrent mutation is partitioned fresh and not cached —
+// the solve still answers exactly the topology its caller addressed.
+func (p *preloaded) partition(g *graph.Graph, shards int) (*graph.ShardedCSR, error) {
+	p.mu.RLock()
+	if p.dyn.Graph() == g {
+		if sc, ok := p.parts[shards]; ok {
+			p.mu.RUnlock()
+			return sc, nil
+		}
+	}
+	p.mu.RUnlock()
+	sc, err := graph.Partition(g, shards)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	if p.dyn.Graph() == g {
+		if p.parts == nil {
+			p.parts = make(map[int]*graph.ShardedCSR)
+		}
+		p.parts[shards] = sc
+	}
+	p.mu.Unlock()
+	return sc, nil
 }
 
 // New builds a Server from cfg, applying defaults for zero fields.
@@ -91,6 +140,12 @@ func New(cfg Config) *Server {
 	}
 	if cfg.MaxInlineVertices <= 0 {
 		cfg.MaxInlineVertices = 2_000_000
+	}
+	if cfg.Shards > kwmds.MaxShards {
+		cfg.Shards = kwmds.MaxShards
+	}
+	if cfg.Shards < 0 {
+		cfg.Shards = 0
 	}
 	s := &Server{
 		cfg:    cfg,
@@ -148,11 +203,18 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	resp, err := s.solve(req)
+	resp, err := s.solve(r.Context(), req)
 	if err != nil {
 		var he *httpError
 		if errors.As(err, &he) {
 			writeError(w, he.status, "%s", he.msg)
+			return
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// The client stopped listening mid-solve. 499 (nginx's "client
+			// closed request") keeps the access log honest; the write itself
+			// usually lands on a closed connection.
+			writeError(w, 499, "%v", err)
 			return
 		}
 		writeError(w, http.StatusInternalServerError, "%v", err)
@@ -161,18 +223,40 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// errSolveAbandoned reports a queued solve whose every waiting client
+// disconnected before a worker slot freed up.
+var errSolveAbandoned = errors.New("solve abandoned: all waiting clients disconnected")
+
+// acquire takes a worker slot, giving up if cancel closes first (every
+// client interested in this computation has walked out — see
+// resultCache.getOrCompute). Callers that acquired must release with
+// `<-s.sem`.
+func (s *Server) acquire(cancel <-chan struct{}) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-cancel:
+		return errSolveAbandoned
+	}
+}
+
 // solve resolves the topology, validates the options, and answers from the
 // cache or by a pooled pipeline run. The returned response is the caller's
-// to keep (never an aliased cache entry).
-func (s *Server) solve(req *graphio.SolveRequest) (*graphio.SolveResponse, error) {
+// to keep (never an aliased cache entry). ctx bounds only this caller's
+// wait: when it ends the request unblocks with ctx.Err(), while the
+// underlying computation keeps running for any other caller still coalesced
+// on it — and aborts early once the last one leaves.
+func (s *Server) solve(ctx context.Context, req *graphio.SolveRequest) (*graphio.SolveResponse, error) {
 	var g *graph.Graph
 	var digest string
 	var epoch int64
+	var pre *preloaded
 	if req.GraphRef != "" {
 		p, ok := s.graphs[req.GraphRef]
 		if !ok {
 			return nil, &httpError{http.StatusNotFound, fmt.Sprintf("unknown graph_ref %q (see /v1/graphs)", req.GraphRef)}
 		}
+		pre = p
 		var costs []float64
 		g, digest, epoch, costs = p.snapshot()
 		if req.Epoch != nil && *req.Epoch != epoch {
@@ -232,15 +316,35 @@ func (s *Server) solve(req *graphio.SolveRequest) (*graphio.SolveResponse, error
 	}
 
 	key := cacheKey(digest, req, opts)
-	cached, hit, err := s.cache.getOrCompute(key, func() (*graphio.SolveResponse, error) {
-		// Distinct-key cold solves sharing a digest ride one batched
-		// DominatingSetMany run (see batch.go); everything else takes a
-		// worker slot and runs solo.
+	cached, hit, err := s.cache.getOrCompute(ctx, key, func(cancel <-chan struct{}) (*graphio.SolveResponse, error) {
+		// With Config.Shards set, cold fast-engine solves of preloaded
+		// graphs run on the partitioned engine (bit-identical output, see
+		// Config.Shards); otherwise distinct-key cold solves sharing a
+		// digest ride one batched DominatingSetMany run (see batch.go) and
+		// everything else takes a worker slot and runs solo.
+		//
+		// cancel closes when every coalesced client has disconnected. The
+		// queue wait honors it everywhere; the solve itself honors it only
+		// on the solo path (sharded runs move in mesh lockstep and batch
+		// riders share one run with live requests — aborting either for one
+		// dead client would cost more than finishing).
+		if s.cfg.Shards > 1 && pre != nil && opts.Sequential && req.Algo != "frac" && req.Algo != "kwcds" {
+			if sc, perr := pre.partition(g, s.cfg.Shards); perr == nil {
+				if err := s.acquire(cancel); err != nil {
+					return nil, err
+				}
+				defer func() { <-s.sem }()
+				return s.runSharded(sc, digest, req.Algo, req.Engine, opts)
+			}
+		}
 		if s.batchable(req.Algo, opts) {
 			return s.solveBatched(g, digest, req.Algo, req.Engine, opts)
 		}
-		s.sem <- struct{}{}
+		if err := s.acquire(cancel); err != nil {
+			return nil, err
+		}
 		defer func() { <-s.sem }()
+		opts.Cancel = cancel
 		return s.run(g, digest, req.Algo, req.Engine, opts)
 	})
 	if err != nil {
@@ -335,6 +439,7 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	if delta.Next != delta.Prev {
 		oldDigest := p.digest
 		p.digest = graphio.Digest(delta.Next)
+		p.parts = nil // partitions describe the old topology
 		s.cache.invalidateDigest(oldDigest)
 	}
 	writeJSON(w, http.StatusOK, graphio.MutateResponse{
@@ -375,6 +480,21 @@ func (s *Server) run(g *graph.Graph, digest, algo, engine string, opts kwmds.Opt
 		}
 		fillResult(resp, res)
 	}
+	resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+	return resp, nil
+}
+
+// runSharded executes one cold solve on the partitioned in-process engine.
+// Identical response shape and bits to run(); only the execution split
+// differs.
+func (s *Server) runSharded(sc *graph.ShardedCSR, digest, algo, engine string, opts kwmds.Options) (*graphio.SolveResponse, error) {
+	resp := &graphio.SolveResponse{Digest: digest, Algo: algo, Engine: engine, N: sc.G.N(), M: sc.G.M()}
+	start := time.Now()
+	res, err := kwmds.DominatingSetSharded(sc, opts)
+	if err != nil {
+		return nil, err
+	}
+	fillResult(resp, res)
 	resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
 	return resp, nil
 }

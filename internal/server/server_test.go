@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -197,7 +198,7 @@ func TestSolveCache(t *testing.T) {
 func TestCacheEviction(t *testing.T) {
 	c := newResultCache(2)
 	mk := func(k string) (*graphio.SolveResponse, bool) {
-		v, hit, err := c.getOrCompute(k, func() (*graphio.SolveResponse, error) {
+		v, hit, err := c.getOrCompute(context.Background(), k, func(<-chan struct{}) (*graphio.SolveResponse, error) {
 			return &graphio.SolveResponse{Digest: k}, nil
 		})
 		if err != nil {

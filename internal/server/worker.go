@@ -1,0 +1,159 @@
+package server
+
+import (
+	"net"
+	"net/http"
+	"runtime"
+	"time"
+
+	"kwmds"
+	"kwmds/internal/core"
+	"kwmds/internal/fastpath"
+	"kwmds/internal/graphio"
+	"kwmds/internal/rounding"
+	"kwmds/internal/shard"
+)
+
+// meshConnectTimeout bounds how long a shard solve waits for its peer mesh
+// to assemble (and every Swap thereafter). A scatter whose peers never show
+// up — a worker crashed between placement and dispatch — fails loudly here
+// instead of wedging a worker-pool slot forever.
+const meshConnectTimeout = 30 * time.Second
+
+// EnableShardWorker turns this server into a shard worker: it opens the mesh
+// data listener on listenAddr (default "127.0.0.1:0") and registers the
+// /shard/v1/* routes a serve router scatters to. advertiseAddr, when
+// non-empty, overrides the address reported to routers (needed when the
+// listener binds a wildcard address peers cannot dial). Returns the
+// advertised data address. Call before Handler() is serving; not safe
+// concurrently with requests.
+//
+// A shard worker is still a full server: /v1/solve and the rest keep
+// working, so a fleet can mix direct and routed traffic.
+func (s *Server) EnableShardWorker(listenAddr, advertiseAddr string) (string, error) {
+	if s.mesh != nil {
+		return s.meshAddr, nil
+	}
+	if listenAddr == "" {
+		listenAddr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return "", err
+	}
+	s.mesh = shard.NewMeshListener(ln)
+	s.meshAddr = s.mesh.Addr()
+	if advertiseAddr != "" {
+		s.meshAddr = advertiseAddr
+	}
+	s.mux.HandleFunc("POST /shard/v1/solve", s.handleShardSolve)
+	s.mux.HandleFunc("GET /shard/v1/info", s.handleShardInfo)
+	return s.meshAddr, nil
+}
+
+// Close releases the shard worker's mesh listener (a no-op for plain
+// servers). In-flight HTTP requests are the caller's to drain (see Graceful).
+func (s *Server) Close() {
+	if s.mesh != nil {
+		s.mesh.Close()
+	}
+}
+
+func (s *Server) handleShardInfo(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, graphio.ShardInfoResponse{DataAddr: s.meshAddr})
+}
+
+// handleShardSolve runs one shard of a scatter-gather solve: resolve the
+// preloaded graph, fetch (or build) its partition, mesh with the peer
+// workers named in the request, and run this shard of the partitioned
+// engine. The response carries the owned slice [Lo, Hi) of the solution;
+// the router reassembles.
+//
+// Shard solves deliberately bypass the worker pool: a shard holding a pool
+// slot blocks at phase barriers waiting for peers, and if those peers are
+// queued behind other solves' shards — on this worker or any other — the
+// fleet deadlocks on slots held by blocked shards until the mesh timeout.
+// Admission control for scatters therefore lives in the router (its scatter
+// gate), which sees whole solves instead of slot-sized fragments.
+func (s *Server) handleShardSolve(w http.ResponseWriter, r *http.Request) {
+	req, err := graphio.DecodeShardSolveRequest(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Shards > kwmds.MaxShards {
+		writeError(w, http.StatusBadRequest, "shards = %d exceeds the engine limit of %d", req.Shards, kwmds.MaxShards)
+		return
+	}
+	p, ok := s.graphs[req.GraphRef]
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown graph_ref %q (see /v1/graphs)", req.GraphRef)
+		return
+	}
+	g, digest, epoch, _ := p.snapshot()
+	sc, err := p.partition(g, req.Shards)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	fo := fastpath.Options{
+		K:       req.K,
+		Seed:    req.Seed,
+		Workers: max(1, runtime.GOMAXPROCS(0)/s.cfg.Workers),
+	}
+	if fo.K == 0 {
+		// The same default every facade entry point applies; all shards
+		// derive it from the shared global MaxDeg, so the mesh agrees.
+		fo.K = core.LogDeltaK(sc.MaxDeg)
+	}
+	if req.Algo == "kw2" {
+		fo.Algorithm = fastpath.Alg2
+	}
+	if req.Variant == "ln-lnln" {
+		fo.Variant = rounding.LnMinusLnLn
+	}
+
+	start := time.Now()
+	ex, err := shard.ConnectMesh(req.SolveID, req.Shard, req.DataAddrs, s.mesh, meshConnectTimeout)
+	if err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, graphio.ErrorResponse{
+			Error: "mesh assembly failed: " + err.Error(),
+			Code:  graphio.CodeWorkerUnavailable,
+		})
+		return
+	}
+	defer ex.Close()
+
+	sv := fastpath.Acquire(sc.N)
+	res, err := sv.SolveShard(sc, req.Shard, ex, fo)
+	if err != nil {
+		fastpath.Release(sv)
+		writeJSON(w, http.StatusServiceUnavailable, graphio.ErrorResponse{
+			Error: "shard solve failed: " + err.Error(),
+			Code:  graphio.CodeWorkerUnavailable,
+		})
+		return
+	}
+	resp := graphio.ShardSolveResponse{
+		Digest:       digest,
+		Epoch:        epoch,
+		K:            fo.K,
+		N:            sc.N,
+		M:            sc.G.M(),
+		Lo:           res.Lo,
+		Hi:           res.Hi,
+		X:            append(make([]float64, 0, len(res.X)), res.X...),
+		Members:      []int{},
+		JoinedRandom: res.JoinedRandom,
+		JoinedFixup:  res.JoinedFixup,
+	}
+	for i, in := range res.InDS {
+		if in {
+			resp.Members = append(resp.Members, res.Lo+i)
+		}
+	}
+	fastpath.Release(sv)
+	resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,105 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+)
+
+// InProcGroup is the in-process Exchange: one goroutine per shard, one
+// buffered channel per directed pair. It is the default transport — sharded
+// solves inside one process (the facade's Shards option, the serve
+// subsystem's in-proc sharding) pay a channel handoff per peer per barrier
+// and nothing else.
+type InProcGroup struct {
+	n  int
+	ch [][]chan []byte // ch[from][to]
+
+	failOnce sync.Once
+	failed   chan struct{}
+	mu       sync.Mutex
+	failErr  error
+}
+
+// NewInProcGroup builds an exchange group for n members.
+func NewInProcGroup(n int) *InProcGroup {
+	g := &InProcGroup{n: n, failed: make(chan struct{})}
+	g.ch = make([][]chan []byte, n)
+	for i := range g.ch {
+		g.ch[i] = make([]chan []byte, n)
+		for j := range g.ch[i] {
+			if i != j {
+				// Capacity 1: lockstep admits at most one undelivered
+				// payload per directed pair (a member one step ahead of a
+				// peer that has sent but not yet drained).
+				g.ch[i][j] = make(chan []byte, 1)
+			}
+		}
+	}
+	return g
+}
+
+// Member returns the Exchange port of member i.
+func (g *InProcGroup) Member(i int) Exchange { return &inProcMember{g: g, self: i, in: make([][]byte, g.n)} }
+
+// Fail marks the group dead: every member blocked in (or later entering)
+// Swap returns an error instead of waiting forever on a peer that will
+// never swap again. The first reported error wins.
+func (g *InProcGroup) Fail(err error) {
+	g.failOnce.Do(func() {
+		g.mu.Lock()
+		if err == nil {
+			err = fmt.Errorf("shard: exchange member failed")
+		}
+		g.failErr = err
+		g.mu.Unlock()
+		close(g.failed)
+	})
+}
+
+func (g *InProcGroup) err() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.failErr != nil {
+		return g.failErr
+	}
+	return fmt.Errorf("shard: exchange group failed")
+}
+
+type inProcMember struct {
+	g    *InProcGroup
+	self int
+	in   [][]byte
+}
+
+func (m *inProcMember) Self() int    { return m.self }
+func (m *inProcMember) Members() int { return m.g.n }
+
+func (m *inProcMember) Swap(out [][]byte) ([][]byte, error) {
+	g := m.g
+	for t := 0; t < g.n; t++ {
+		if t == m.self {
+			continue
+		}
+		var payload []byte
+		if out != nil {
+			payload = out[t]
+		}
+		select {
+		case g.ch[m.self][t] <- payload:
+		case <-g.failed:
+			return nil, g.err()
+		}
+	}
+	m.in[m.self] = nil
+	for t := 0; t < g.n; t++ {
+		if t == m.self {
+			continue
+		}
+		select {
+		case m.in[t] = <-g.ch[t][m.self]:
+		case <-g.failed:
+			return nil, g.err()
+		}
+	}
+	return m.in, nil
+}

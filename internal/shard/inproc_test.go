@@ -1,0 +1,128 @@
+package shard
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestInProcAllToAll drives an n-member group through many lockstep steps
+// from concurrent goroutines (the way the sharded solver uses it) and checks
+// every member receives exactly what each peer sent for that step. Run under
+// -race this doubles as the exchange's data-race probe.
+func TestInProcAllToAll(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		g := NewInProcGroup(n)
+		const steps = 50
+		var wg sync.WaitGroup
+		errs := make([]error, n)
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				ex := g.Member(i)
+				if ex.Self() != i || ex.Members() != n {
+					errs[i] = fmt.Errorf("member %d: bad identity", i)
+					return
+				}
+				// Double-banked encode buffers, as the solver uses them.
+				var banks [2][][]byte
+				for b := range banks {
+					banks[b] = make([][]byte, n)
+				}
+				for step := 0; step < steps; step++ {
+					out := banks[step%2]
+					for t2 := 0; t2 < n; t2++ {
+						if t2 == i {
+							continue
+						}
+						buf := out[t2][:0]
+						buf = binary.LittleEndian.AppendUint32(buf, uint32(step))
+						buf = binary.LittleEndian.AppendUint32(buf, uint32(i))
+						buf = binary.LittleEndian.AppendUint32(buf, uint32(t2))
+						out[t2] = buf
+					}
+					in, err := ex.Swap(out)
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					if in[i] != nil {
+						errs[i] = fmt.Errorf("member %d step %d: self payload not nil", i, step)
+						return
+					}
+					for t2 := 0; t2 < n; t2++ {
+						if t2 == i {
+							continue
+						}
+						p := in[t2]
+						if len(p) != 12 {
+							errs[i] = fmt.Errorf("member %d step %d: payload len %d", i, step, len(p))
+							return
+						}
+						gotStep := binary.LittleEndian.Uint32(p)
+						gotFrom := binary.LittleEndian.Uint32(p[4:])
+						gotTo := binary.LittleEndian.Uint32(p[8:])
+						if int(gotStep) != step || int(gotFrom) != t2 || int(gotTo) != i {
+							errs[i] = fmt.Errorf("member %d step %d: got (%d,%d,%d)", i, step, gotStep, gotFrom, gotTo)
+							return
+						}
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("n=%d member %d: %v", n, i, err)
+			}
+		}
+	}
+}
+
+// TestInProcFailUnblocksPeers kills one member mid-step and asserts every
+// other member's Swap returns the failure instead of hanging.
+func TestInProcFailUnblocksPeers(t *testing.T) {
+	const n = 4
+	g := NewInProcGroup(n)
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 1; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ex := g.Member(i)
+			out := make([][]byte, n)
+			for {
+				if _, err := ex.Swap(out); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i)
+	}
+	g.Fail(fmt.Errorf("member 0 exploded"))
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if errs[i] == nil || errs[i].Error() != "member 0 exploded" {
+			t.Fatalf("member %d: err = %v, want the reported failure", i, errs[i])
+		}
+	}
+	// A member entering Swap after the failure errors immediately too.
+	if _, err := g.Member(0).Swap(make([][]byte, n)); err == nil {
+		t.Fatal("post-failure Swap succeeded")
+	}
+}
+
+func TestInProcSingleMember(t *testing.T) {
+	g := NewInProcGroup(1)
+	ex := g.Member(0)
+	in, err := ex.Swap(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in) != 1 || in[0] != nil {
+		t.Fatalf("1-member swap returned %v", in)
+	}
+}

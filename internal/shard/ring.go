@@ -1,0 +1,109 @@
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVirtualNodes is the per-worker virtual-node count of a Ring. 128
+// points per worker keeps the expected load imbalance within a few percent
+// for the worker counts a router realistically fronts.
+const DefaultVirtualNodes = 128
+
+// Ring is an immutable consistent-hash ring over named workers. Keys (graph
+// names) map to workers via the classic construction: every worker owns
+// VirtualNodes points on a 64-bit circle, a key lands on the first point at
+// or after its own hash. Adding or removing one worker therefore moves only
+// the keys in that worker's arcs — placement of everything else is stable,
+// which is what keeps worker-local caches warm across membership changes.
+//
+// Mutations build a new Ring (the router swaps the pointer atomically);
+// lookups on a built ring are safe for concurrent use.
+type Ring struct {
+	vnodes  int
+	workers []string
+	points  []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash   uint64
+	worker int32 // index into workers
+}
+
+// NewRing builds a ring over the given worker names. vnodes ≤ 0 selects
+// DefaultVirtualNodes. Worker names must be unique and non-empty.
+func NewRing(workers []string, vnodes int) (*Ring, error) {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	seen := make(map[string]bool, len(workers))
+	for _, w := range workers {
+		if w == "" {
+			return nil, fmt.Errorf("shard: ring: empty worker name")
+		}
+		if seen[w] {
+			return nil, fmt.Errorf("shard: ring: duplicate worker %q", w)
+		}
+		seen[w] = true
+	}
+	r := &Ring{
+		vnodes:  vnodes,
+		workers: append([]string(nil), workers...),
+		points:  make([]ringPoint, 0, len(workers)*vnodes),
+	}
+	for wi, w := range r.workers {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: ringHash(fmt.Sprintf("%s#%d", w, v)), worker: int32(wi)})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].worker < r.points[j].worker
+	})
+	return r, nil
+}
+
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// Workers returns the ring's member names (construction order).
+func (r *Ring) Workers() []string { return r.workers }
+
+// Lookup returns the worker owning key ("" for an empty ring).
+func (r *Ring) Lookup(key string) string {
+	ws := r.LookupN(key, 1)
+	if len(ws) == 0 {
+		return ""
+	}
+	return ws[0]
+}
+
+// LookupN returns up to n distinct workers for key, in ring order starting
+// at the key's successor point: the placement list for an n-way replicated
+// or n-way sharded graph. Deterministic for a given ring and key.
+func (r *Ring) LookupN(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.workers) {
+		n = len(r.workers)
+	}
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[int32]bool, n)
+	for scanned := 0; scanned < len(r.points) && len(out) < n; scanned++ {
+		p := r.points[(i+scanned)%len(r.points)]
+		if !seen[p.worker] {
+			seen[p.worker] = true
+			out = append(out, r.workers[p.worker])
+		}
+	}
+	return out
+}

@@ -1,0 +1,166 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("graph-%04d", i)
+	}
+	return keys
+}
+
+func TestRingDeterministicLookup(t *testing.T) {
+	workers := []string{"w0", "w1", "w2", "w3", "w4"}
+	a, err := NewRing(workers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same members in a different construction order: identical placement.
+	b, err := NewRing([]string{"w3", "w1", "w4", "w0", "w2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range ringKeys(500) {
+		if a.Lookup(k) != b.Lookup(k) {
+			t.Fatalf("key %s: placement depends on construction order (%s vs %s)", k, a.Lookup(k), b.Lookup(k))
+		}
+		la, lb := a.LookupN(k, 3), b.LookupN(k, 3)
+		if len(la) != 3 || len(lb) != 3 {
+			t.Fatalf("key %s: LookupN returned %d/%d workers", k, len(la), len(lb))
+		}
+		for i := range la {
+			if la[i] != lb[i] {
+				t.Fatalf("key %s: replica list order differs", k)
+			}
+		}
+	}
+}
+
+func TestRingLookupNDistinct(t *testing.T) {
+	r, err := NewRing([]string{"a", "b", "c"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range ringKeys(200) {
+		ws := r.LookupN(k, 10) // capped at member count
+		if len(ws) != 3 {
+			t.Fatalf("key %s: got %d workers, want 3", k, len(ws))
+		}
+		seen := map[string]bool{}
+		for _, w := range ws {
+			if seen[w] {
+				t.Fatalf("key %s: duplicate worker %s", k, w)
+			}
+			seen[w] = true
+		}
+		if ws[0] != r.Lookup(k) {
+			t.Fatalf("key %s: LookupN[0] != Lookup", k)
+		}
+	}
+}
+
+// TestRingPlacementStability is the satellite's core property: adding or
+// removing one worker moves only the keys in that worker's arcs. With V
+// virtual nodes per worker and W workers, the expected fraction moved is
+// 1/(W±1); we assert a generous 2× bound so the test stays robust to hash
+// luck while still catching a modulo-style rehash (which moves ~everything).
+func TestRingPlacementStability(t *testing.T) {
+	keys := ringKeys(4000)
+	base := []string{"w0", "w1", "w2", "w3", "w4", "w5", "w6", "w7"}
+	r0, err := NewRing(base, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k] = r0.Lookup(k)
+	}
+
+	t.Run("add", func(t *testing.T) {
+		r1, err := NewRing(append(append([]string(nil), base...), "w8"), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for _, k := range keys {
+			after := r1.Lookup(k)
+			if after != before[k] {
+				moved++
+				// A key may only move TO the new worker.
+				if after != "w8" {
+					t.Fatalf("key %s moved %s→%s, not to the new worker", k, before[k], after)
+				}
+			}
+		}
+		bound := 2 * len(keys) / (len(base) + 1)
+		if moved > bound {
+			t.Fatalf("add moved %d/%d keys, bound %d", moved, len(keys), bound)
+		}
+		if moved == 0 {
+			t.Fatal("add moved no keys: new worker owns nothing")
+		}
+	})
+
+	t.Run("remove", func(t *testing.T) {
+		r1, err := NewRing(base[:len(base)-1], 0) // drop w7
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for _, k := range keys {
+			after := r1.Lookup(k)
+			if after != before[k] {
+				moved++
+				// Only keys previously on the removed worker may move.
+				if before[k] != "w7" {
+					t.Fatalf("key %s moved %s→%s though its worker stayed", k, before[k], after)
+				}
+			}
+		}
+		bound := 2 * len(keys) / len(base)
+		if moved > bound {
+			t.Fatalf("remove moved %d/%d keys, bound %d", moved, len(keys), bound)
+		}
+	})
+}
+
+// TestRingBalance sanity-checks virtual-node spreading: no worker owns a
+// wildly disproportionate share of keys.
+func TestRingBalance(t *testing.T) {
+	workers := []string{"a", "b", "c", "d"}
+	r, err := NewRing(workers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	keys := ringKeys(8000)
+	for _, k := range keys {
+		counts[r.Lookup(k)]++
+	}
+	mean := len(keys) / len(workers)
+	for _, w := range workers {
+		if counts[w] < mean/3 || counts[w] > mean*3 {
+			t.Fatalf("worker %s owns %d keys, mean %d: ring badly unbalanced", w, counts[w], mean)
+		}
+	}
+}
+
+func TestRingRejects(t *testing.T) {
+	if _, err := NewRing([]string{"a", ""}, 0); err == nil {
+		t.Error("empty worker name accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 0); err == nil {
+		t.Error("duplicate worker accepted")
+	}
+	r, err := NewRing(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Lookup("k") != "" || r.LookupN("k", 2) != nil {
+		t.Error("empty ring must return no workers")
+	}
+}

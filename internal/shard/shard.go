@@ -1,0 +1,33 @@
+// Package shard provides the transport substrate of the sharded solve
+// pipeline: the Exchange interface the per-shard fastpath driver runs
+// against, an in-process channel implementation (the default), a
+// length-prefixed binary implementation over TCP for multi-process worker
+// meshes, and the consistent-hash ring the serve router places graphs with.
+//
+// The package sits below internal/fastpath in the dependency order — it
+// knows nothing about solvers or graphs — so the engine stays oblivious to
+// whether a shard boundary is a function call or a wire.
+package shard
+
+// Exchange is one shard's port onto the phase-barrier all-to-all swap. The
+// sharded solver is lockstep by construction: every member performs the same
+// sequence of Swap calls (the branch conditions that could diverge are
+// piggybacked as global counters inside the payloads), so the step identity
+// is implicit in the call order.
+type Exchange interface {
+	// Swap sends out[t] to member t (out[self] is ignored, and may be nil)
+	// and returns the payloads received from every peer for the same step,
+	// indexed by sender (in[self] is nil). Payload slices — sent and
+	// received — are valid only until the member's next Swap call: senders
+	// may reuse their encode buffers one step later, receivers must finish
+	// decoding before swapping again.
+	//
+	// Swap returns an error when any member of the group has failed (see
+	// implementations); after an error the exchange is dead and the caller
+	// must abandon the solve.
+	Swap(out [][]byte) ([][]byte, error)
+	// Self returns this member's index in [0, Members()).
+	Self() int
+	// Members returns the group size.
+	Members() int
+}

@@ -1,0 +1,339 @@
+package shard
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Wire format. Every exchange frame is
+//
+//	"KWSX" | step u8 | from u32 | len u32 | payload
+//
+// little-endian, mirroring the kwcsr binary container's conventions (magic
+// prefix, fixed little-endian header, raw payload). The step byte is the
+// lockstep call counter modulo 256 — not needed for correctness (TCP
+// preserves order) but it turns a desynchronized peer into a loud framing
+// error instead of silently corrupted halo state.
+//
+// A mesh connection opens with the handshake frame
+//
+//	"KWSH" | solveID u64 | from u32
+//
+// which routes the connection to the solve session it belongs to.
+var (
+	frameMagic = [4]byte{'K', 'W', 'S', 'X'}
+	helloMagic = [4]byte{'K', 'W', 'S', 'H'}
+)
+
+const (
+	frameHeaderLen = 13 // magic + step + from + len
+	helloLen       = 16 // magic + solveID + from
+	// maxFramePayload bounds a frame's payload; boundary exchanges are a few
+	// bytes per boundary vertex, so anything near this limit is corruption.
+	maxFramePayload = 1 << 30
+	// parkTTL is how long an accepted mesh connection waits for its solve
+	// session to register before being dropped.
+	parkTTL = 30 * time.Second
+)
+
+// TCPExchange is the wire implementation of Exchange: one TCP connection per
+// peer, one frame per peer per Swap. Writes fan out on goroutines and reads
+// drain sequentially, so two members swapping large payloads at each other
+// cannot deadlock on full kernel buffers.
+type TCPExchange struct {
+	self    int
+	conns   []net.Conn // conns[t], nil at self
+	in      [][]byte
+	step    uint64
+	timeout time.Duration
+
+	closeOnce sync.Once
+}
+
+// Self and Members implement Exchange.
+func (e *TCPExchange) Self() int    { return e.self }
+func (e *TCPExchange) Members() int { return len(e.conns) }
+
+// Close tears down every peer connection. Safe to call repeatedly; peers
+// blocked in Swap observe read errors and abandon the solve.
+func (e *TCPExchange) Close() {
+	e.closeOnce.Do(func() {
+		for _, c := range e.conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+	})
+}
+
+// Swap implements Exchange over the mesh.
+func (e *TCPExchange) Swap(out [][]byte) ([][]byte, error) {
+	step := byte(e.step)
+	e.step++
+	deadline := time.Now().Add(e.timeout)
+
+	var wg sync.WaitGroup
+	werrs := make([]error, len(e.conns))
+	for t, c := range e.conns {
+		if c == nil {
+			continue
+		}
+		var payload []byte
+		if out != nil {
+			payload = out[t]
+		}
+		wg.Add(1)
+		go func(t int, c net.Conn, payload []byte) {
+			defer wg.Done()
+			hdr := make([]byte, frameHeaderLen, frameHeaderLen+len(payload))
+			copy(hdr, frameMagic[:])
+			hdr[4] = step
+			binary.LittleEndian.PutUint32(hdr[5:], uint32(e.self))
+			binary.LittleEndian.PutUint32(hdr[9:], uint32(len(payload)))
+			c.SetWriteDeadline(deadline)
+			if _, err := c.Write(append(hdr, payload...)); err != nil {
+				werrs[t] = fmt.Errorf("shard: write to peer %d: %w", t, err)
+			}
+		}(t, c, payload)
+	}
+
+	var rerr error
+	for t, c := range e.conns {
+		if c == nil {
+			e.in[t] = nil
+			continue
+		}
+		c.SetReadDeadline(deadline)
+		var hdr [frameHeaderLen]byte
+		if _, err := io.ReadFull(c, hdr[:]); err != nil {
+			rerr = fmt.Errorf("shard: read from peer %d: %w", t, err)
+			break
+		}
+		if [4]byte(hdr[:4]) != frameMagic {
+			rerr = fmt.Errorf("shard: peer %d: bad frame magic", t)
+			break
+		}
+		if hdr[4] != step {
+			rerr = fmt.Errorf("shard: peer %d: step %d, want %d (lockstep broken)", t, hdr[4], step)
+			break
+		}
+		if from := binary.LittleEndian.Uint32(hdr[5:]); int(from) != t {
+			rerr = fmt.Errorf("shard: peer %d: frame claims sender %d", t, from)
+			break
+		}
+		plen := binary.LittleEndian.Uint32(hdr[9:])
+		if plen > maxFramePayload {
+			rerr = fmt.Errorf("shard: peer %d: %d-byte frame exceeds limit", t, plen)
+			break
+		}
+		buf := e.in[t]
+		if cap(buf) < int(plen) {
+			buf = make([]byte, plen)
+		}
+		buf = buf[:plen]
+		if _, err := io.ReadFull(c, buf); err != nil {
+			rerr = fmt.Errorf("shard: read from peer %d: %w", t, err)
+			break
+		}
+		e.in[t] = buf
+	}
+	wg.Wait()
+	if rerr == nil {
+		for _, err := range werrs {
+			if err != nil {
+				rerr = err
+				break
+			}
+		}
+	}
+	if rerr != nil {
+		e.Close() // unblock peers: their reads fail instead of waiting out the deadline
+		return nil, rerr
+	}
+	return e.in, nil
+}
+
+// parked is a mesh connection whose handshake arrived before its solve
+// session registered.
+type parked struct {
+	conn net.Conn
+	at   time.Time
+}
+
+type meshKey struct {
+	solveID uint64
+	from    int
+}
+
+// MeshListener accepts mesh connections on a listener and routes each —
+// keyed by the handshake's (solveID, from) — to the solve session awaiting
+// it. Connections for sessions that have not registered yet are parked
+// briefly, since a dialing peer may race ahead of the local solve request.
+type MeshListener struct {
+	l net.Listener
+
+	mu      sync.Mutex
+	waiting map[meshKey]chan net.Conn
+	parkedC map[meshKey]parked
+	closed  bool
+}
+
+// NewMeshListener starts accepting mesh connections on l.
+func NewMeshListener(l net.Listener) *MeshListener {
+	ml := &MeshListener{
+		l:       l,
+		waiting: make(map[meshKey]chan net.Conn),
+		parkedC: make(map[meshKey]parked),
+	}
+	go ml.acceptLoop()
+	return ml
+}
+
+// Addr returns the listener's address (what peers dial).
+func (ml *MeshListener) Addr() string { return ml.l.Addr().String() }
+
+// Close stops accepting and drops every parked connection.
+func (ml *MeshListener) Close() {
+	ml.l.Close()
+	ml.mu.Lock()
+	defer ml.mu.Unlock()
+	ml.closed = true
+	for k, p := range ml.parkedC {
+		p.conn.Close()
+		delete(ml.parkedC, k)
+	}
+}
+
+func (ml *MeshListener) acceptLoop() {
+	for {
+		conn, err := ml.l.Accept()
+		if err != nil {
+			return
+		}
+		go ml.admit(conn)
+	}
+}
+
+func (ml *MeshListener) admit(conn net.Conn) {
+	conn.SetReadDeadline(time.Now().Add(parkTTL))
+	var hello [helloLen]byte
+	if _, err := io.ReadFull(conn, hello[:]); err != nil || [4]byte(hello[:4]) != helloMagic {
+		conn.Close()
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	key := meshKey{
+		solveID: binary.LittleEndian.Uint64(hello[4:]),
+		from:    int(binary.LittleEndian.Uint32(hello[12:])),
+	}
+	ml.mu.Lock()
+	if ml.closed {
+		ml.mu.Unlock()
+		conn.Close()
+		return
+	}
+	// Expire stale parked connections while we hold the lock.
+	now := time.Now()
+	for k, p := range ml.parkedC {
+		if now.Sub(p.at) > parkTTL {
+			p.conn.Close()
+			delete(ml.parkedC, k)
+		}
+	}
+	if ch, ok := ml.waiting[key]; ok {
+		delete(ml.waiting, key)
+		ml.mu.Unlock()
+		ch <- conn // buffered
+		return
+	}
+	if old, ok := ml.parkedC[key]; ok {
+		old.conn.Close()
+	}
+	ml.parkedC[key] = parked{conn: conn, at: now}
+	ml.mu.Unlock()
+}
+
+// await returns the connection handshaken with (solveID, from), waiting up
+// to the deadline for it to arrive.
+func (ml *MeshListener) await(solveID uint64, from int, deadline time.Time) (net.Conn, error) {
+	key := meshKey{solveID: solveID, from: from}
+	ml.mu.Lock()
+	if p, ok := ml.parkedC[key]; ok {
+		delete(ml.parkedC, key)
+		ml.mu.Unlock()
+		return p.conn, nil
+	}
+	ch := make(chan net.Conn, 1)
+	ml.waiting[key] = ch
+	ml.mu.Unlock()
+
+	timer := time.NewTimer(time.Until(deadline))
+	defer timer.Stop()
+	select {
+	case conn := <-ch:
+		return conn, nil
+	case <-timer.C:
+		ml.mu.Lock()
+		delete(ml.waiting, key)
+		ml.mu.Unlock()
+		// A connection may have been delivered while we timed out.
+		select {
+		case conn := <-ch:
+			return conn, nil
+		default:
+		}
+		return nil, fmt.Errorf("shard: timed out waiting for mesh peer %d (solve %d)", from, solveID)
+	}
+}
+
+// ConnectMesh establishes the full exchange mesh of one solve session:
+// member self dials every lower-indexed peer (addrs[t] for t < self, sending
+// the handshake frame) and accepts a connection from every higher-indexed
+// peer through ml. addrs[self] is ignored; len(addrs) is the group size.
+// The returned exchange applies timeout to every subsequent Swap.
+func ConnectMesh(solveID uint64, self int, addrs []string, ml *MeshListener, timeout time.Duration) (*TCPExchange, error) {
+	n := len(addrs)
+	if self < 0 || self >= n {
+		return nil, fmt.Errorf("shard: mesh member %d of %d", self, n)
+	}
+	if n > 1 && ml == nil {
+		return nil, fmt.Errorf("shard: nil mesh listener")
+	}
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	e := &TCPExchange{self: self, conns: make([]net.Conn, n), in: make([][]byte, n), timeout: timeout}
+	deadline := time.Now().Add(timeout)
+	for t := 0; t < self; t++ {
+		conn, err := net.DialTimeout("tcp", addrs[t], time.Until(deadline))
+		if err != nil {
+			e.Close()
+			return nil, fmt.Errorf("shard: dial peer %d: %w", t, err)
+		}
+		var hello [helloLen]byte
+		copy(hello[:], helloMagic[:])
+		binary.LittleEndian.PutUint64(hello[4:], solveID)
+		binary.LittleEndian.PutUint32(hello[12:], uint32(self))
+		conn.SetWriteDeadline(deadline)
+		if _, err := conn.Write(hello[:]); err != nil {
+			conn.Close()
+			e.Close()
+			return nil, fmt.Errorf("shard: handshake with peer %d: %w", t, err)
+		}
+		conn.SetWriteDeadline(time.Time{})
+		e.conns[t] = conn
+	}
+	for t := self + 1; t < n; t++ {
+		conn, err := ml.await(solveID, t, deadline)
+		if err != nil {
+			e.Close()
+			return nil, err
+		}
+		e.conns[t] = conn
+	}
+	return e, nil
+}

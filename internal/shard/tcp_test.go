@@ -1,0 +1,226 @@
+package shard
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// meshGroup spins up n mesh listeners on loopback and connects the full
+// exchange mesh of one solve session.
+func meshGroup(t *testing.T, solveID uint64, n int) []*TCPExchange {
+	t.Helper()
+	mls := make([]*MeshListener, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		mls[i] = NewMeshListener(l)
+		addrs[i] = mls[i].Addr()
+		t.Cleanup(mls[i].Close)
+	}
+	exs := make([]*TCPExchange, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			exs[i], errs[i] = ConnectMesh(solveID, i, addrs, mls[i], 5*time.Second)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("member %d: %v", i, err)
+		}
+		t.Cleanup(exs[i].Close)
+	}
+	return exs
+}
+
+// TestTCPAllToAll mirrors the in-proc all-to-all test over a real loopback
+// mesh: every member must receive exactly what each peer sent, step after
+// step, including empty payloads.
+func TestTCPAllToAll(t *testing.T) {
+	for _, n := range []int{2, 3, 4} {
+		exs := meshGroup(t, uint64(1000+n), n)
+		const steps = 25
+		var wg sync.WaitGroup
+		errs := make([]error, n)
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				ex := exs[i]
+				out := make([][]byte, n)
+				for step := 0; step < steps; step++ {
+					for t2 := 0; t2 < n; t2++ {
+						if t2 == i {
+							continue
+						}
+						if step%5 == 4 {
+							out[t2] = nil // empty payload step
+							continue
+						}
+						buf := out[t2][:0]
+						buf = binary.LittleEndian.AppendUint32(buf, uint32(step))
+						buf = binary.LittleEndian.AppendUint32(buf, uint32(i))
+						buf = binary.LittleEndian.AppendUint32(buf, uint32(t2))
+						out[t2] = buf
+					}
+					in, err := ex.Swap(out)
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					for t2 := 0; t2 < n; t2++ {
+						if t2 == i {
+							continue
+						}
+						p := in[t2]
+						if step%5 == 4 {
+							if len(p) != 0 {
+								errs[i] = fmt.Errorf("step %d: want empty payload, got %d bytes", step, len(p))
+								return
+							}
+							continue
+						}
+						if len(p) != 12 ||
+							binary.LittleEndian.Uint32(p) != uint32(step) ||
+							binary.LittleEndian.Uint32(p[4:]) != uint32(t2) ||
+							binary.LittleEndian.Uint32(p[8:]) != uint32(i) {
+							errs[i] = fmt.Errorf("member %d step %d: bad payload from %d", i, step, t2)
+							return
+						}
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("n=%d member %d: %v", n, i, err)
+			}
+		}
+	}
+}
+
+// TestTCPPeerFailureUnblocks closes one member's connections mid-solve and
+// asserts the peers' Swaps fail promptly instead of hanging until the
+// timeout.
+func TestTCPPeerFailureUnblocks(t *testing.T) {
+	exs := meshGroup(t, 2000, 3)
+	exs[0].Close()
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	for i := 1; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out := make([][]byte, 3)
+			for {
+				if _, err := exs[i].Swap(out); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < 3; i++ {
+		if errs[i] == nil {
+			t.Fatalf("member %d: Swap kept succeeding after peer death", i)
+		}
+	}
+}
+
+// TestMeshParking verifies a dialing peer that races ahead of the local
+// solve request is parked and later claimed.
+func TestMeshParking(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml := NewMeshListener(l)
+	defer ml.Close()
+
+	// Peer 1 dials member 0 before member 0's session registers.
+	conn, err := net.Dial("tcp", ml.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var hello [helloLen]byte
+	copy(hello[:], helloMagic[:])
+	binary.LittleEndian.PutUint64(hello[4:], 42)
+	binary.LittleEndian.PutUint32(hello[12:], 1)
+	if _, err := conn.Write(hello[:]); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := ml.await(42, 1, time.Now().Add(3*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.Close()
+
+	// A handshake with the wrong magic is dropped, not parked.
+	bad, err := net.Dial("tcp", ml.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bad.Close()
+	bad.Write([]byte("NOPEnopeNOPEnope"))
+	if _, err := ml.await(7, 1, time.Now().Add(300*time.Millisecond)); err == nil {
+		t.Fatal("bad handshake was admitted")
+	}
+}
+
+// TestMeshSessionIsolation runs two solve sessions over the same listeners
+// concurrently; handshake routing must never cross-deliver connections.
+func TestMeshSessionIsolation(t *testing.T) {
+	const n = 2
+	mls := make([]*MeshListener, n)
+	addrs := make([]string, n)
+	for i := range mls {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		mls[i] = NewMeshListener(l)
+		addrs[i] = mls[i].Addr()
+		defer mls[i].Close()
+	}
+	var wg sync.WaitGroup
+	for _, solveID := range []uint64{91, 92} {
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(solveID uint64, i int) {
+				defer wg.Done()
+				ex, err := ConnectMesh(solveID, i, addrs, mls[i], 5*time.Second)
+				if err != nil {
+					t.Errorf("solve %d member %d: %v", solveID, i, err)
+					return
+				}
+				defer ex.Close()
+				out := make([][]byte, n)
+				out[1-i] = binary.LittleEndian.AppendUint64(nil, solveID)
+				in, err := ex.Swap(out)
+				if err != nil {
+					t.Errorf("solve %d member %d: %v", solveID, i, err)
+					return
+				}
+				if got := binary.LittleEndian.Uint64(in[1-i]); got != solveID {
+					t.Errorf("solve %d member %d: received session %d's payload", solveID, i, got)
+				}
+			}(solveID, i)
+		}
+	}
+	wg.Wait()
+}

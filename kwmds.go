@@ -62,7 +62,27 @@ type Options struct {
 	// worker pool — can stop the per-solve pools from oversubscribing
 	// the machine. Ignored for simulated runs.
 	SolverWorkers int
+	// Shards, when > 1, partitions the graph into that many contiguous
+	// vertex ranges and solves them as a lockstep shard group (implies
+	// Sequential; at most MaxShards). Like the worker count, the shard
+	// count never affects output. DominatingSet partitions per call —
+	// callers solving one topology repeatedly should PartitionGraph once
+	// and use DominatingSetSharded instead. Not supported by
+	// FractionalDominatingSet or DominatingSetMany.
+	Shards int
+	// Cancel, when non-nil, aborts a Sequential solve early once the
+	// channel closes: DominatingSet and FractionalDominatingSet return
+	// ErrCanceled at the next LP iteration boundary. Serving stacks close
+	// it when the requesting client disconnects. Ignored by simulated
+	// runs, by DominatingSetMany (a batch amortizes work across callers)
+	// and by sharded solves (a shard group aborts only through its
+	// exchange failing).
+	Cancel <-chan struct{}
 }
+
+// ErrCanceled reports that a solve was abandoned because Options.Cancel
+// closed before the pipeline finished. Test with errors.Is.
+var ErrCanceled = fastpath.ErrCanceled
 
 // Result is the outcome of DominatingSet.
 type Result struct {
@@ -148,7 +168,7 @@ func lpBound(opts Options, k, delta int) float64 {
 
 // fastOptions maps facade options onto the fastpath solver's.
 func fastOptions(opts Options, k int) fastpath.Options {
-	fo := fastpath.Options{K: k, Seed: opts.Seed, Variant: opts.Variant, Workers: opts.SolverWorkers}
+	fo := fastpath.Options{K: k, Seed: opts.Seed, Variant: opts.Variant, Workers: opts.SolverWorkers, Cancel: opts.Cancel}
 	switch {
 	case opts.Weights != nil:
 		fo.Algorithm = fastpath.AlgWeighted
@@ -165,6 +185,9 @@ func fastOptions(opts Options, k int) fastpath.Options {
 func FractionalDominatingSet(g *Graph, opts Options) (*FractionalResult, error) {
 	if err := opts.Validate(g); err != nil {
 		return nil, fmt.Errorf("kwmds: %w", err)
+	}
+	if opts.Shards > 1 {
+		return nil, fmt.Errorf("kwmds: %w: Shards applies only to the full pipeline (DominatingSet)", ErrInvalidOptions)
 	}
 	delta := g.MaxDegree()
 	k := effectiveK(opts.K, delta)
@@ -204,6 +227,16 @@ func FractionalDominatingSet(g *Graph, opts Options) (*FractionalResult, error) 
 // set is always a valid dominating set; its expected size is within
 // O(k·∆^{2/k}·log ∆) of optimal (Theorem 6).
 func DominatingSet(g *Graph, opts Options) (*Result, error) {
+	if opts.Shards > 1 {
+		if err := opts.Validate(g); err != nil {
+			return nil, fmt.Errorf("kwmds: %w", err)
+		}
+		sc, err := PartitionGraph(g, opts.Shards)
+		if err != nil {
+			return nil, fmt.Errorf("kwmds: %w", err)
+		}
+		return DominatingSetSharded(sc, opts)
+	}
 	if opts.Sequential {
 		return fastDominatingSet(g, opts)
 	}
@@ -279,6 +312,9 @@ func DominatingSetMany(g *Graph, optsList []Options) ([]*Result, error) {
 	for i, opts := range optsList {
 		if err := opts.Validate(g); err != nil {
 			return nil, fmt.Errorf("kwmds: batch element %d: %w", i, err)
+		}
+		if opts.Shards > 1 {
+			return nil, fmt.Errorf("kwmds: batch element %d: %w: batching does not support sharded solves", i, ErrInvalidOptions)
 		}
 		fopts[i] = fastOptions(opts, effectiveK(opts.K, delta))
 	}

@@ -1,0 +1,60 @@
+package kwmds
+
+import (
+	"fmt"
+
+	"kwmds/internal/fastpath"
+	"kwmds/internal/graph"
+	"kwmds/internal/lp"
+)
+
+// MaxShards is the largest accepted shard count for sharded solving.
+const MaxShards = graph.MaxShards
+
+// ShardedGraph is a graph partitioned into contiguous vertex ranges for
+// sharded solving: a read-only view aliasing the graph's adjacency storage.
+// Build one with PartitionGraph and reuse it across solves — the partition
+// (and the per-shard δ⁽¹⁾/δ⁽²⁾ caches keyed on it) is where repeated sharded
+// solves of one topology recover their setup costs.
+type ShardedGraph = graph.ShardedCSR
+
+// PartitionGraph splits g into shards contiguous vertex ranges for sharded
+// solving (1 ≤ shards ≤ MaxShards). A 1-shard partition is valid and solves
+// identically to the unsharded path.
+func PartitionGraph(g *Graph, shards int) (*ShardedGraph, error) {
+	return graph.Partition(g, shards)
+}
+
+// DominatingSetSharded runs the full pipeline over a prebuilt partition:
+// one engine goroutine per shard, boundary state exchanged at every phase
+// barrier. The output is bit-identical to DominatingSet with Sequential set
+// — sharding, like the worker count, never affects the result. Options.K,
+// Seed, KnownDelta, Variant, Weights and SolverWorkers apply as in
+// DominatingSet (SolverWorkers bounds the TOTAL phase parallelism across
+// shards); Options.Sequential and Options.Shards are ignored — the partition
+// already fixes both.
+func DominatingSetSharded(sc *ShardedGraph, opts Options) (*Result, error) {
+	if sc == nil {
+		return nil, fmt.Errorf("kwmds: %w: nil partition", ErrInvalidOptions)
+	}
+	if err := opts.Validate(sc.G); err != nil {
+		return nil, fmt.Errorf("kwmds: %w", err)
+	}
+	k := effectiveK(opts.K, sc.MaxDeg)
+	fo := fastOptions(opts, k)
+	fres, err := fastpath.SolveShardedCSR(sc, fo)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		InDS:         fres.InDS, // SolveShardedCSR returns owned slices
+		Size:         fres.Size,
+		Fractional:   fres.X,
+		K:            k,
+		JoinedRandom: fres.JoinedRandom,
+		JoinedFixup:  fres.JoinedFixup,
+	}
+	res.LPObjective = lp.Objective(res.Fractional)
+	res.WeightedCost = weightedCost(opts.Weights, res.InDS, res.Size)
+	return res, nil
+}

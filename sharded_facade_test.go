@@ -1,0 +1,103 @@
+package kwmds
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestShardedFacadeMatchesSequential: the facade's sharded entry points must
+// be bit-identical to the Sequential path at every shard count.
+func TestShardedFacadeMatchesSequential(t *testing.T) {
+	g, err := UnitDisk(400, 0.09, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range []Options{
+		{K: 3, Seed: 5, Sequential: true},
+		{K: 3, Seed: 5, KnownDelta: true, Sequential: true},
+		{K: 2, Seed: 9, Variant: VariantLnMinusLnLn, Sequential: true},
+	} {
+		ref, err := DominatingSet(g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, S := range []int{1, 2, 4} {
+			// Via Options.Shards (per-call partition)…
+			o := opts
+			o.Shards = S
+			got, err := DominatingSet(g, o)
+			if err != nil {
+				t.Fatalf("S=%d: %v", S, err)
+			}
+			// …and via a prebuilt partition.
+			sc, err := PartitionGraph(g, S)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got2, err := DominatingSetSharded(sc, opts)
+			if err != nil {
+				t.Fatalf("S=%d prebuilt: %v", S, err)
+			}
+			for _, res := range []*Result{got, got2} {
+				if res.Size != ref.Size || res.LPObjective != ref.LPObjective ||
+					res.JoinedRandom != ref.JoinedRandom || res.JoinedFixup != ref.JoinedFixup || res.K != ref.K {
+					t.Fatalf("S=%d: (%d, %v, %d, %d), want (%d, %v, %d, %d)", S,
+						res.Size, res.LPObjective, res.JoinedRandom, res.JoinedFixup,
+						ref.Size, ref.LPObjective, ref.JoinedRandom, ref.JoinedFixup)
+				}
+				for v := range ref.InDS {
+					if res.InDS[v] != ref.InDS[v] || res.Fractional[v] != ref.Fractional[v] {
+						t.Fatalf("S=%d: vertex %d diverges", S, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestShardedFacadeWeighted(t *testing.T) {
+	g, err := GNP(200, 0.04, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := make([]float64, g.N())
+	for v := range w {
+		w[v] = 1 + float64(v%5)
+	}
+	opts := Options{K: 2, Seed: 1, Weights: w, Sequential: true}
+	ref, err := DominatingSet(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := opts
+	o.Shards = 3
+	got, err := DominatingSet(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size != ref.Size || got.WeightedCost != ref.WeightedCost {
+		t.Fatalf("sharded weighted: (%d, %v), want (%d, %v)", got.Size, got.WeightedCost, ref.Size, ref.WeightedCost)
+	}
+}
+
+func TestShardedFacadeValidation(t *testing.T) {
+	g, err := Path(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DominatingSet(g, Options{Shards: MaxShards + 1}); !errors.Is(err, ErrInvalidOptions) {
+		t.Errorf("oversized shard count: err = %v", err)
+	}
+	if _, err := DominatingSet(g, Options{Shards: -1}); !errors.Is(err, ErrInvalidOptions) {
+		t.Errorf("negative shard count: err = %v", err)
+	}
+	if _, err := FractionalDominatingSet(g, Options{Shards: 2}); !errors.Is(err, ErrInvalidOptions) {
+		t.Errorf("sharded fractional: err = %v", err)
+	}
+	if _, err := DominatingSetMany(g, []Options{{Shards: 2}}); !errors.Is(err, ErrInvalidOptions) {
+		t.Errorf("sharded batch: err = %v", err)
+	}
+	if _, err := DominatingSetSharded(nil, Options{}); !errors.Is(err, ErrInvalidOptions) {
+		t.Errorf("nil partition: err = %v", err)
+	}
+}

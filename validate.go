@@ -38,6 +38,9 @@ func (o Options) Validate(g *Graph) error {
 	default:
 		return fmt.Errorf("%w: unknown rounding variant %d", ErrInvalidOptions, o.Variant)
 	}
+	if o.Shards < 0 || o.Shards > MaxShards {
+		return fmt.Errorf("%w: Shards = %d outside [0, %d]", ErrInvalidOptions, o.Shards, MaxShards)
+	}
 	if o.Weights != nil {
 		if len(o.Weights) != g.N() {
 			return fmt.Errorf("%w: %d weights for %d vertices",
