@@ -20,7 +20,9 @@
 //	kwmds serve -addr :8080 -router 127.0.0.1:8081,127.0.0.1:8082 -shards 2
 //	kwmds convert -in network.edges -out network.kwcsr
 //	kwmds serve -preload big=network.kwcsr
+//	kwmds serve -preload big=network.kwcsr -reorder -pprof 127.0.0.1:6060
 //	kwmds bench -scenario scenarios/serve-cached.json
+//	kwmds bench -scenario scenarios/solve-skew-ba100k.toml -cpuprofile cpu.out
 //	kwmds bench -validate BENCH_kwbench.json
 //
 // Algorithms: kw (Algorithm 3 + rounding, the paper's pipeline), kw2
@@ -107,6 +109,8 @@ func serveMain(args []string) error {
 		return nil
 	})
 	fs.IntVar(&cfg.Replicas, "replicas", 0, "router placement candidates per graph for failover (0 = default 2)")
+	fs.BoolVar(&cfg.Reorder, "reorder", false, "solve preloaded graphs over a cached degree-ordered relabeling (bit-identical output, better locality on skewed graphs)")
+	fs.StringVar(&cfg.PprofAddr, "pprof", "", "serve /debug/pprof on this address (off when empty)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -130,6 +134,8 @@ func shardMain(args []string) error {
 	})
 	fs.StringVar(&cfg.DataAddr, "data-addr", "127.0.0.1:0", "mesh data listen address for shard-to-shard exchanges")
 	fs.StringVar(&cfg.DataAdvertise, "data-advertise", "", "mesh address advertised to the router (default: the bound data-addr)")
+	fs.BoolVar(&cfg.Reorder, "reorder", false, "solve preloaded graphs over a cached degree-ordered relabeling (bit-identical output, better locality on skewed graphs)")
+	fs.StringVar(&cfg.PprofAddr, "pprof", "", "serve /debug/pprof on this address (off when empty)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -160,6 +166,8 @@ func benchMain(args []string) error {
 	fs.StringVar(&cfg.Legacy, "legacy", "", "also export http-serve results in the BENCH_serve.json row shape to this path")
 	fs.BoolVar(&cfg.Quick, "quick", false, "shrink the load for a smoke run (graphs unchanged)")
 	fs.StringVar(&cfg.Validate, "validate", "", "validate an existing report file against the kwbench schema and exit")
+	fs.StringVar(&cfg.CPUProfile, "cpuprofile", "", "write a CPU profile covering the scenario runs to this file")
+	fs.StringVar(&cfg.MemProfile, "memprofile", "", "write a heap profile after the final scenario to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

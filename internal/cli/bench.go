@@ -3,6 +3,9 @@ package cli
 import (
 	"fmt"
 	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"kwmds/internal/kwbench"
 )
@@ -21,6 +24,10 @@ type BenchConfig struct {
 	// Validate, when set, validates an existing report file against the
 	// kwbench schema instead of running anything.
 	Validate string
+	// CPUProfile / MemProfile write runtime/pprof profiles covering the
+	// scenario runs (the heap profile is written after the final run).
+	CPUProfile string
+	MemProfile string
 }
 
 // RunBench executes `kwmds bench`: validate-only mode, or load + run every
@@ -38,6 +45,31 @@ func RunBench(cfg BenchConfig, w io.Writer) error {
 	}
 	if cfg.Out == "" {
 		cfg.Out = "BENCH_kwbench.json"
+	}
+	if cfg.CPUProfile != "" {
+		f, err := os.Create(cfg.CPUProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if cfg.MemProfile != "" {
+		defer func() {
+			f, err := os.Create(cfg.MemProfile)
+			if err != nil {
+				fmt.Fprintf(w, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(w, "memprofile: %v\n", err)
+			}
+		}()
 	}
 	var results []kwbench.ScenarioResult
 	for _, path := range cfg.Scenarios {

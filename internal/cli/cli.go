@@ -190,6 +190,7 @@ func LoadGraph(path string, stdin io.Reader) (*kwmds.Graph, error) {
 //	gnp:<n>:<p>:<seed>         Erdős–Rényi G(n,p)
 //	grid:<rows>:<cols>         grid graph
 //	tree:<n>:<seed>            uniformly-attached random tree
+//	ba:<n>:<m>:<seed>          Barabási–Albert preferential attachment
 //
 // The grammar lives in gen.FromSpec so the CLI, the serve preloads and the
 // kwbench scenario loader accept identical specs.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"kwmds/internal/graph"
+	"kwmds/internal/graphio"
 	"kwmds/internal/server"
 )
 
@@ -44,22 +46,65 @@ type ServeConfig struct {
 	// scattered across the fleet. Replicas is the failover width.
 	RouterWorkers []string
 	Replicas      int
+
+	// Reorder runs cold solves of preloaded graphs over a cached
+	// degree-ordered relabeling (see server.Config.Reorder). Outputs are
+	// bit-identical either way.
+	Reorder bool
+	// PprofAddr, when non-empty, serves the net/http/pprof handlers on a
+	// separate listener at that address — off by default so production
+	// deployments never expose profiling endpoints by accident.
+	PprofAddr string
 }
 
 // BuildServer resolves the preload specs and constructs the HTTP service.
-func BuildServer(cfg ServeConfig) (*server.Server, error) {
+// `.kwcsr` preloads open through the zero-copy mmap path: the CSR arrays
+// alias the page cache, so a multi-gigabyte snapshot is serving in
+// milliseconds. The returned cleanup unmaps them; call it after the server
+// has fully drained (mutations copy into fresh heap arrays, so only the
+// epoch-0 snapshot ever references the mapping).
+func BuildServer(cfg ServeConfig) (*server.Server, func(), error) {
 	graphs := make(map[string]*graph.Graph, len(cfg.Preload))
+	var mapped []*graphio.MappedGraph
+	cleanup := func() {
+		for _, m := range mapped {
+			m.Close()
+		}
+	}
 	for _, entry := range cfg.Preload {
 		name, src, ok := strings.Cut(entry, "=")
 		if !ok || name == "" || src == "" {
-			return nil, fmt.Errorf("bad -preload %q (want name=file or name=gen:spec)", entry)
+			cleanup()
+			return nil, nil, fmt.Errorf("bad -preload %q (want name=file or name=gen:spec)", entry)
 		}
 		if _, dup := graphs[name]; dup {
-			return nil, fmt.Errorf("duplicate -preload name %q", name)
+			cleanup()
+			return nil, nil, fmt.Errorf("duplicate -preload name %q", name)
 		}
-		g, err := LoadGraph(src, nil)
-		if err != nil {
-			return nil, fmt.Errorf("preload %q: %w", name, err)
+		var g *graph.Graph
+		if strings.HasSuffix(src, ".kwcsr") {
+			m, err := graphio.OpenMapped(src)
+			if err != nil {
+				cleanup()
+				return nil, nil, fmt.Errorf("preload %q: %w", name, err)
+			}
+			mapped = append(mapped, m)
+			// One bandwidth pass at startup, so a structurally corrupt
+			// container is refused here instead of panicking a solve. The
+			// digest stays unverified — operator-provided files, same trust
+			// as the trusted streaming reader.
+			if err := m.VerifyStructure(); err != nil {
+				cleanup()
+				return nil, nil, fmt.Errorf("preload %q: %w", name, err)
+			}
+			g = m.Graph()
+		} else {
+			var err error
+			g, err = LoadGraph(src, nil)
+			if err != nil {
+				cleanup()
+				return nil, nil, fmt.Errorf("preload %q: %w", name, err)
+			}
 		}
 		graphs[name] = g
 	}
@@ -68,7 +113,8 @@ func BuildServer(cfg ServeConfig) (*server.Server, error) {
 		CacheEntries: cfg.CacheEntries,
 		Graphs:       graphs,
 		Shards:       cfg.Shards,
-	}), nil
+		Reorder:      cfg.Reorder,
+	}), cleanup, nil
 }
 
 // buildHandler constructs whichever service the config selects: a router
@@ -89,16 +135,17 @@ func buildHandler(cfg ServeConfig) (h http.Handler, cleanup func(), err error) {
 		}
 		return r.Handler(), func() {}, nil
 	}
-	srv, err := BuildServer(cfg)
+	srv, unmap, err := BuildServer(cfg)
 	if err != nil {
 		return nil, nil, err
 	}
 	if cfg.ShardWorker {
 		if _, err := srv.EnableShardWorker(cfg.DataAddr, cfg.DataAdvertise); err != nil {
+			unmap()
 			return nil, nil, fmt.Errorf("shard data listener: %w", err)
 		}
 	}
-	return srv.Handler(), srv.Close, nil
+	return srv.Handler(), func() { srv.Close(); unmap() }, nil
 }
 
 // RunServe builds the configured service and blocks serving on cfg.Addr
@@ -113,6 +160,20 @@ func RunServe(cfg ServeConfig, ready chan<- string) error {
 		return err
 	}
 	defer cleanup()
+	if cfg.PprofAddr != "" {
+		pln, err := net.Listen("tcp", cfg.PprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		defer pln.Close()
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go http.Serve(pln, mux) //nolint:errcheck // dies with the process
+	}
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		return err

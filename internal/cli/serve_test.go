@@ -19,9 +19,14 @@ func TestParseGenSpec(t *testing.T) {
 		{"gnp:30:0.1:2", 30},
 		{"grid:4:5", 20},
 		{"tree:25:3", 25},
+		{"ba:40:2:6", 40},
 		{"udg:50:0.2", -1},
 		{"udg:x:0.2:1", -1},
 		{"gnp:30:nope:1", -1},
+		{"ba:40:2", -1},    // missing seed
+		{"ba:3:5:1", -1},   // n < m+1
+		{"ba:40:0:1", -1},  // m < 1
+		{"ba:40:2.5:1", -1},
 		{"mystery:1:2:3", -1},
 		{"", -1},
 	}
@@ -68,19 +73,20 @@ func TestLoadGraphSources(t *testing.T) {
 func TestBuildServer(t *testing.T) {
 	// Bad preload entries are rejected with context.
 	for _, bad := range []string{"noequals", "=gen:grid:2:2", "name=", "a=gen:bogus:1"} {
-		if _, err := BuildServer(ServeConfig{Preload: []string{bad}}); err == nil {
+		if _, _, err := BuildServer(ServeConfig{Preload: []string{bad}}); err == nil {
 			t.Errorf("BuildServer accepted preload %q", bad)
 		}
 	}
-	if _, err := BuildServer(ServeConfig{Preload: []string{"a=gen:grid:2:2", "a=gen:grid:3:3"}}); err == nil || !strings.Contains(err.Error(), "duplicate") {
+	if _, _, err := BuildServer(ServeConfig{Preload: []string{"a=gen:grid:2:2", "a=gen:grid:3:3"}}); err == nil || !strings.Contains(err.Error(), "duplicate") {
 		t.Errorf("duplicate preload name not rejected: %v", err)
 	}
 
 	// A good config serves its preloaded graph end to end.
-	srv, err := BuildServer(ServeConfig{Preload: []string{"grid=gen:grid:5:5"}})
+	srv, unmap, err := BuildServer(ServeConfig{Preload: []string{"grid=gen:grid:5:5"}})
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(unmap)
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	resp, err := http.Post(ts.URL+"/v1/solve", "application/json",

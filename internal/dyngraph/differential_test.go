@@ -281,6 +281,26 @@ func TestDifferentialChurn(t *testing.T) {
 							}
 							testsupport.AssertDominatingSet(t, ctx+" cold", fresh, cold.InDS)
 							testsupport.AssertFractionallyDominated(t, ctx+" cold", fresh, cold.X)
+							// Reorder-on arm: the same cold solve over a
+							// degree-ordered relabeling of the churned graph
+							// must agree bit for bit at every worker count.
+							// (Resolve itself rejects Relab — a relabeling is
+							// per-topology and churn invalidates it — so the
+							// reordered run rides the oracle side only.)
+							// Epoch parity alternates the chunk scheduler so
+							// both arms see churned topologies.
+							rl := graph.Relabel(fresh)
+							for _, workers := range []int{1, 3, 8} {
+								ropt := opt
+								ropt.Workers = workers
+								ropt.Relab = rl
+								ropt.FixedChunks = epoch%2 == 1
+								reord, err := fastpath.New().Solve(fresh, ropt)
+								if err != nil {
+									t.Fatalf("%s reordered workers %d: %v", ctx, workers, err)
+								}
+								assertSameResult(t, fmt.Sprintf("%s reordered workers %d", ctx, workers), reord, cold)
+							}
 							for i, workers := range resolveWorkerCounts {
 								opt.Workers = workers
 								got, err := solvers[i].Resolve(delta, opt)

@@ -59,6 +59,12 @@ func (s *Solver) SolveMany(g *graph.Graph, opts []Options, each func(i int, res 
 				return fmt.Errorf("fastpath: batch element %d: %w", i, err)
 			}
 		}
+		if opts[i].Relab != opts[0].Relab {
+			// The whole batch runs over one prepared CSR; a per-element
+			// relabeling switch would force a re-prepare, defeating the
+			// batching. Callers attach one Relabeled (or none) batch-wide.
+			return fmt.Errorf("fastpath: batch element %d: Options.Relab differs from element 0", i)
+		}
 	}
 	if err := s.prepare(g, opts[0], true); err != nil {
 		return err
@@ -66,7 +72,7 @@ func (s *Solver) SolveMany(g *graph.Graph, opts []Options, each func(i int, res 
 	defer s.stopWorkers()
 	s.lpStage(g, opts[0])
 	res := s.roundPhases(s.x[:s.n], opts[0])
-	res.X = s.x[:s.n]
+	res.X = s.emitX()
 	each(0, res)
 	for i := 1; i < len(opts); i++ {
 		if !sameLPConfig(opts[i-1], opts[i]) {
@@ -78,6 +84,13 @@ func (s *Solver) SolveMany(g *graph.Graph, opts []Options, each func(i int, res 
 					return fmt.Errorf("fastpath: batch element %d: %w", i, err)
 				}
 				s.curCosts, s.curCmax = opts[i].Costs, cmax
+				if s.relab != nil {
+					s.permCosts = growF64(s.permCosts, s.n)
+					for v, orig := range s.drawID[:s.n] {
+						s.permCosts[v] = opts[i].Costs[orig]
+					}
+					s.curCosts = s.permCosts
+				}
 			} else {
 				s.curCosts, s.curCmax = nil, 0
 			}
@@ -85,7 +98,7 @@ func (s *Solver) SolveMany(g *graph.Graph, opts []Options, each func(i int, res 
 			s.lpStage(g, opts[i])
 		}
 		res := s.roundPhases(s.x[:s.n], opts[i])
-		res.X = s.x[:s.n]
+		res.X = s.emitX()
 		each(i, res)
 	}
 	return nil

@@ -30,7 +30,7 @@ func (s *Solver) Fractional(g *graph.Graph, opt Options) ([]float64, error) {
 	if s.canceled() {
 		return nil, ErrCanceled
 	}
-	return s.x[:s.n], nil
+	return s.emitX(), nil
 }
 
 // Solve runs the full pipeline: LP stage then randomized rounding. All
@@ -50,7 +50,7 @@ func (s *Solver) Solve(g *graph.Graph, opt Options) (Result, error) {
 		return Result{}, ErrCanceled
 	}
 	res := s.roundPhases(s.x[:s.n], opt)
-	res.X = s.x[:s.n]
+	res.X = s.emitX()
 	return res, nil
 }
 
@@ -211,12 +211,12 @@ func (s *Solver) lpAlg3(k int) {
 // phaseLPActivity fuses the activity test of Algorithm 2 / the weighted
 // variant with the x-raise. Only support vertices (δ̃ ≥ 1) can pass: the
 // thresholds are ≥ (…)⁰·(1−ε) > 0.
-func (s *Solver) phaseLPActivity(w int) {
+func (s *Solver) phaseLPActivity(c int) {
 	words := s.support.Words()
 	x, dtil := s.x, s.dtil
 	costs, cmax := s.curCosts, s.curCmax
 	thr, xval := s.curThr, s.curXval
-	for wi := s.w0[w]; wi < s.w1[w]; wi++ {
+	for wi := s.c0[c]; wi < s.c1[c]; wi++ {
 		wd := words[wi]
 		for wd != 0 {
 			v := wi<<6 + bits.TrailingZeros64(wd)
@@ -229,16 +229,16 @@ func (s *Solver) phaseLPActivity(w int) {
 			}
 			if act && xval > x[v] {
 				x[v] = xval
-				s.changed[w] = append(s.changed[w], int32(v))
+				s.changed[c] = append(s.changed[c], int32(v))
 			}
 		}
 	}
 }
 
 // phaseMarkDirty marks N[u] of every changed vertex for covering recheck.
-func (s *Solver) phaseMarkDirty(w int) {
+func (s *Solver) phaseMarkDirty(c int) {
 	words := s.dirty.Words()
-	for _, u := range s.changed[w] {
+	for _, u := range s.changed[c] {
 		s.markNbhd(words, u)
 	}
 }
@@ -248,10 +248,10 @@ func (s *Solver) phaseMarkDirty(w int) {
 // the exact operation order of core.coverage — so the comparison against
 // 1−covTol is bit-identical to the references'. Processed words are
 // cleared in place (each chunk owns its word range).
-func (s *Solver) phaseCovRecheck(w int) {
+func (s *Solver) phaseCovRecheck(c int) {
 	dw, gw := s.dirty.Words(), s.gray.Words()
 	x, off, adj := s.x, s.off, s.adj
-	for wi := s.w0[w]; wi < s.w1[w]; wi++ {
+	for wi := s.c0[c]; wi < s.c1[c]; wi++ {
 		wd := dw[wi] &^ gw[wi] // dirty ∧ white
 		dw[wi] = 0
 		for wd != 0 {
@@ -262,7 +262,7 @@ func (s *Solver) phaseCovRecheck(w int) {
 				sum += x[u]
 			}
 			if sum >= 1-core.CovTol {
-				s.newGray[w] = append(s.newGray[w], int32(v))
+				s.newGray[c] = append(s.newGray[c], int32(v))
 			}
 		}
 	}
@@ -271,10 +271,10 @@ func (s *Solver) phaseCovRecheck(w int) {
 // phaseCovRecheckAll is the dense-iteration variant: re-evaluate every
 // white vertex (see recheckCoverage). It leaves the dirty set untouched —
 // nothing was marked.
-func (s *Solver) phaseCovRecheckAll(w int) {
+func (s *Solver) phaseCovRecheckAll(c int) {
 	sw, gw := s.support.Words(), s.gray.Words()
 	x, off, adj := s.x, s.off, s.adj
-	for wi := s.w0[w]; wi < s.w1[w]; wi++ {
+	for wi := s.c0[c]; wi < s.c1[c]; wi++ {
 		wd := sw[wi] &^ gw[wi] // the white set (white ⊆ support)
 		for wd != 0 {
 			v := wi<<6 + bits.TrailingZeros64(wd)
@@ -284,7 +284,7 @@ func (s *Solver) phaseCovRecheckAll(w int) {
 				sum += x[u]
 			}
 			if sum >= 1-core.CovTol {
-				s.newGray[w] = append(s.newGray[w], int32(v))
+				s.newGray[c] = append(s.newGray[c], int32(v))
 			}
 		}
 	}
@@ -292,10 +292,10 @@ func (s *Solver) phaseCovRecheckAll(w int) {
 
 // phaseA3Active rebuilds the activity bitset: δ̃(v) ≥ 1 (implied by
 // support membership) and δ̃(v) ≥ γ⁽²⁾^{ℓ/(ℓ+1)}·(1−ε).
-func (s *Solver) phaseA3Active(w int) {
+func (s *Solver) phaseA3Active(c int) {
 	sw, aw := s.support.Words(), s.active.Words()
 	dtil, gamma2, powTabL := s.dtil, s.gamma2, s.powTabL
-	for wi := s.w0[w]; wi < s.w1[w]; wi++ {
+	for wi := s.c0[c]; wi < s.c1[c]; wi++ {
 		src := sw[wi]
 		var dst uint64
 		for src != 0 {
@@ -313,10 +313,10 @@ func (s *Solver) phaseA3Active(w int) {
 // phaseA3Count computes a(v) — the number of active vertices in N[v] — for
 // white vertices. Gray vertices keep a(v) = 0 (zeroed at init and on the
 // white→gray transition), as the paper defines.
-func (s *Solver) phaseA3Count(w int) {
+func (s *Solver) phaseA3Count(c int) {
 	sw, gw, aw := s.support.Words(), s.gray.Words(), s.active.Words()
 	off, adj, acnt := s.off, s.adj, s.acnt
-	for wi := s.w0[w]; wi < s.w1[w]; wi++ {
+	for wi := s.c0[c]; wi < s.c1[c]; wi++ {
 		wd := sw[wi] &^ gw[wi] // white ⊆ support
 		for wd != 0 {
 			b := bits.TrailingZeros64(wd)
@@ -338,11 +338,11 @@ func (s *Solver) phaseA3Count(w int) {
 
 // phaseA3Update raises x of active vertices to a⁽¹⁾^{-m/(m+1)}, where
 // a⁽¹⁾(v) = max a over N[v].
-func (s *Solver) phaseA3Update(w int) {
+func (s *Solver) phaseA3Update(c int) {
 	aw := s.active.Words()
 	x, off, adj, acnt := s.x, s.off, s.adj, s.acnt
 	powTabM := s.powTabM
-	for wi := s.w0[w]; wi < s.w1[w]; wi++ {
+	for wi := s.c0[c]; wi < s.c1[c]; wi++ {
 		wd := aw[wi]
 		for wd != 0 {
 			v := wi<<6 + bits.TrailingZeros64(wd)
@@ -359,7 +359,7 @@ func (s *Solver) phaseA3Update(w int) {
 			xval := powTabM[m1]
 			if xval > x[v] {
 				x[v] = xval
-				s.changed[w] = append(s.changed[w], int32(v))
+				s.changed[c] = append(s.changed[c], int32(v))
 			}
 		}
 	}
@@ -367,9 +367,9 @@ func (s *Solver) phaseA3Update(w int) {
 
 // phaseMarkSupportNbhd marks support ∪ N(support) into dirty, the set that
 // needs fresh γ⁽¹⁾ values for the outer-boundary γ⁽²⁾ recomputation.
-func (s *Solver) phaseMarkSupportNbhd(w int) {
+func (s *Solver) phaseMarkSupportNbhd(c int) {
 	sw, dw := s.support.Words(), s.dirty.Words()
-	for wi := s.w0[w]; wi < s.w1[w]; wi++ {
+	for wi := s.c0[c]; wi < s.c1[c]; wi++ {
 		wd := sw[wi]
 		for wd != 0 {
 			v := wi<<6 + bits.TrailingZeros64(wd)
@@ -380,10 +380,10 @@ func (s *Solver) phaseMarkSupportNbhd(w int) {
 }
 
 // phaseGamma1 computes γ⁽¹⁾(v) = max δ̃ over N[v] for marked vertices.
-func (s *Solver) phaseGamma1(w int) {
+func (s *Solver) phaseGamma1(c int) {
 	dw := s.dirty.Words()
 	off, adj, dtil, gamma1 := s.off, s.adj, s.dtil, s.gamma1
-	for wi := s.w0[w]; wi < s.w1[w]; wi++ {
+	for wi := s.c0[c]; wi < s.c1[c]; wi++ {
 		wd := dw[wi]
 		for wd != 0 {
 			v := wi<<6 + bits.TrailingZeros64(wd)
@@ -403,9 +403,9 @@ func (s *Solver) phaseGamma1(w int) {
 // still spans most of the graph, sweep every vertex instead of marking the
 // support neighborhood first. Extra γ⁽¹⁾ values are never read — γ⁽²⁾ is
 // only evaluated over the support — so both variants yield identical runs.
-func (s *Solver) phaseGamma1All(w int) {
+func (s *Solver) phaseGamma1All(c int) {
 	off, adj, dtil, gamma1 := s.off, s.adj, s.dtil, s.gamma1
-	v0, v1 := s.w0[w]<<6, s.w1[w]<<6
+	v0, v1 := s.c0[c]<<6, s.c1[c]<<6
 	if v1 > s.n {
 		v1 = s.n
 	}
@@ -422,10 +422,10 @@ func (s *Solver) phaseGamma1All(w int) {
 
 // phaseGamma2 computes γ⁽²⁾(v) = max γ⁽¹⁾ over N[v] for support vertices —
 // the only ones whose thresholds are ever evaluated again.
-func (s *Solver) phaseGamma2(w int) {
+func (s *Solver) phaseGamma2(c int) {
 	sw := s.support.Words()
 	off, adj, gamma1, gamma2 := s.off, s.adj, s.gamma1, s.gamma2
-	for wi := s.w0[w]; wi < s.w1[w]; wi++ {
+	for wi := s.c0[c]; wi < s.c1[c]; wi++ {
 		wd := sw[wi]
 		for wd != 0 {
 			v := wi<<6 + bits.TrailingZeros64(wd)
@@ -441,14 +441,14 @@ func (s *Solver) phaseGamma2(w int) {
 	}
 }
 
-func (s *Solver) phaseClearDirty(w int) {
-	s.dirty.ClearWords(s.w0[w], s.w1[w])
+func (s *Solver) phaseClearDirty(c int) {
+	s.dirty.ClearWords(s.c0[c], s.c1[c])
 }
 
 // phaseD1 computes the static δ⁽¹⁾ (max degree over N[v]).
-func (s *Solver) phaseD1(w int) {
+func (s *Solver) phaseD1(c int) {
 	off, adj, d1 := s.off, s.adj, s.d1
-	v0, v1 := s.w0[w]<<6, s.w1[w]<<6
+	v0, v1 := s.c0[c]<<6, s.c1[c]<<6
 	if v1 > s.n {
 		v1 = s.n
 	}
@@ -464,9 +464,9 @@ func (s *Solver) phaseD1(w int) {
 }
 
 // phaseD2 computes the static δ⁽²⁾ (max δ⁽¹⁾ over N[v]).
-func (s *Solver) phaseD2(w int) {
+func (s *Solver) phaseD2(c int) {
 	off, adj, d1, d2 := s.off, s.adj, s.d1, s.d2
-	v0, v1 := s.w0[w]<<6, s.w1[w]<<6
+	v0, v1 := s.c0[c]<<6, s.c1[c]<<6
 	if v1 > s.n {
 		v1 = s.n
 	}

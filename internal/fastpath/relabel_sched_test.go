@@ -1,0 +1,206 @@
+package fastpath
+
+import (
+	"testing"
+
+	"kwmds/internal/dyngraph"
+	"kwmds/internal/gen"
+	"kwmds/internal/graph"
+	"kwmds/internal/shard"
+)
+
+// The memory-locality features — the degree-ordered permuted sweep
+// (Options.Relab) and the guided chunk scheduler vs its fixed-split control
+// arm (Options.FixedChunks) — are pure execution-order knobs: every
+// combination, at every worker count, must reproduce the plain solve bit
+// for bit. CI runs this file under -race and at GOMAXPROCS=4.
+
+func TestRelabeledAndScheduledDeterminism(t *testing.T) {
+	for _, w := range workloads(t) {
+		costs := costsFor(w.g)
+		rl := graph.Relabel(w.g)
+		for _, alg := range []struct {
+			name string
+			opt  Options
+		}{
+			{"alg2", Options{K: 2, Algorithm: Alg2, Seed: 5}},
+			{"alg3", Options{K: 3, Algorithm: Alg3, Seed: -11}},
+			{"weighted", Options{K: 2, Algorithm: AlgWeighted, Costs: costs, Seed: 40}},
+		} {
+			base := alg.opt
+			base.Workers = 1
+			want, err := New().Solve(w.g, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantX := append([]float64(nil), want.X...)
+			wantDS := append([]bool(nil), want.InDS...)
+			s := New()
+			for _, workers := range workerCounts {
+				for _, relab := range []*graph.Relabeled{nil, rl} {
+					for _, fixed := range []bool{false, true} {
+						opt := alg.opt
+						opt.Workers, opt.Relab, opt.FixedChunks = workers, relab, fixed
+						got, err := s.Solve(w.g, opt)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if got.Size != want.Size || got.JoinedRandom != want.JoinedRandom || got.JoinedFixup != want.JoinedFixup {
+							t.Fatalf("%s %s workers=%d reorder=%v fixed=%v: counts (%d,%d,%d), want (%d,%d,%d)",
+								w.name, alg.name, workers, relab != nil, fixed,
+								got.Size, got.JoinedRandom, got.JoinedFixup,
+								want.Size, want.JoinedRandom, want.JoinedFixup)
+						}
+						for v := range wantX {
+							if got.X[v] != wantX[v] || got.InDS[v] != wantDS[v] {
+								t.Fatalf("%s %s workers=%d reorder=%v fixed=%v: vertex %d diverges (x %v vs %v, inDS %v vs %v)",
+									w.name, alg.name, workers, relab != nil, fixed,
+									v, got.X[v], wantX[v], got.InDS[v], wantDS[v])
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRelabeledRoundStandalone pins the standalone Round entry under a
+// relabeling: the caller's x is original-indexed (possibly aliasing a
+// vector the solver returned) and the gather must not corrupt it.
+func TestRelabeledRoundStandalone(t *testing.T) {
+	for _, w := range workloads(t) {
+		rl := graph.Relabel(w.g)
+		s := New()
+		x, err := s.Fractional(w.g, Options{K: 2, Relab: rl})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := New().Round(w.g, x, Options{Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Round over the solver-aliased x, with the relabeling active.
+		got, err := s.Round(w.g, x, Options{Seed: 3, Relab: rl})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Size != want.Size || got.JoinedRandom != want.JoinedRandom {
+			t.Fatalf("%s: relabeled Round (size %d, random %d), want (%d, %d)",
+				w.name, got.Size, got.JoinedRandom, want.Size, want.JoinedRandom)
+		}
+		for v := range want.InDS {
+			if got.InDS[v] != want.InDS[v] {
+				t.Fatalf("%s: relabeled Round InDS[%d] mismatch", w.name, v)
+			}
+		}
+	}
+}
+
+func TestRelabeledSolveMany(t *testing.T) {
+	g, err := gen.GNP(200, 0.04, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl := graph.Relabel(g)
+	costs := costsFor(g)
+	opts := []Options{
+		{K: 2, Algorithm: Alg3, Seed: 1, Relab: rl},
+		{K: 2, Algorithm: Alg3, Seed: 2, Relab: rl},
+		{K: 2, Algorithm: AlgWeighted, Costs: costs, Seed: 3, Relab: rl},
+		{K: 1, Algorithm: Alg2, Seed: 4, Relab: rl},
+	}
+	var got []Result
+	err = New().SolveMany(g, opts, func(i int, res Result) {
+		got = append(got, Result{
+			InDS: append([]bool(nil), res.InDS...),
+			X:    append([]float64(nil), res.X...),
+			Size: res.Size, JoinedRandom: res.JoinedRandom, JoinedFixup: res.JoinedFixup,
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range opts {
+		solo := opts[i]
+		solo.Relab = nil
+		want, err := New().Solve(g, solo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i].Size != want.Size {
+			t.Fatalf("element %d: size %d, want %d", i, got[i].Size, want.Size)
+		}
+		for v := range want.InDS {
+			if got[i].X[v] != want.X[v] || got[i].InDS[v] != want.InDS[v] {
+				t.Fatalf("element %d vertex %d: batch relabeled diverges from solo", i, v)
+			}
+		}
+	}
+}
+
+func TestRelabValidation(t *testing.T) {
+	g1, err := gen.GNP(60, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := gen.GNP(60, 0.1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl1 := graph.Relabel(g1)
+	s := New()
+
+	if _, err := s.Solve(g2, Options{K: 2, Relab: rl1}); err == nil {
+		t.Error("Relab built from a different graph accepted by Solve")
+	}
+
+	d := dyngraph.New(g1)
+	delta, err := d.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Resolve(delta, Options{K: 2, Relab: rl1}); err == nil {
+		t.Error("Resolve accepted Options.Relab")
+	}
+
+	sc, err := graph.Partition(g1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grp := shard.NewInProcGroup(2)
+	// The Relab rejection precedes the hello handshake, so a lone member
+	// errors out without waiting on its (absent) peer.
+	if _, err := s.SolveShard(sc, 0, grp.Member(0), Options{K: 2, Relab: rl1}); err == nil {
+		t.Error("SolveShard accepted Options.Relab")
+	}
+
+	rlAgain := graph.Relabel(g1)
+	err = s.SolveMany(g1, []Options{{K: 2, Relab: rl1}, {K: 2, Relab: rlAgain}}, func(int, Result) {})
+	if err == nil {
+		t.Error("SolveMany accepted mixed Relab pointers")
+	}
+}
+
+// TestFixedChunksZeroAllocSteadyState extends the zero-alloc pin to the
+// scheduler's control arm: chunk bookkeeping must come from the solver's
+// reused buffers in both modes.
+func TestFixedChunksZeroAllocSteadyState(t *testing.T) {
+	g, err := gen.UnitDisk(2000, 0.04, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New()
+	opt := Options{K: 3, Seed: 7, Workers: 1, FixedChunks: true}
+	if _, err := s.Solve(g, opt); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(3, func() {
+		if _, err := s.Solve(g, opt); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state fixed-chunk Solve allocates %.1f objects per run, want 0", allocs)
+	}
+}

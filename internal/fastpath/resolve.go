@@ -34,6 +34,12 @@ func (s *Solver) Resolve(d *dyngraph.Delta, opt Options) (Result, error) {
 	if d == nil || d.Next == nil {
 		return Result{}, fmt.Errorf("fastpath: Resolve: nil delta")
 	}
+	if opt.Relab != nil {
+		// A Relabeled is built once per topology; the churn path gets a new
+		// topology every epoch, where rebuilding the permutation would cost
+		// more than the locality it buys. Reject rather than silently ignore.
+		return Result{}, fmt.Errorf("fastpath: Resolve does not support Options.Relab")
+	}
 	if err := core.ValidateK(opt.K); err != nil {
 		return Result{}, err
 	}

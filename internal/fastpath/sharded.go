@@ -222,6 +222,12 @@ func (s *Solver) SolveShard(sc *graph.ShardedCSR, si int, ex shard.Exchange, opt
 	if ex.Members() != sc.NumShards {
 		return ShardResult{}, fmt.Errorf("fastpath: exchange has %d members for %d shards", ex.Members(), sc.NumShards)
 	}
+	if opt.Relab != nil {
+		// A Relabeled permutes one whole-graph CSR; the partition's shard
+		// CSRs are built over the original vertex order and the lockstep
+		// payloads carry global ids. Reject rather than silently ignore.
+		return ShardResult{}, fmt.Errorf("fastpath: SolveShard does not support Options.Relab")
+	}
 	if si < 0 || si >= sc.NumShards || si != ex.Self() {
 		return ShardResult{}, fmt.Errorf("fastpath: shard index %d does not match exchange member %d", si, ex.Self())
 	}
@@ -303,8 +309,8 @@ func (s *Solver) SolveShard(sc *graph.ShardedCSR, si int, ex shard.Exchange, opt
 	s.curX = s.x[:s.n]
 	s.curSeed = opt.Seed
 	s.curVariant = opt.Variant
-	for w := 0; w < s.workers; w++ {
-		s.joinCnt[w] = [2]int{}
+	for c := 0; c < s.nchunks; c++ {
+		s.joinCnt[c] = [2]int{}
 	}
 	s.dispatch(s.fnFlip)
 	if err := r.swapBits(s.flipped.Words()); err != nil { // halo flips for the fix-up scan
@@ -314,9 +320,9 @@ func (s *Solver) SolveShard(sc *graph.ShardedCSR, si int, ex shard.Exchange, opt
 	s.curX = nil
 
 	res := ShardResult{Lo: sh.Lo, Hi: sh.Hi, X: s.x[sh.Lo:sh.Hi], InDS: s.inDS[sh.Lo:sh.Hi]}
-	for w := 0; w < s.workers; w++ {
-		res.JoinedRandom += s.joinCnt[w][0]
-		res.JoinedFixup += s.joinCnt[w][1]
+	for c := 0; c < s.nchunks; c++ {
+		res.JoinedRandom += s.joinCnt[c][0]
+		res.JoinedFixup += s.joinCnt[c][1]
 	}
 	return res, nil
 }
@@ -363,11 +369,10 @@ func (s *Solver) prepareShard(sc *graph.ShardedCSR, sh *graph.ShardCSR, opt Opti
 	s.ensure(n, workers)
 	s.off, s.adj = sh.Off, sh.Adj
 	s.maxDeg = sc.MaxDeg
-	// Re-chunk the workers over the shard's word range instead of [0, nw).
-	for w := 0; w < workers; w++ {
-		s.w0[w] = sh.W0 + w*shw/workers
-		s.w1[w] = sh.W0 + (w+1)*shw/workers
-	}
+	s.relab, s.drawID = nil, nil
+	// Re-chunk over the shard's word range instead of [0, nw). chunkify
+	// reads s.off for the mass weighting, so it must follow the CSR install.
+	s.chunkify(sh.W0, sh.W1, opt.FixedChunks)
 	s.whiteCount = n // global: kept in sync via the exchanged counters
 	for v := 0; v < n; v++ {
 		s.x[v] = 0
@@ -381,10 +386,10 @@ func (s *Solver) prepareShard(sc *graph.ShardedCSR, sh *graph.ShardCSR, opt Opti
 }
 
 // shardD1 is phaseD1 against the partition's shared degree array.
-func (r *shardRun) shardD1(w int) {
+func (r *shardRun) shardD1(c int) {
 	s := r.s
 	off, adj, d1, deg := s.off, s.adj, s.d1, r.sc.Deg
-	v0, v1 := s.w0[w]<<6, s.w1[w]<<6
+	v0, v1 := s.c0[c]<<6, s.c1[c]<<6
 	if v1 > s.n {
 		v1 = s.n
 	}
@@ -508,8 +513,8 @@ func (r *shardRun) recheckCoverage() error {
 		buf = binary.LittleEndian.AppendUint32(buf, 0)
 		npairs := uint32(0)
 		bit := uint64(1) << uint(t)
-		for w := 0; w < s.workers; w++ {
-			for _, v := range s.changed[w] {
+		for c := 0; c < s.nchunks; c++ {
+			for _, v := range s.changed[c] {
 				if sh.PeerMask[int(v)-sh.Lo]&bit != 0 {
 					buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
 					buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.x[v]))
@@ -570,8 +575,8 @@ func (r *shardRun) recheckCoverage() error {
 	}
 
 	markedLocal := 0
-	for w := 0; w < s.workers; w++ {
-		markedLocal += len(s.newGray[w])
+	for c := 0; c < s.nchunks; c++ {
+		markedLocal += len(s.newGray[c])
 	}
 	ins, err = r.swap(func(t int, buf []byte) []byte {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(markedLocal))
@@ -579,8 +584,8 @@ func (r *shardRun) recheckCoverage() error {
 		buf = binary.LittleEndian.AppendUint32(buf, 0)
 		nids := uint32(0)
 		bit := uint64(1) << uint(t)
-		for w := 0; w < s.workers; w++ {
-			for _, v := range s.newGray[w] {
+		for c := 0; c < s.nchunks; c++ {
+			for _, v := range s.newGray[c] {
 				if sh.PeerMask[int(v)-sh.Lo]&bit != 0 {
 					buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
 					nids++

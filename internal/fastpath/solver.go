@@ -51,6 +51,19 @@ type Options struct {
 	// it: a batch amortizes work across callers, and a shard group can
 	// only abandon a solve through its exchange failing.
 	Cancel <-chan struct{}
+	// Relab, when non-nil, runs the frontier sweeps over the permuted CSR
+	// it holds (a locality-improving vertex order built once per graph by
+	// graph.Relabel) while keying every random draw and every output slot
+	// by original vertex id, so Result is indexed exactly as without it
+	// and bit-identical to the unpermuted solve. It must have been built
+	// from the graph passed to Solve/Fractional/Round. Resolve and
+	// SolveShard reject it.
+	Relab *graph.Relabeled
+	// FixedChunks disables the self-scheduled chunk claiming and restores
+	// the one-equal-word-range-per-worker split — the benchmark control
+	// arm for measuring the scheduler win. Output is bit-identical either
+	// way.
+	FixedChunks bool
 }
 
 // ErrCanceled reports that a solve was abandoned because Options.Cancel
@@ -116,12 +129,30 @@ type Solver struct {
 	d2done       bool
 	lastRepaired bool // observability: last Resolve's path (see resolve.go)
 
-	// per-worker chunking and scratch
-	w0, w1  []int // word-range bounds per worker
-	changed [][]int32
-	newGray [][]int32
-	zeroed  []int32  // applyNewGray scratch: vertices whose δ̃ hit zero
-	joinCnt [][2]int // per-worker {random, fixup} join counters
+	// Relabeled-run state (nil/empty when Options.Relab is unset): the
+	// permutation for keying draws by original id, and the scatter buffers
+	// Results are emitted through so callers always see original indexing.
+	relab     *graph.Relabeled
+	drawID    []int32 // permuted id → original id (Relab.Perm)
+	outX      []float64
+	outDS     []bool
+	permCosts []float64 // AlgWeighted costs gathered into permuted order
+	roundX    []float64 // standalone Round's gathered x input
+
+	// Phase chunking: the word range is cut into nchunks disjoint chunks
+	// (c0[c] ≤ word < c1[c], ascending and contiguous). With one worker
+	// there is exactly one chunk; with several, workers claim chunks off
+	// the nextChunk counter (guided self-scheduling), or — under
+	// Options.FixedChunks — exactly one equal-split chunk per worker.
+	// Every per-chunk result list below is merged in chunk order, so the
+	// output is independent of which worker ran which chunk.
+	nchunks   int
+	c0, c1    []int // word-range bounds per chunk
+	nextChunk atomic.Int64
+	changed   [][]int32
+	newGray   [][]int32
+	zeroed    []int32  // applyNewGray scratch: vertices whose δ̃ hit zero
+	joinCnt   [][2]int // per-chunk {random, fixup} join counters
 
 	// Memoized derived tables, keyed by the inputs that produced them.
 	// Each holds the exact floats the direct computation yields (same
@@ -201,6 +232,26 @@ func (s *Solver) prepare(g *graph.Graph, opt Options, resetLP bool) error {
 		workers = 1
 	}
 	off, adj := g.CSR()
+	if opt.Relab != nil {
+		if opt.Relab.Orig() != g {
+			return fmt.Errorf("fastpath: Options.Relab was built from a different graph")
+		}
+		// Sweep the permuted CSR; draws and outputs are keyed back to
+		// original ids through drawID / the emit scatter. The permuted
+		// arrays are stable per Relabeled, so the sameGraph identity check
+		// and the d2 memo below keep working (keyed on the permuted off).
+		off, adj = opt.Relab.CSR()
+		s.relab, s.drawID = opt.Relab, opt.Relab.Perm()
+		if opt.Algorithm == AlgWeighted {
+			s.permCosts = growF64(s.permCosts, n)
+			for v, orig := range s.drawID[:n] {
+				s.permCosts[v] = opt.Costs[orig]
+			}
+			s.curCosts = s.permCosts
+		}
+	} else {
+		s.relab, s.drawID = nil, nil
+	}
 	// δ⁽¹⁾/δ⁽²⁾ are static graph properties; keep them across solves when
 	// the pooled solver sees the same graph again (a server answering many
 	// requests on one preloaded topology). Slice identity is a sound key:
@@ -214,6 +265,7 @@ func (s *Solver) prepare(g *graph.Graph, opt Options, resetLP bool) error {
 	s.ensure(n, workers)
 	s.off, s.adj = off, adj
 	s.maxDeg = g.MaxDegree()
+	s.chunkify(0, s.nw, opt.FixedChunks)
 	if resetLP {
 		s.whiteCount = n
 		for v := 0; v < n; v++ {
@@ -272,15 +324,6 @@ func (s *Solver) ensure(n, workers int) {
 		for i := range s.sig {
 			s.sig[i] = make(chan struct{})
 		}
-		s.w0 = make([]int, workers)
-		s.w1 = make([]int, workers)
-		s.changed = make([][]int32, workers)
-		s.newGray = make([][]int32, workers)
-		s.joinCnt = make([][2]int, workers)
-	}
-	for w := 0; w < s.workers; w++ {
-		s.w0[w] = w * s.nw / s.workers
-		s.w1[w] = (w + 1) * s.nw / s.workers
 	}
 	if !s.fnBound {
 		s.fnBound = true
@@ -303,6 +346,92 @@ func (s *Solver) ensure(n, workers int) {
 	}
 }
 
+// chunksPerWorker is the self-scheduling granularity: more chunks than
+// workers so a worker that drew a light chunk claims another instead of
+// idling at the phase barrier. 8 keeps the claim-counter traffic negligible
+// while bounding the straggler tail at ~1/8 of one worker's share.
+const chunksPerWorker = 8
+
+// chunkify cuts the word range [wLo, wHi) into the phase chunks. With one
+// worker or fixed mode the split is the historical equal word split (one
+// chunk per worker); otherwise boundaries are mass-weighted — equal shares
+// of adjacency entries plus vertices, the actual per-word kernel cost — so
+// heavy-tailed degree distributions cannot concentrate work in one chunk.
+// Chunks are always ascending, disjoint and contiguous; every merge of
+// per-chunk results walks them in index order, which is what keeps the
+// output independent of chunk count and claim order.
+func (s *Solver) chunkify(wLo, wHi int, fixed bool) {
+	nw := wHi - wLo
+	nchunks := s.workers
+	if !fixed && s.workers > 1 {
+		nchunks = s.workers * chunksPerWorker
+	}
+	if nchunks > nw {
+		nchunks = nw
+	}
+	if nchunks < 1 {
+		nchunks = 1
+	}
+	s.nchunks = nchunks
+	if cap(s.c0) < nchunks {
+		s.c0 = make([]int, nchunks)
+		s.c1 = make([]int, nchunks)
+	}
+	s.c0, s.c1 = s.c0[:nchunks], s.c1[:nchunks]
+	// Re-slicing down keeps the retired entries' backing arrays inside the
+	// outer slice's capacity, so a later growth finds them again — pooled
+	// solvers stay allocation-free across chunk-count changes.
+	for len(s.changed) < nchunks {
+		s.changed = append(s.changed, nil)
+		s.newGray = append(s.newGray, nil)
+		s.joinCnt = append(s.joinCnt, [2]int{})
+	}
+	s.changed = s.changed[:nchunks]
+	s.newGray = s.newGray[:nchunks]
+	s.joinCnt = s.joinCnt[:nchunks]
+
+	if fixed || s.workers == 1 || nchunks == 1 {
+		for c := 0; c < nchunks; c++ {
+			s.c0[c] = wLo + c*nw/nchunks
+			s.c1[c] = wLo + (c+1)*nw/nchunks
+		}
+		return
+	}
+	// massAt(w) = adjacency entries plus vertices below word w within the
+	// range — monotone because offsets are. Boundaries are the smallest
+	// words reaching each equal share, found by binary search.
+	vLo := wLo << 6
+	vCap := wHi << 6
+	if vCap > s.n {
+		vCap = s.n
+	}
+	base := int64(s.off[vLo]) + int64(vLo)
+	massAt := func(w int) int64 {
+		v := w << 6
+		if v > vCap {
+			v = vCap
+		}
+		return int64(s.off[v]) + int64(v) - base
+	}
+	total := massAt(wHi)
+	s.c0[0] = wLo
+	for c := 1; c < nchunks; c++ {
+		target := total * int64(c) / int64(nchunks)
+		lo, hi := s.c0[c-1], wHi
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if massAt(mid) < target {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		s.c0[c] = lo
+		s.c1[c-1] = lo
+	}
+	s.c1[nchunks-1] = wHi
+}
+
 // startWorkers launches the pool for one solve. Workers live only for the
 // duration of the run — a pooled Solver parks no goroutines.
 func (s *Solver) startWorkers() {
@@ -316,10 +445,23 @@ func (s *Solver) startWorkers() {
 					s.wg.Done()
 					return
 				}
-				s.phaseFn(w)
+				s.runChunks()
 				s.wg.Done()
 			}
 		}(w)
+	}
+}
+
+// runChunks claims chunks off the shared counter until none remain. Which
+// worker runs which chunk varies run to run; nothing downstream can tell,
+// because per-chunk state is indexed by chunk and merged in chunk order.
+func (s *Solver) runChunks() {
+	for {
+		c := int(s.nextChunk.Add(1)) - 1
+		if c >= s.nchunks {
+			return
+		}
+		s.phaseFn(c)
 	}
 }
 
@@ -338,34 +480,65 @@ func (s *Solver) stopWorkers() {
 
 // dispatch runs one phase across all workers and blocks until every chunk
 // is done. The channel send/receive pairs give each worker a happens-before
-// edge on phaseFn and on all state written by earlier phases.
+// edge on phaseFn, the chunk counter and all state written by earlier
+// phases; wg.Wait gives the caller one on every chunk's writes.
 func (s *Solver) dispatch(fn func(int)) {
 	if s.workers == 1 {
-		fn(0)
+		fn(0) // one worker always means exactly one chunk
 		return
 	}
 	s.phaseFn = fn
+	s.nextChunk.Store(0)
 	s.wg.Add(s.workers - 1)
 	for w := 1; w < s.workers; w++ {
 		s.sig[w] <- struct{}{}
 	}
-	fn(0)
+	s.runChunks()
 	s.wg.Wait()
 }
 
 func (s *Solver) resetChunkLists() {
-	for w := 0; w < s.workers; w++ {
-		s.changed[w] = s.changed[w][:0]
-		s.newGray[w] = s.newGray[w][:0]
+	for c := 0; c < s.nchunks; c++ {
+		s.changed[c] = s.changed[c][:0]
+		s.newGray[c] = s.newGray[c][:0]
 	}
 }
 
 func (s *Solver) totalChanged() int {
 	t := 0
-	for w := 0; w < s.workers; w++ {
-		t += len(s.changed[w])
+	for c := 0; c < s.nchunks; c++ {
+		t += len(s.changed[c])
 	}
 	return t
+}
+
+// emitX returns the fractional vector in original vertex indexing: the
+// solver's own x when no relabeling is active, a scatter through the
+// permutation otherwise. Same aliasing contract as every Result slice.
+func (s *Solver) emitX() []float64 {
+	if s.relab == nil {
+		return s.x[:s.n]
+	}
+	s.outX = growF64(s.outX, s.n)
+	for v, orig := range s.drawID[:s.n] {
+		s.outX[orig] = s.x[v]
+	}
+	return s.outX
+}
+
+// emitDS is emitX for the membership bits.
+func (s *Solver) emitDS() []bool {
+	if s.relab == nil {
+		return s.inDS[:s.n]
+	}
+	if cap(s.outDS) < s.n {
+		s.outDS = make([]bool, s.n)
+	}
+	s.outDS = s.outDS[:s.n]
+	for v, orig := range s.drawID[:s.n] {
+		s.outDS[orig] = s.inDS[v]
+	}
+	return s.outDS
 }
 
 // markNbhd sets the dirty bits of N[u]. With one worker it is a plain OR;
@@ -399,10 +572,11 @@ const smallDegCutoff = 64
 // The transition runs in word-batched, degree-bucketed passes rather than
 // per-bit probes:
 //
-//  1. Gray marking. The per-worker newGray lists are ascending and the
-//     workers own disjoint ascending word ranges, so the concatenation is
-//     globally sorted; bits sharing a word accumulate into one mask and
-//     land with a single OR instead of one read-modify-write per vertex.
+//  1. Gray marking. The per-chunk newGray lists are ascending and the
+//     chunks own disjoint ascending word ranges, so the chunk-order
+//     concatenation is globally sorted; bits sharing a word accumulate
+//     into one mask and land with a single OR instead of one
+//     read-modify-write per vertex.
 //  2. δ̃ decrements, bucketed by degree. The small-degree bucket runs
 //     first — its updates are scattered single-cache-line touches that
 //     keep the dtil working set hot — and the large-degree bucket last,
@@ -421,8 +595,8 @@ func (s *Solver) applyNewGray() {
 	marked := 0
 	curW := -1
 	var mask uint64
-	for w := 0; w < s.workers; w++ {
-		for _, v := range s.newGray[w] {
+	for c := 0; c < s.nchunks; c++ {
+		for _, v := range s.newGray[c] {
 			if wi := int(v >> 6); wi != curW {
 				if curW >= 0 {
 					gw[curW] |= mask
@@ -441,8 +615,8 @@ func (s *Solver) applyNewGray() {
 
 	s.zeroed = s.zeroed[:0]
 	for pass := 0; pass < 2; pass++ {
-		for w := 0; w < s.workers; w++ {
-			for _, v := range s.newGray[w] {
+		for c := 0; c < s.nchunks; c++ {
+			for _, v := range s.newGray[c] {
 				begin, end := off[v], off[v+1]
 				small := int(end-begin) <= smallDegCutoff
 				if small != (pass == 0) {

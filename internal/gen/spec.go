@@ -14,6 +14,9 @@ import (
 //	gnp:<n>:<p>:<seed>         Erdős–Rényi G(n,p)
 //	grid:<rows>:<cols>         grid graph
 //	tree:<n>:<seed>            uniformly-attached random tree
+//	ba:<n>:<m>:<seed>          Barabási–Albert preferential attachment
+//	                           (m edges per arriving vertex; heavy-tailed
+//	                           degrees — the cache-adversarial workload)
 //
 // The grammar is shared by every surface that accepts generated
 // topologies: the CLI's gen: graph sources, the serve subsystem's -preload
@@ -21,7 +24,7 @@ import (
 func FromSpec(spec string) (*graph.Graph, error) {
 	parts := strings.Split(spec, ":")
 	fail := func() (*graph.Graph, error) {
-		return nil, fmt.Errorf("bad graph spec %q (want udg:n:radius:seed, gnp:n:p:seed, grid:rows:cols, or tree:n:seed)", spec)
+		return nil, fmt.Errorf("bad graph spec %q (want udg:n:radius:seed, gnp:n:p:seed, grid:rows:cols, tree:n:seed, or ba:n:m:seed)", spec)
 	}
 	atoi := func(s string) (int, bool) {
 		v, err := strconv.Atoi(s)
@@ -66,6 +69,17 @@ func FromSpec(spec string) (*graph.Graph, error) {
 			return fail()
 		}
 		return RandomTree(n, int64(seed))
+	case "ba":
+		if len(parts) != 4 {
+			return fail()
+		}
+		n, ok1 := atoi(parts[1])
+		m, ok2 := atoi(parts[2])
+		seed, ok3 := atoi(parts[3])
+		if !ok1 || !ok2 || !ok3 {
+			return fail()
+		}
+		return PrefAttach(n, m, int64(seed))
 	}
 	return fail()
 }

@@ -1,0 +1,95 @@
+package graph
+
+// Relabeled is a locality-improving permutation of a graph together with the
+// permuted CSR built from it. The fastpath solver sweeps the permuted arrays
+// (high-degree rows packed together, so a dense phase touches hot cache lines
+// first and streams the long rows contiguously) while keying every
+// order-sensitive decision — the rounding coin-flip streams, the emitted
+// Result indexing — by the ORIGINAL vertex ids, so a solve over a Relabeled
+// is bit-identical to one over the graph it was built from.
+//
+// A Relabeled is immutable after construction and built once per topology;
+// its cost is one counting sort plus one CSR rebuild, amortized across every
+// solve that reuses it.
+type Relabeled struct {
+	orig   *Graph
+	off    []int32 // permuted CSR: row new-id v holds v's neighbors as new ids
+	adj    []int32
+	perm   []int32 // new id -> original id
+	inv    []int32 // original id -> new id
+	maxDeg int
+}
+
+// Relabel computes a degree-descending permutation of g (counting sort:
+// highest-degree vertices first, ties broken by ascending original id — a
+// deterministic order, so two Relabels of one graph are identical) and builds
+// the permuted CSR.
+//
+// The permuted adjacency rows are deliberately NOT sorted by new id: row
+// new-v lists its neighbors in the order of their ORIGINAL ids, the exact
+// order the unpermuted CSR stores them in. The solver's only
+// float-order-sensitive kernel (the covering sum) adds neighbor
+// contributions in row order, so preserving the original row order preserves
+// the exact floating-point addition sequence — the keystone of the
+// bit-identity contract.
+func Relabel(g *Graph) *Relabeled {
+	n := g.N()
+	off, adj := g.CSR()
+	maxDeg := g.MaxDegree()
+
+	// Counting sort by bucket maxDeg-deg: bucket 0 holds the highest-degree
+	// vertices. Iterating v ascending within the stable sort breaks degree
+	// ties by ascending original id.
+	cnt := make([]int32, maxDeg+2)
+	for v := 0; v < n; v++ {
+		d := int(off[v+1] - off[v])
+		cnt[maxDeg-d+1]++
+	}
+	for b := 1; b <= maxDeg+1; b++ {
+		cnt[b] += cnt[b-1]
+	}
+	perm := make([]int32, n)
+	inv := make([]int32, n)
+	for v := 0; v < n; v++ {
+		d := int(off[v+1] - off[v])
+		p := cnt[maxDeg-d]
+		cnt[maxDeg-d]++
+		perm[p] = int32(v)
+		inv[v] = p
+	}
+
+	poff := make([]int32, n+1)
+	padj := make([]int32, len(adj))
+	w := int32(0)
+	for nv := 0; nv < n; nv++ {
+		poff[nv] = w
+		ov := perm[nv]
+		for _, u := range adj[off[ov]:off[ov+1]] {
+			padj[w] = inv[u]
+			w++
+		}
+	}
+	poff[n] = w
+
+	return &Relabeled{orig: g, off: poff, adj: padj, perm: perm, inv: inv, maxDeg: maxDeg}
+}
+
+// Orig returns the graph the permutation was built from. Solvers use pointer
+// identity on it to reject a Relabeled attached to the wrong graph.
+func (r *Relabeled) Orig() *Graph { return r.orig }
+
+// CSR exposes the permuted compressed-sparse-row arrays: row v (a NEW id)
+// holds v's neighbors as NEW ids, ordered by the neighbors' ORIGINAL ids.
+// Both slices alias internal storage and must not be modified.
+func (r *Relabeled) CSR() (off, adj []int32) { return r.off, r.adj }
+
+// Perm returns the new→original id map (Perm()[newID] == origID). Aliases
+// internal storage; must not be modified.
+func (r *Relabeled) Perm() []int32 { return r.perm }
+
+// Inv returns the original→new id map (Inv()[origID] == newID). Aliases
+// internal storage; must not be modified.
+func (r *Relabeled) Inv() []int32 { return r.inv }
+
+// MaxDegree returns ∆ of the underlying graph (permutation-invariant).
+func (r *Relabeled) MaxDegree() int { return r.maxDeg }

@@ -1,0 +1,99 @@
+package graph_test
+
+import (
+	"testing"
+
+	"kwmds/internal/gen"
+	"kwmds/internal/graph"
+)
+
+func relabelWorkloads(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	mk := func(g *graph.Graph, err error) *graph.Graph {
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	return map[string]*graph.Graph{
+		"gnp":      mk(gen.GNP(300, 0.03, 9)),
+		"ba":       mk(gen.PrefAttach(300, 3, 10)), // heavy-tailed: the target workload
+		"star":     mk(gen.Star(50)),
+		"path":     mk(gen.Path(40)),
+		"edgeless": graph.MustNew(17, nil),
+		"empty":    graph.MustNew(0, nil),
+	}
+}
+
+func TestRelabelPermutation(t *testing.T) {
+	for name, g := range relabelWorkloads(t) {
+		r := graph.Relabel(g)
+		if r.Orig() != g {
+			t.Fatalf("%s: Orig does not round-trip", name)
+		}
+		n := g.N()
+		perm, inv := r.Perm(), r.Inv()
+		if len(perm) != n || len(inv) != n {
+			t.Fatalf("%s: perm/inv lengths %d/%d, want %d", name, len(perm), len(inv), n)
+		}
+		for nv, ov := range perm {
+			if inv[ov] != int32(nv) {
+				t.Fatalf("%s: inv[perm[%d]] = %d, not a bijection", name, nv, inv[ov])
+			}
+		}
+		// Degree-descending, ties by ascending original id.
+		for nv := 1; nv < n; nv++ {
+			dPrev, dCur := g.Degree(int(perm[nv-1])), g.Degree(int(perm[nv]))
+			if dCur > dPrev {
+				t.Fatalf("%s: position %d has degree %d after degree %d (not descending)", name, nv, dCur, dPrev)
+			}
+			if dCur == dPrev && perm[nv] < perm[nv-1] {
+				t.Fatalf("%s: degree tie at position %d broken out of original-id order", name, nv)
+			}
+		}
+		if r.MaxDegree() != g.MaxDegree() {
+			t.Fatalf("%s: MaxDegree %d, want %d", name, r.MaxDegree(), g.MaxDegree())
+		}
+	}
+}
+
+func TestRelabelRowsPreserveOriginalOrder(t *testing.T) {
+	for name, g := range relabelWorkloads(t) {
+		r := graph.Relabel(g)
+		off, adj := r.CSR()
+		perm, inv := r.Perm(), r.Inv()
+		n := g.N()
+		if len(off) != n+1 || int(off[n]) != len(adj) {
+			t.Fatalf("%s: permuted CSR shape off=%d adj=%d", name, len(off), len(adj))
+		}
+		for nv := 0; nv < n; nv++ {
+			orig := g.Neighbors(int(perm[nv]))
+			row := adj[off[nv]:off[nv+1]]
+			if len(row) != len(orig) {
+				t.Fatalf("%s: row %d has %d entries, want %d", name, nv, len(row), len(orig))
+			}
+			// Entry i of the permuted row must be the relabeling of entry i
+			// of the original row — same position, new id. This is the
+			// float-summation-order invariant the solver relies on.
+			for i, u := range orig {
+				if row[i] != inv[u] {
+					t.Fatalf("%s: row %d entry %d = %d, want inv[%d] = %d (original order not preserved)",
+						name, nv, i, row[i], u, inv[u])
+				}
+			}
+		}
+	}
+}
+
+func TestRelabelDeterministic(t *testing.T) {
+	g, err := gen.PrefAttach(200, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := graph.Relabel(g), graph.Relabel(g)
+	for v, p := range a.Perm() {
+		if b.Perm()[v] != p {
+			t.Fatalf("two Relabels of one graph differ at %d", v)
+		}
+	}
+}

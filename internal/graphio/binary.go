@@ -7,6 +7,7 @@ import (
 	"hash"
 	"io"
 	"math"
+	"os"
 
 	"kwmds/internal/graph"
 )
@@ -169,21 +170,20 @@ func readBinaryCSR(r io.Reader, verify bool) (*graph.Graph, []float64, error) {
 		return nil, nil, fmt.Errorf("graphio: kwcsr counts n=%d e=%d exceed limit %d", n64, e64, maxCount)
 	}
 	n, e := int(n64), int(e64)
-	body := (n + 1 + e) * 4
-	want := kwcsrHeaderSize + body
-	pad := 0
-	if rem := body % 8; rem != 0 {
-		pad = 8 - rem
-		want += pad
-	}
-	if flags&kwcsrHasWeights != 0 {
-		want += n * 8
-	}
+	want, pad := containerSize(n, e, flags)
 	truncated := func(err error) (*graph.Graph, []float64, error) {
 		if err == io.EOF || err == io.ErrUnexpectedEOF {
 			return nil, nil, fmt.Errorf("graphio: kwcsr container is shorter than the %d bytes its header declares", want)
 		}
 		return nil, nil, fmt.Errorf("graphio: reading kwcsr container: %w", err)
+	}
+	// Fail closed before allocating: the arrays below are sized from the
+	// header's counts, so when the source can report its size (files,
+	// bytes/strings readers), a container shorter than its header declares
+	// is rejected here — O(1) — instead of after an O(n+e) allocation that a
+	// hostile header could size at gigabytes backed by a kilobyte file.
+	if sz, ok := sourceSize(r); ok && sz < int64(want) {
+		return truncated(io.ErrUnexpectedEOF)
 	}
 
 	// Decode streams the payload through a cache-sized chunk instead of
@@ -384,4 +384,38 @@ func weightBytes(flags uint64, n int) int {
 		return n * 8
 	}
 	return 0
+}
+
+// containerSize returns the exact byte size a kwcsr container with the given
+// header counts occupies, and its pad byte count — the single source of
+// truth for the streaming readers' truncation checks and the mapped reader's
+// fail-closed bounds check.
+func containerSize(n, e int, flags uint64) (want, pad int) {
+	body := (n + 1 + e) * 4
+	want = kwcsrHeaderSize + body
+	if rem := body % 8; rem != 0 {
+		pad = 8 - rem
+		want += pad
+	}
+	want += weightBytes(flags, n)
+	return want, pad
+}
+
+// sourceSize reports the total size of a reader's backing source when it
+// exposes one: os.File via Stat, bytes.Reader/strings.Reader via Size. Both
+// report the source's full extent rather than the unread remainder, so the
+// check using it is conservative — it can only reject containers that are
+// certainly short, never valid ones.
+func sourceSize(r io.Reader) (int64, bool) {
+	switch s := r.(type) {
+	case interface{ Size() int64 }:
+		return s.Size(), true
+	case interface{ Stat() (os.FileInfo, error) }:
+		st, err := s.Stat()
+		if err != nil || !st.Mode().IsRegular() {
+			return 0, false
+		}
+		return st.Size(), true
+	}
+	return 0, false
 }

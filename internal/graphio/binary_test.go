@@ -232,6 +232,41 @@ func FuzzBinaryCSR(f *testing.F) {
 	tampered[40] ^= 1
 	f.Add(tampered)
 	f.Fuzz(func(t *testing.T, data []byte) {
+		// Mapped-path lockstep: open + VerifyStructure must accept exactly
+		// what the trusted streaming reader accepts (both skip the digest
+		// recompute, both reject structural and size corruption — the
+		// mapped path merely splits the row checks into the deferred
+		// VerifyStructure), and on acceptance produce the same graph.
+		// Neither may panic.
+		tg, tw, terr := ReadBinaryCSRTrusted(bytes.NewReader(data))
+		m, merr := parseMappedBytes(append([]byte(nil), data...))
+		if merr == nil && m.VerifyStructure() != nil {
+			merr = m.VerifyStructure()
+			if err := m.Close(); err != nil {
+				t.Fatal(err)
+			}
+			m = nil
+		}
+		if (terr == nil) != (merr == nil) {
+			t.Fatalf("trusted/mapped disagree: trusted err=%v, mapped err=%v", terr, merr)
+		}
+		if merr == nil {
+			if Digest(m.Graph()) != Digest(tg) {
+				t.Fatal("mapped graph differs from trusted read")
+			}
+			if (m.Weights() == nil) != (tw == nil) || len(m.Weights()) != len(tw) {
+				t.Fatalf("mapped weights shape %d differs from trusted %d", len(m.Weights()), len(tw))
+			}
+			for i := range tw {
+				if m.Weights()[i] != tw[i] {
+					t.Fatalf("mapped weight[%d] = %v, trusted %v", i, m.Weights()[i], tw[i])
+				}
+			}
+			if err := m.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+
 		g, weights, err := ReadBinaryCSR(bytes.NewReader(data))
 		if err != nil {
 			return

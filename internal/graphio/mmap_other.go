@@ -1,0 +1,18 @@
+//go:build !unix
+
+package graphio
+
+import (
+	"io"
+	"os"
+)
+
+// mapFile on platforms without a usable mmap: read the whole file. The
+// parser's aliasing and validation are identical; only the zero-copy
+// property is lost.
+func mapFile(f *os.File, size int) ([]byte, bool, error) {
+	data, err := io.ReadAll(f)
+	return data, false, err
+}
+
+func unmapFile(data []byte) {}

@@ -1,0 +1,33 @@
+//go:build unix && !linux
+
+package graphio
+
+import (
+	"io"
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f read-only. The second return reports whether
+// the bytes are an actual mapping (and must go back through unmapFile) or a
+// heap copy. (The linux variant additionally prefaults with MAP_POPULATE,
+// which portable unix lacks.)
+func mapFile(f *os.File, size int) ([]byte, bool, error) {
+	if size == 0 {
+		// mmap(2) rejects zero-length mappings; an empty file can never be a
+		// valid container, so hand the parser an empty slice to reject.
+		return nil, false, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		// Filesystems without mmap support (some fuse/network mounts):
+		// degrade to a plain read with identical semantics.
+		data, err := io.ReadAll(f)
+		return data, false, err
+	}
+	return data, true, nil
+}
+
+func unmapFile(data []byte) {
+	syscall.Munmap(data)
+}

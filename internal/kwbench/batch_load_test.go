@@ -131,7 +131,7 @@ func TestBatchAndLoadSpecValidation(t *testing.T) {
 		{"load with cross_check", func(sc *Scenario) {
 			sc.Load = &LoadSpec{Gen: "udg:100:0.2:1", Ops: 1}
 			sc.Graphs, sc.Closed, sc.CrossCheck = nil, nil, true
-		}, "no batch_size, cross_check, shards or http"},
+		}, "no batch_size, cross_check, shards, http, reorder or sched"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

@@ -65,7 +65,13 @@ type Driver interface {
 func newDriver(sc *Scenario, concurrency, shards int) (Driver, error) {
 	switch sc.Driver {
 	case DriverInprocFast:
-		return &inprocDriver{sequential: true, concurrency: concurrency, shards: shards}, nil
+		return &inprocDriver{
+			sequential:  true,
+			concurrency: concurrency,
+			shards:      shards,
+			reorder:     sc.Reorder,
+			fixedChunks: sc.Sched == "fixed",
+		}, nil
 	case DriverInprocSim:
 		return &inprocDriver{sequential: false, concurrency: concurrency}, nil
 	case DriverHTTPServe:
@@ -93,11 +99,17 @@ type inprocDriver struct {
 	sequential  bool
 	concurrency int
 	shards      int
+	reorder     bool
+	fixedChunks bool
 	graphs      []LoadedGraph
 	// parts are the per-graph partitions for sharded arms (shards > 1):
 	// built once in Prepare so the measured operations solve through
 	// DominatingSetSharded without re-partitioning per op.
 	parts []*graph.ShardedCSR
+	// relabs are the per-graph degree-ordered relabelings for reorder
+	// scenarios, built once in Prepare — like partitions, the relabeling is
+	// per-topology setup, not per-op work.
+	relabs []*kwmds.ReorderedGraph
 }
 
 func (d *inprocDriver) Prepare(graphs []LoadedGraph) error {
@@ -110,6 +122,12 @@ func (d *inprocDriver) Prepare(graphs []LoadedGraph) error {
 				return fmt.Errorf("kwbench: partitioning %q into %d shards: %w", lg.Name, d.shards, err)
 			}
 			d.parts[i] = sc
+		}
+	}
+	if d.reorder {
+		d.relabs = make([]*kwmds.ReorderedGraph, len(graphs))
+		for i, lg := range graphs {
+			d.relabs[i] = kwmds.Reorder(lg.G)
 		}
 	}
 	return nil
@@ -135,6 +153,10 @@ func (d *inprocDriver) options(req Request) kwmds.Options {
 		// solver gets its share of GOMAXPROCS instead of a full-width
 		// phase pool.
 		opts.SolverWorkers = max(1, runtime.GOMAXPROCS(0)/max(1, d.concurrency))
+		opts.FixedChunks = d.fixedChunks
+		if d.reorder && req.Algo != "kwcds" {
+			opts.Reordered = d.relabs[req.Graph]
+		}
 	}
 	return opts
 }

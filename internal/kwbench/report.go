@@ -29,6 +29,11 @@ type Environment struct {
 	GOARCH     string `json:"goarch"`
 	GoVersion  string `json:"go"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
+	// NumCPU is the hardware parallelism of the recording host. Read it
+	// before interpreting scheduler or shard comparisons: when GOMAXPROCS
+	// exceeds it the parallel arms timeshare and the rows record only
+	// scheduling overhead, not the imbalance win.
+	NumCPU int `json:"num_cpu"`
 }
 
 // LatencySummary is the histogram extract every scenario reports, in ms.
@@ -72,6 +77,11 @@ type LoadCompare struct {
 	// BinaryVerifyMS is the verifying-reader median (embedded digest
 	// recomputed in the stopwatch) — the cost a cold serve preload pays.
 	BinaryVerifyMS float64 `json:"binary_verify_ms"`
+	// MappedLoadMS is the zero-copy mmap-open median (graphio.OpenMapped:
+	// structural validation over the mapping, no byte copies, no digest
+	// recompute) — the startup cost of `kwmds serve -preload x=file.kwcsr`.
+	// Absent in reports predating the mapped store.
+	MappedLoadMS float64 `json:"mapped_load_ms,omitempty"`
 	// Speedup is TextParseMS / BinaryLoadMS.
 	Speedup     float64 `json:"speedup"`
 	TextBytes   int64   `json:"text_bytes"`
@@ -134,6 +144,17 @@ type ScenarioResult struct {
 	// through the batched facade (0/absent means per-op solves).
 	BatchSize int `json:"batch_size,omitempty"`
 
+	// Reorder reports that measured solves ran over a degree-ordered
+	// relabeling of each graph (spec `reorder`); outputs are bit-identical
+	// to the plain path, so the field only marks which memory layout was
+	// measured.
+	Reorder bool `json:"reorder,omitempty"`
+	// Sched is the fastpath chunk-scheduler arm: "steal" (guided
+	// self-scheduling, the default behavior) or "fixed" (the historical
+	// equal word split, the control arm of a skew pair). Absent when the
+	// spec left the scheduler at its default.
+	Sched string `json:"sched,omitempty"`
+
 	WarmupOps  int     `json:"warmup_ops"`
 	Ops        int     `json:"ops"`
 	ElapsedSec float64 `json:"elapsed_sec"`
@@ -186,6 +207,7 @@ func CurrentEnvironment() Environment {
 		GOARCH:     runtime.GOARCH,
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 	}
 }
 
@@ -318,7 +340,7 @@ func ValidateReport(rep *Report) error {
 		if s.Loop == "load" && s.Load == nil {
 			return fail("load loop without a load block")
 		}
-		if s.Load != nil && (s.Load.TextParseMS <= 0 || s.Load.BinaryLoadMS <= 0 || s.Load.BinaryVerifyMS <= 0 || s.Load.Speedup <= 0) {
+		if s.Load != nil && (s.Load.TextParseMS <= 0 || s.Load.BinaryLoadMS <= 0 || s.Load.BinaryVerifyMS <= 0 || s.Load.Speedup <= 0 || s.Load.MappedLoadMS < 0) {
 			return fail("degenerate load comparison: %+v", *s.Load)
 		}
 		if len(s.Graphs) == 0 {

@@ -130,6 +130,19 @@ type Scenario struct {
 	// HTTP tunes the http-serve driver; nil selects a spawned in-process
 	// server with default sizing.
 	HTTP *HTTPSpec `json:"http,omitempty"`
+
+	// Reorder runs every operation over a degree-ordered relabeling of its
+	// graph (kwmds.Reorder), built once per graph before the loop. Outputs
+	// are bit-identical by the engine contract — cross_check verifies that —
+	// so the knob isolates the locality win on skewed-degree graphs.
+	// Requires the inproc-fast driver and kw|kw2|frac algos; incompatible
+	// with shards and mobility.
+	Reorder bool `json:"reorder,omitempty"`
+	// Sched selects the fastpath phase scheduler: "" or "steal" is the
+	// guided self-scheduling chunk queue (the engine default), "fixed"
+	// forces the one-chunk-per-worker equal split — the control arm for
+	// measuring what stealing buys on skewed graphs. inproc-fast only.
+	Sched string `json:"sched,omitempty"`
 }
 
 // LoadSpec parameterizes a format-comparison scenario. Exactly one of Tier
@@ -153,7 +166,8 @@ type GraphSpec struct {
 	// (default: the gen spec / tier name / file base name).
 	Name string `json:"name,omitempty"`
 	// Gen is a generator family spec: udg:n:radius:seed, gnp:n:p:seed,
-	// grid:rows:cols or tree:n:seed (the grammar of gen.FromSpec).
+	// grid:rows:cols, tree:n:seed or ba:n:m:seed (the grammar of
+	// gen.FromSpec).
 	Gen string `json:"gen,omitempty"`
 	// File is an edge-list path.
 	File string `json:"file,omitempty"`
@@ -265,6 +279,8 @@ var Tiers = map[string]string{
 	"gnp-200k": "gnp:200000:4.0000200001000004e-05:110",
 	"grid-45":  "grid:45:45",
 	"tree-10k": "tree:10000:103",
+	"ba-2k":    "ba:2000:4:112",
+	"ba-100k":  "ba:100000:4:112",
 }
 
 // Load reads, decodes and validates a scenario file. The format follows the
@@ -379,8 +395,8 @@ func (sc *Scenario) Validate() error {
 		if len(sc.Graphs) > 0 {
 			return bad("load scenarios name their graph in the load block; drop the graphs list")
 		}
-		if sc.BatchSize > 1 || sc.CrossCheck || sc.HTTP != nil || len(sc.Shards) > 0 {
-			return bad("load scenarios take no batch_size, cross_check, shards or http block")
+		if sc.BatchSize > 1 || sc.CrossCheck || sc.HTTP != nil || len(sc.Shards) > 0 || sc.Reorder || sc.Sched != "" {
+			return bad("load scenarios take no batch_size, cross_check, shards, http, reorder or sched")
 		}
 		l := sc.Load
 		if (l.Tier == "") == (l.Gen == "") {
@@ -578,6 +594,30 @@ func (sc *Scenario) Validate() error {
 		for _, c := range sc.Matrix.combos() {
 			if c.Algo != "kw" && c.Algo != "kw2" {
 				return bad("sharded scenarios support algos kw|kw2 (got %q)", c.Algo)
+			}
+		}
+	}
+
+	switch sc.Sched {
+	case "", "steal", "fixed":
+	default:
+		return bad("unknown sched %q (want steal|fixed)", sc.Sched)
+	}
+	if sc.Reorder || sc.Sched != "" {
+		if sc.Driver != DriverInprocFast {
+			return bad("reorder/sched tune the fastpath engine; they require the %s driver", DriverInprocFast)
+		}
+		if sc.Mobility != nil {
+			return bad("reorder/sched do not apply to mobility replays")
+		}
+	}
+	if sc.Reorder {
+		if len(sc.Shards) > 0 {
+			return bad("reorder and shards are mutually exclusive (the sharded engine is partition-keyed, not relabeling-aware)")
+		}
+		for _, c := range sc.Matrix.combos() {
+			if c.Algo == "kwcds" {
+				return bad("reorder supports algos kw|kw2|frac (got %q)", c.Algo)
 			}
 		}
 	}

@@ -61,30 +61,38 @@ func (s *Server) batchable(algo string, opts kwmds.Options) bool {
 	return !s.cfg.DisableBatching && opts.Sequential && algo != "frac" && algo != "kwcds"
 }
 
-// solveBatched enqueues one cold solve into its digest group and blocks
-// until the group's drainer has run it.
+// solveBatched enqueues one cold solve into its group and blocks until the
+// group's drainer has run it. Groups key on digest plus the relabeling
+// pointer: SolveMany requires one Relab across a batch, and a reordered
+// item's graph must BE the relabeling's origin — so a preloaded reordered
+// solve must never share a batch with a digest-equal inline upload (same
+// bytes, different graph pointer, no relabeling).
 func (s *Server) solveBatched(g *graph.Graph, digest, algo, engine string, opts kwmds.Options) (*graphio.SolveResponse, error) {
 	it := &batchItem{g: g, digest: digest, algo: algo, engine: engine, opts: opts, done: make(chan struct{})}
+	key := digest
+	if opts.Reordered != nil {
+		key = fmt.Sprintf("%s|%p", digest, opts.Reordered)
+	}
 	b := &s.batcher
 	b.mu.Lock()
-	_, active := b.groups[digest]
-	b.groups[digest] = append(b.groups[digest], it)
+	_, active := b.groups[key]
+	b.groups[key] = append(b.groups[key], it)
 	b.mu.Unlock()
 	if !active {
-		go s.drainGroup(digest)
+		go s.drainGroup(key)
 	}
 	<-it.done
 	return it.resp, it.err
 }
 
-// drainGroup runs batches for one digest until its queue is empty. Each
+// drainGroup runs batches for one group key until its queue is empty. Each
 // round claims up to maxSolveBatch queued items (leaving the remainder for
 // the next round), takes one worker-pool slot, and runs the claim as a
 // single batch; requests arriving while a round computes queue up and form
 // the next one — natural backpressure-driven batch sizing. The
 // check-and-delete on the empty queue happens under the same mutex
 // enqueues append under, so a drainer never exits with items pending.
-func (s *Server) drainGroup(digest string) {
+func (s *Server) drainGroup(key string) {
 	b := &s.batcher
 	for {
 		// Micro-batching window: park briefly before claiming so concurrent
@@ -98,18 +106,18 @@ func (s *Server) drainGroup(digest string) {
 		// server; under concurrent load it multiplies throughput.
 		time.Sleep(batchWindow)
 		b.mu.Lock()
-		pending := b.groups[digest]
+		pending := b.groups[key]
 		if len(pending) == 0 {
-			delete(b.groups, digest)
+			delete(b.groups, key)
 			b.mu.Unlock()
 			return
 		}
 		batch := pending
 		if len(batch) > maxSolveBatch {
 			batch = pending[:maxSolveBatch:maxSolveBatch]
-			b.groups[digest] = pending[maxSolveBatch:]
+			b.groups[key] = pending[maxSolveBatch:]
 		} else {
-			b.groups[digest] = nil
+			b.groups[key] = nil
 		}
 		b.mu.Unlock()
 
@@ -129,7 +137,9 @@ func lpKey(opts kwmds.Options) string {
 // runBatch executes one claimed group. All items share a digest, so the
 // first item's graph serves the whole batch (digest-equal graphs have
 // identical CSR arrays — inline uploads of the same topology batch with
-// preloaded references). Per-item elapsed_ms is the batch total divided
+// preloaded references; reordered items group separately, and within such a
+// group every item's graph is the shared relabeling's origin, satisfying the
+// engine's identity check). Per-item elapsed_ms is the batch total divided
 // evenly: the shared LP stage makes a truthful per-item split impossible,
 // and the even split keeps throughput arithmetic (ops/sec × elapsed) honest.
 func (s *Server) runBatch(batch []*batchItem) {

@@ -1,0 +1,135 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"kwmds/internal/gen"
+	"kwmds/internal/graph"
+	"kwmds/internal/graphio"
+)
+
+// TestReorderBitIdenticalServer runs the same request stream against two
+// servers that differ only in Config.Reorder and requires byte-equal
+// solve outputs — the server-level form of the engine contract that the
+// degree-ordered execution path changes memory traversal order, never a
+// result. The stream also mutates both graphs identically mid-way, so the
+// reorder cache's invalidate-on-topology-change path is exercised against
+// the plain server as oracle.
+func TestReorderBitIdenticalServer(t *testing.T) {
+	build := func(reorder bool) (*Server, *httptest.Server) {
+		g, err := gen.PrefAttach(300, 3, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := New(Config{Workers: 2, CacheEntries: 32, Reorder: reorder,
+			Graphs: map[string]*graph.Graph{"ba": g}})
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		return srv, ts
+	}
+	_, plain := build(false)
+	reordSrv, reord := build(true)
+
+	solveBoth := func(body string) (a, b graphio.SolveResponse) {
+		t.Helper()
+		for i, ts := range []*httptest.Server{plain, reord} {
+			resp, raw := postJSON(t, ts.URL+"/v1/solve", body)
+			if resp.StatusCode != 200 {
+				t.Fatalf("request %s on server %d: status %d body %s", body, i, resp.StatusCode, raw)
+			}
+			var sr graphio.SolveResponse
+			if err := json.Unmarshal(raw, &sr); err != nil {
+				t.Fatal(err)
+			}
+			if i == 0 {
+				a = sr
+			} else {
+				b = sr
+			}
+		}
+		return a, b
+	}
+	compare := func(body string) {
+		t.Helper()
+		a, b := solveBoth(body)
+		if a.Size != b.Size || a.LPObjective != b.LPObjective || len(a.Members) != len(b.Members) {
+			t.Fatalf("request %s diverges: plain {size %d lp %v} reordered {size %d lp %v}",
+				body, a.Size, a.LPObjective, b.Size, b.LPObjective)
+		}
+		for i := range a.Members {
+			if a.Members[i] != b.Members[i] {
+				t.Fatalf("request %s: member %d is %d vs %d", body, i, a.Members[i], b.Members[i])
+			}
+		}
+	}
+	requests := func(seed int) []string {
+		return []string{
+			fmt.Sprintf(`{"graph_ref":"ba","seed":%d,"members":true}`, seed),
+			fmt.Sprintf(`{"graph_ref":"ba","algo":"kw2","k":3,"seed":%d,"members":true}`, seed),
+			fmt.Sprintf(`{"graph_ref":"ba","algo":"kwcds","seed":%d,"members":true}`, seed),
+			`{"graph_ref":"ba","algo":"frac","k":2}`,
+		}
+	}
+	for seed := 1; seed <= 3; seed++ {
+		for _, body := range requests(seed) {
+			compare(body)
+		}
+	}
+	if reordSrv.graphs["ba"].reorder == nil {
+		t.Fatal("reorder server never populated its relabeling cache")
+	}
+
+	// Weight-only epochs keep the relabeling (it is pure topology)…
+	for _, ts := range []*httptest.Server{plain, reord} {
+		if resp, raw := postJSON(t, ts.URL+"/v1/graphs/ba/mutate",
+			`{"mutations":[{"op":"set_weight","u":5,"w":2}]}`); resp.StatusCode != 200 {
+			t.Fatalf("weight mutate: %d %s", resp.StatusCode, raw)
+		}
+	}
+	if reordSrv.graphs["ba"].reorder == nil {
+		t.Fatal("weight-only mutation dropped the relabeling cache")
+	}
+	// …while a topology change must invalidate it.
+	for _, ts := range []*httptest.Server{plain, reord} {
+		if resp, raw := postJSON(t, ts.URL+"/v1/graphs/ba/mutate",
+			`{"mutations":[{"op":"add_edge","u":0,"v":299}]}`); resp.StatusCode != 200 {
+			t.Fatalf("edge mutate: %d %s", resp.StatusCode, raw)
+		}
+	}
+	if reordSrv.graphs["ba"].reorder != nil {
+		t.Fatal("topology mutation left a stale relabeling cached")
+	}
+	for seed := 1; seed <= 3; seed++ {
+		for _, body := range requests(seed) {
+			compare(body)
+		}
+	}
+}
+
+// TestReorderSimAndInlineUnaffected pins the scope of Config.Reorder: the
+// sim engine and inline uploads never see a relabeling, so their outputs
+// and the relabeling cache are untouched.
+func TestReorderSimAndInlineUnaffected(t *testing.T) {
+	g, err := gen.PrefAttach(120, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{Workers: 2, Reorder: true, Graphs: map[string]*graph.Graph{"ba": g}})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	for _, body := range []string{
+		`{"graph_ref":"ba","engine":"sim","seed":2}`,
+		`{"graph":{"n":4,"edges":[[0,1],[1,2],[2,3]]},"seed":1}`,
+	} {
+		resp, raw := postJSON(t, ts.URL+"/v1/solve", body)
+		if resp.StatusCode != 200 {
+			t.Fatalf("request %s: status %d body %s", body, resp.StatusCode, raw)
+		}
+	}
+	if srv.graphs["ba"].reorder != nil {
+		t.Fatal("sim/inline requests populated the relabeling cache")
+	}
+}

@@ -52,6 +52,14 @@ type Config struct {
 	// pipelines (frac, kwcds, sim, inline graphs) ignore the setting.
 	// Capped at kwmds.MaxShards.
 	Shards int
+	// Reorder, when set, runs cold Sequential solves of preloaded graphs
+	// over a cached degree-ordered relabeling of the topology
+	// (kwmds.Reorder) for better cache locality on skewed-degree graphs.
+	// Outputs are bit-identical with or without it; the relabeling is
+	// built once per topology and dropped on mutation. Sharded solves and
+	// inline graphs ignore the setting (a relabeling is a per-topology
+	// artifact; inline uploads see each topology once).
+	Reorder bool
 }
 
 // Server answers dominating-set queries over HTTP. It is safe for
@@ -87,6 +95,10 @@ type preloaded struct {
 	// artifact. Dropped on topology mutations (weight-only epochs keep it:
 	// a partition is pure topology).
 	parts map[int]*graph.ShardedCSR
+	// reorder caches the degree-ordered relabeling of the current topology
+	// under the same lifecycle as parts: built on first use, dropped on
+	// topology mutations, pure topology so weight-only epochs keep it.
+	reorder *graph.Relabeled
 }
 
 // snapshot returns a consistent (graph, digest, epoch, costs) view.
@@ -122,6 +134,27 @@ func (p *preloaded) partition(g *graph.Graph, shards int) (*graph.ShardedCSR, er
 	}
 	p.mu.Unlock()
 	return sc, nil
+}
+
+// reorderFor returns the degree-ordered relabeling of the snapshot graph g,
+// served from the cache while g is still the current topology (the partition
+// method's pattern). A snapshot superseded by a concurrent mutation gets a
+// fresh, uncached relabeling — the solve still answers its own topology.
+func (p *preloaded) reorderFor(g *graph.Graph) *graph.Relabeled {
+	p.mu.RLock()
+	if p.dyn.Graph() == g && p.reorder != nil {
+		rl := p.reorder
+		p.mu.RUnlock()
+		return rl
+	}
+	p.mu.RUnlock()
+	rl := graph.Relabel(g)
+	p.mu.Lock()
+	if p.dyn.Graph() == g {
+		p.reorder = rl
+	}
+	p.mu.Unlock()
+	return rl
 }
 
 // New builds a Server from cfg, applying defaults for zero fields.
@@ -337,6 +370,12 @@ func (s *Server) solve(ctx context.Context, req *graphio.SolveRequest) (*graphio
 				return s.runSharded(sc, digest, req.Algo, req.Engine, opts)
 			}
 		}
+		if s.cfg.Reorder && pre != nil && opts.Sequential {
+			// Attach the cached relabeling (built once per topology).
+			// Batched riders of one preload share the pointer, so a whole
+			// digest group runs over one permuted CSR.
+			opts.Reordered = pre.reorderFor(g)
+		}
 		if s.batchable(req.Algo, opts) {
 			return s.solveBatched(g, digest, req.Algo, req.Engine, opts)
 		}
@@ -439,7 +478,8 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	if delta.Next != delta.Prev {
 		oldDigest := p.digest
 		p.digest = graphio.Digest(delta.Next)
-		p.parts = nil // partitions describe the old topology
+		p.parts = nil   // partitions describe the old topology
+		p.reorder = nil // so does the degree-ordered relabeling
 		s.cache.invalidateDigest(oldDigest)
 	}
 	writeJSON(w, http.StatusOK, graphio.MutateResponse{

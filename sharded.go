@@ -40,6 +40,9 @@ func DominatingSetSharded(sc *ShardedGraph, opts Options) (*Result, error) {
 	if err := opts.Validate(sc.G); err != nil {
 		return nil, fmt.Errorf("kwmds: %w", err)
 	}
+	if opts.Reordered != nil {
+		return nil, fmt.Errorf("kwmds: %w: Reordered is not supported by sharded solves", ErrInvalidOptions)
+	}
 	k := effectiveK(opts.K, sc.MaxDeg)
 	fo := fastOptions(opts, k)
 	fres, err := fastpath.SolveShardedCSR(sc, fo)
