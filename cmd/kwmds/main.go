@@ -110,6 +110,9 @@ func serveMain(args []string) error {
 	})
 	fs.IntVar(&cfg.Replicas, "replicas", 0, "router placement candidates per graph for failover (0 = default 2)")
 	fs.BoolVar(&cfg.Reorder, "reorder", false, "solve preloaded graphs over a cached degree-ordered relabeling (bit-identical output, better locality on skewed graphs)")
+	fs.StringVar(&cfg.DataDir, "data-dir", "", "make preloaded graphs durable: WAL + snapshots under this directory, recovered on restart")
+	fs.IntVar(&cfg.SnapshotEpochs, "snapshot-epochs", 0, "compact a durable graph's WAL into a snapshot every N epochs (0 = default 128, -1 disables)")
+	fs.Int64Var(&cfg.SnapshotBytes, "snapshot-bytes", 0, "compact a durable graph's WAL once it passes this size (0 = default 4 MiB, -1 disables)")
 	fs.StringVar(&cfg.PprofAddr, "pprof", "", "serve /debug/pprof on this address (off when empty)")
 	if err := fs.Parse(args); err != nil {
 		return err

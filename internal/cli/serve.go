@@ -2,18 +2,22 @@ package cli
 
 import (
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
+	"kwmds/internal/dyngraph"
 	"kwmds/internal/graph"
 	"kwmds/internal/graphio"
 	"kwmds/internal/server"
+	"kwmds/internal/wal"
 )
 
 // ServeConfig is the parsed command line of `kwmds serve` and `kwmds shard`.
@@ -31,6 +35,18 @@ type ServeConfig struct {
 	// Shards > 1 runs cold fast-engine solves of preloaded graphs on the
 	// partitioned in-process engine (see server.Config.Shards).
 	Shards int
+
+	// DataDir, when non-empty, makes every preloaded graph durable: each
+	// gets a write-ahead log plus snapshots under DataDir/<name>/, mutate
+	// answers 200 only once the epoch's record is fsynced, and a restart
+	// recovers the graph from disk — the -preload source then only seeds
+	// the very first boot.
+	DataDir string
+	// SnapshotEpochs and SnapshotBytes tune when a durable graph's log is
+	// compacted into a fresh snapshot (0 = the wal package defaults of
+	// 128 epochs / 4 MiB; negative disables that trigger).
+	SnapshotEpochs int
+	SnapshotBytes  int64
 
 	// ShardWorker makes this process a shard worker (`kwmds shard`): it
 	// opens the mesh data listener on DataAddr and serves /shard/v1/* so a
@@ -60,15 +76,20 @@ type ServeConfig struct {
 // BuildServer resolves the preload specs and constructs the HTTP service.
 // `.kwcsr` preloads open through the zero-copy mmap path: the CSR arrays
 // alias the page cache, so a multi-gigabyte snapshot is serving in
-// milliseconds. The returned cleanup unmaps them; call it after the server
-// has fully drained (mutations copy into fresh heap arrays, so only the
-// epoch-0 snapshot ever references the mapping).
+// milliseconds. The server takes ownership of every mapping and WAL the
+// build opens — Server.Close (run by the caller's cleanup after the drain)
+// releases them; the returned cleanup only covers construction failures
+// after partial progress.
+//
+// With cfg.DataDir set, each preload recovers from (or initializes)
+// DataDir/<name>/: an existing snapshot+log chain wins over the -preload
+// source, which then only seeds the first boot.
 func BuildServer(cfg ServeConfig) (*server.Server, func(), error) {
-	graphs := make(map[string]*graph.Graph, len(cfg.Preload))
-	var mapped []*graphio.MappedGraph
+	preloads := make(map[string]server.Preload, len(cfg.Preload))
+	var opened []io.Closer
 	cleanup := func() {
-		for _, m := range mapped {
-			m.Close()
+		for _, c := range opened {
+			c.Close()
 		}
 	}
 	for _, entry := range cfg.Preload {
@@ -77,18 +98,24 @@ func BuildServer(cfg ServeConfig) (*server.Server, func(), error) {
 			cleanup()
 			return nil, nil, fmt.Errorf("bad -preload %q (want name=file or name=gen:spec)", entry)
 		}
-		if _, dup := graphs[name]; dup {
+		if _, dup := preloads[name]; dup {
 			cleanup()
 			return nil, nil, fmt.Errorf("duplicate -preload name %q", name)
 		}
+		if cfg.DataDir != "" && (strings.ContainsAny(name, `/\`) || name == "." || name == "..") {
+			// The name becomes a directory component under -data-dir.
+			cleanup()
+			return nil, nil, fmt.Errorf("preload name %q is not usable with -data-dir (no path separators)", name)
+		}
 		var g *graph.Graph
+		var srcMapped *graphio.MappedGraph
 		if strings.HasSuffix(src, ".kwcsr") {
 			m, err := graphio.OpenMapped(src)
 			if err != nil {
 				cleanup()
 				return nil, nil, fmt.Errorf("preload %q: %w", name, err)
 			}
-			mapped = append(mapped, m)
+			opened = append(opened, m)
 			// One bandwidth pass at startup, so a structurally corrupt
 			// container is refused here instead of panicking a solve. The
 			// digest stays unverified — operator-provided files, same trust
@@ -97,7 +124,7 @@ func BuildServer(cfg ServeConfig) (*server.Server, func(), error) {
 				cleanup()
 				return nil, nil, fmt.Errorf("preload %q: %w", name, err)
 			}
-			g = m.Graph()
+			g, srcMapped = m.Graph(), m
 		} else {
 			var err error
 			g, err = LoadGraph(src, nil)
@@ -106,15 +133,44 @@ func BuildServer(cfg ServeConfig) (*server.Server, func(), error) {
 				return nil, nil, fmt.Errorf("preload %q: %w", name, err)
 			}
 		}
-		graphs[name] = g
+		if cfg.DataDir == "" {
+			preloads[name] = server.Preload{Dyn: dyngraph.New(g), Mapped: srcMapped}
+			continue
+		}
+		rec, err := wal.Open(filepath.Join(cfg.DataDir, name), g, nil, wal.Options{
+			SnapshotEveryEpochs: cfg.SnapshotEpochs,
+			SnapshotEveryBytes:  cfg.SnapshotBytes,
+		})
+		if err != nil {
+			cleanup()
+			return nil, nil, fmt.Errorf("preload %q: %w", name, err)
+		}
+		opened = append(opened, rec.Log)
+		pl := server.Preload{Dyn: rec.Dyn, Log: rec.Log}
+		if rec.Mapped != nil {
+			// Recovered from disk: the durable chain superseded the
+			// -preload source, whose mapping (if any) is now redundant.
+			pl.Mapped = rec.Mapped
+			opened = append(opened, rec.Mapped)
+			if srcMapped != nil {
+				srcMapped.Close()
+			}
+		} else {
+			// First boot: the engine's base graph is the source itself.
+			pl.Mapped = srcMapped
+		}
+		preloads[name] = pl
 	}
-	return server.New(server.Config{
+	srv := server.New(server.Config{
 		Workers:      cfg.Workers,
 		CacheEntries: cfg.CacheEntries,
-		Graphs:       graphs,
+		Preloads:     preloads,
 		Shards:       cfg.Shards,
 		Reorder:      cfg.Reorder,
-	}), cleanup, nil
+	})
+	// Everything in `opened` now belongs to the server; Close is
+	// idempotent, so the caller's deferred cleanup composes with it.
+	return srv, func() { srv.Close() }, nil
 }
 
 // buildHandler constructs whichever service the config selects: a router

@@ -187,25 +187,21 @@ func assertSameCSR(t *testing.T, ctx string, got, want *graph.Graph) {
 	}
 }
 
+// ctxTB prefixes RequireBitIdentical failures with the harness context
+// (workload/epoch/worker count) that a bare field path would lose.
+type ctxTB struct {
+	testing.TB
+	ctx string
+}
+
+func (c ctxTB) Fatalf(format string, args ...any) {
+	c.TB.Helper()
+	c.TB.Fatalf("%s: "+format, append([]any{c.ctx}, args...)...)
+}
+
 func assertSameResult(t *testing.T, ctx string, got, want fastpath.Result) {
 	t.Helper()
-	if len(got.X) != len(want.X) {
-		t.Fatalf("%s: |X| = %d, want %d", ctx, len(got.X), len(want.X))
-	}
-	for v := range want.X {
-		if got.X[v] != want.X[v] {
-			t.Fatalf("%s: x[%d] = %v, want %v (must be bit-identical)", ctx, v, got.X[v], want.X[v])
-		}
-	}
-	if got.Size != want.Size || got.JoinedRandom != want.JoinedRandom || got.JoinedFixup != want.JoinedFixup {
-		t.Fatalf("%s: size/joins (%d,%d,%d), want (%d,%d,%d)", ctx,
-			got.Size, got.JoinedRandom, got.JoinedFixup, want.Size, want.JoinedRandom, want.JoinedFixup)
-	}
-	for v := range want.InDS {
-		if got.InDS[v] != want.InDS[v] {
-			t.Fatalf("%s: InDS[%d] = %v, want %v", ctx, v, got.InDS[v], want.InDS[v])
-		}
-	}
+	testsupport.RequireBitIdentical(ctxTB{t, ctx}, got, want)
 }
 
 func churnWorkloads(t *testing.T) []struct {

@@ -82,6 +82,21 @@ func New(g *graph.Graph) *Dynamic {
 	return d
 }
 
+// NewAt wraps a restored snapshot at a known epoch with an optional cost
+// vector — the recovery constructor: a WAL replay resumes a Dynamic exactly
+// where the logged history left it, so subsequent commits continue the
+// epoch sequence instead of restarting at zero. costs, when non-nil, must
+// have length g.N(); the Dynamic takes ownership of the slice.
+func NewAt(g *graph.Graph, epoch int64, costs []float64) *Dynamic {
+	d := New(g)
+	if costs != nil && len(costs) != d.g.N() {
+		panic(fmt.Sprintf("dyngraph: NewAt costs length %d != n %d", len(costs), d.g.N()))
+	}
+	d.epoch = epoch
+	d.costs = costs
+	return d
+}
+
 // Graph returns the current committed snapshot.
 func (d *Dynamic) Graph() *graph.Graph { return d.g }
 
@@ -100,6 +115,55 @@ func (d *Dynamic) Costs() []float64 { return d.costs }
 // additions and weight updates) awaiting Commit.
 func (d *Dynamic) Pending() int {
 	return len(d.pend) + len(d.batchAdd) + len(d.batchRem) + len(d.pendW) + (d.nextN - d.g.N())
+}
+
+// WeightUpdate is one pending per-vertex weight change, as reported by
+// NormalizedPending (and serialized into WAL epoch records).
+type WeightUpdate struct {
+	V int32
+	W float64
+}
+
+// NormalizedPending returns the net effect of the buffered mutations in a
+// canonical form: edge endpoints oriented (min, max) and sorted
+// lexicographically, weight updates sorted by vertex, plus the number of
+// pending vertex additions. Interactive edge ops come from the pending map
+// — already net, since an add and a remove of the same edge cancel there —
+// and batch deltas (ApplyEdgeDeltas) are passed through reoriented: a batch
+// that goes on to Commit contains no duplicates or conflicts, so together
+// the lists are exactly the epoch's net edge delta. This is what the WAL
+// serializes for an epoch: replaying the lists through ApplyEdgeDeltas +
+// Commit reproduces the committed snapshot bit for bit.
+func (d *Dynamic) NormalizedPending() (add, rem [][2]int32, weights []WeightUpdate, grew int) {
+	for k, s := range d.pend {
+		if s > 0 {
+			add = append(add, k)
+		} else {
+			rem = append(rem, k)
+		}
+	}
+	for _, e := range d.batchAdd {
+		add = append(add, edgeKey(e[0], e[1]))
+	}
+	for _, e := range d.batchRem {
+		rem = append(rem, edgeKey(e[0], e[1]))
+	}
+	sortPairs(add)
+	sortPairs(rem)
+	for v, w := range d.pendW {
+		weights = append(weights, WeightUpdate{V: v, W: w})
+	}
+	sort.Slice(weights, func(i, j int) bool { return weights[i].V < weights[j].V })
+	return add, rem, weights, d.nextN - d.g.N()
+}
+
+func sortPairs(ps [][2]int32) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i][0] != ps[j][0] {
+			return ps[i][0] < ps[j][0]
+		}
+		return ps[i][1] < ps[j][1]
+	})
 }
 
 // Discard drops every buffered mutation, returning to the committed state.

@@ -294,6 +294,12 @@ type MutateRequest struct {
 	// Epoch, when set, makes the batch conditional: it applies only if the
 	// graph is still at that epoch (optimistic concurrency; 409 otherwise).
 	Epoch *int64 `json:"epoch,omitempty"`
+	// Sync, on a durable (-data-dir) graph, controls when the call returns:
+	// unset or true, only after the epoch's WAL record is fsynced; false
+	// opts out explicitly — the record is buffered and a crash before the
+	// next sync loses the epoch (the response says so via "durable": false).
+	// Ignored (and harmless) on non-durable graphs.
+	Sync *bool `json:"sync,omitempty"`
 	// Mutations is the batch, applied in order. At least one is required.
 	Mutations []Mutation `json:"mutations"`
 }
@@ -310,6 +316,9 @@ type MutateResponse struct {
 	M      int    `json:"m"`
 	// Touched is the number of vertices whose adjacency changed.
 	Touched int `json:"touched"`
+	// Durable reports that the epoch's WAL record was fsynced before this
+	// response (always false for graphs served without a data dir).
+	Durable bool `json:"durable,omitempty"`
 }
 
 // DecodeMutateRequest parses and structurally validates a mutate body:

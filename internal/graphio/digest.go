@@ -18,6 +18,15 @@ func Digest(g *graph.Graph) string {
 	return hex.EncodeToString(sum[:])
 }
 
+// DigestRaw returns the raw (unencoded) SHA-256 CSR digest — the form the
+// kwcsr container embeds and the WAL stores in its per-epoch pre/post
+// fields, where 32 fixed bytes beat a 64-byte hex string. Digest is its hex
+// encoding.
+func DigestRaw(g *graph.Graph) [sha256.Size]byte {
+	off, adj := g.CSR()
+	return csrDigest(g.N(), off, adj)
+}
+
 // csrDigest is the digest computation over raw CSR arrays, shared by Digest
 // (hex form) and the binary container (raw form embedded in the header, so
 // a .kwcsr file carries exactly the digest the server would compute for its

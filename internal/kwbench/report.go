@@ -198,6 +198,39 @@ type ScenarioResult struct {
 
 	// Load is the text-vs-binary comparison block of a load-loop scenario.
 	Load *LoadCompare `json:"load,omitempty"`
+
+	// Recovery is the durability block of a recovery-loop scenario.
+	Recovery *RecoveryResult `json:"recovery,omitempty"`
+}
+
+// RecoveryResult is the extra block of a recovery scenario: what the WAL
+// chain looked like and what reopening it cost. Every restart recovers the
+// identical chain, so the snapshot/replay accounting is a single set of
+// values, not a distribution; the timing spread across restarts is the
+// scenario's main latency block.
+type RecoveryResult struct {
+	// Epochs is the committed churn history length; Restarts the number of
+	// recovery cycles executed (the measured ops plus warmup).
+	Epochs   int `json:"epochs"`
+	Restarts int `json:"restarts"`
+	// SnapshotEpoch is the epoch of the snapshot recovery starts from;
+	// ReplayedEpochs how many log records it replays on top.
+	SnapshotEpoch  int64 `json:"snapshot_epoch"`
+	ReplayedEpochs int64 `json:"replayed_epochs"`
+	// WALBytes/SnapshotBytes are the on-disk chain sizes recovered from.
+	WALBytes      int64 `json:"wal_bytes"`
+	SnapshotBytes int64 `json:"snapshot_bytes"`
+	// RecoveryMS is the median timed reopen: snapshot mmap + structural
+	// and digest verification + log replay.
+	RecoveryMS float64 `json:"recovery_ms"`
+	// ReplayMSPerEpoch is RecoveryMS over ReplayedEpochs (absent when the
+	// snapshot held the whole state).
+	ReplayMSPerEpoch float64 `json:"replay_ms_per_epoch,omitempty"`
+	// MeanEdgeDeltas is the mean number of link events per committed epoch.
+	MeanEdgeDeltas float64 `json:"mean_edge_deltas"`
+	// AppendMS is the mean synced append (write + fsync) during the drive
+	// phase — the per-mutate durability tax the log charges.
+	AppendMS float64 `json:"append_ms,omitempty"`
 }
 
 // CurrentEnvironment captures the running process's environment block.
@@ -308,7 +341,7 @@ func ValidateReport(rep *Report) error {
 			return fail("unknown driver %q", s.Driver)
 		}
 		switch s.Loop {
-		case "closed", "open", "replay", "load":
+		case "closed", "open", "replay", "load", "recovery":
 		default:
 			return fail("unknown loop %q", s.Loop)
 		}
@@ -339,6 +372,22 @@ func ValidateReport(rep *Report) error {
 		}
 		if s.Loop == "load" && s.Load == nil {
 			return fail("load loop without a load block")
+		}
+		if s.Loop == "recovery" && s.Recovery == nil {
+			return fail("recovery loop without a recovery block")
+		}
+		if r := s.Recovery; r != nil {
+			if r.Epochs < 1 || r.Restarts < 1 {
+				return fail("degenerate recovery counts: %+v", *r)
+			}
+			if r.RecoveryMS <= 0 || r.ReplayedEpochs < 0 || r.SnapshotEpoch < 0 ||
+				r.WALBytes < 0 || r.SnapshotBytes <= 0 || r.ReplayMSPerEpoch < 0 {
+				return fail("degenerate recovery block: %+v", *r)
+			}
+			if r.SnapshotEpoch+r.ReplayedEpochs != int64(r.Epochs) {
+				return fail("recovery accounting: snapshot epoch %d + replayed %d ≠ %d epochs",
+					r.SnapshotEpoch, r.ReplayedEpochs, r.Epochs)
+			}
 		}
 		if s.Load != nil && (s.Load.TextParseMS <= 0 || s.Load.BinaryLoadMS <= 0 || s.Load.BinaryVerifyMS <= 0 || s.Load.Speedup <= 0 || s.Load.MappedLoadMS < 0) {
 			return fail("degenerate load comparison: %+v", *s.Load)

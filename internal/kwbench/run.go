@@ -35,6 +35,9 @@ func Run(sc *Scenario, opts RunOptions) (*ScenarioResult, error) {
 	if sc.Load != nil {
 		return runLoad(sc, opts)
 	}
+	if sc.Recovery != nil {
+		return runRecovery(sc, opts)
+	}
 	if sc.Mobility != nil {
 		return runMobility(sc, opts)
 	}
@@ -526,7 +529,7 @@ func fillCommon(res *ScenarioResult, h *Histogram, ops int, elapsed time.Duratio
 	if res.ElapsedSec > 0 {
 		res.OpsPerSec = float64(ops) / res.ElapsedSec
 	}
-	res.Latency = h.Summary()
+	res.Latency = latencySummary(h)
 	if ops > 0 {
 		res.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(ops)
 		res.BytesPerOp = float64(after.TotalAlloc-before.TotalAlloc) / float64(ops)

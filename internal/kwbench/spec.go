@@ -116,6 +116,15 @@ type Scenario struct {
 	// loop mode, graphs list or matrix applies.
 	Load *LoadSpec `json:"load,omitempty"`
 
+	// Recovery switches the scenario to a durability benchmark: a
+	// random-walk churn history is committed through a WAL-backed dyngraph
+	// engine (one synced append per epoch — the `serve -data-dir` write
+	// path), then the store is reopened Restarts times and each timed op
+	// is one full crash recovery (snapshot mmap + log replay), verified
+	// against the driven state. No loop mode or graphs list applies; the
+	// matrix must name exactly one kw|kw2 combo (the verification solve).
+	Recovery *RecoverySpec `json:"recovery,omitempty"`
+
 	// Shards, when non-empty, sweeps the partitioned engine: the closed
 	// loop runs once per listed shard count (same precomputed request
 	// schedule every arm). With the inproc-fast driver each graph is
@@ -238,6 +247,27 @@ type MobilitySpec struct {
 	// The rebuild and churn modes measure the same end-to-end epoch
 	// processing, so their latencies are directly comparable.
 	Mode string `json:"mode,omitempty"`
+}
+
+// RecoverySpec parameterizes a durability scenario: the churn history
+// (internal/mobility's bounded random walk, as in mobility scenarios) and
+// the recovery measurement.
+type RecoverySpec struct {
+	N      int     `json:"n"`
+	Radius float64 `json:"radius"`
+	Speed  float64 `json:"speed"`
+	// Epochs is the number of committed WAL records the drive phase
+	// produces (every third epoch also carries a weight update).
+	Epochs int   `json:"epochs"`
+	Seed   int64 `json:"seed,omitempty"`
+	// Restarts is the number of timed recovery cycles — the scenario's
+	// measured operations (default 3; WarmupOps of them are untimed).
+	Restarts int `json:"restarts,omitempty"`
+	// SnapshotEveryEpochs forwards the WAL rotation policy. 0 disables
+	// mid-drive snapshots, so every recovery replays the whole history —
+	// the pure-replay-cost arm; a positive value measures
+	// snapshot-anchored recovery with at most that many records to replay.
+	SnapshotEveryEpochs int `json:"snapshot_every_epochs,omitempty"`
 }
 
 // HTTPSpec tunes the http-serve driver.
@@ -386,6 +416,9 @@ func (sc *Scenario) Validate() error {
 		if sc.Mobility != nil {
 			return bad("load and mobility are mutually exclusive")
 		}
+		if sc.Recovery != nil {
+			return bad("load and recovery are mutually exclusive")
+		}
 		if sc.Closed != nil || sc.Open != nil {
 			return bad("load scenarios take no loop spec (the timed loads are the operations)")
 		}
@@ -415,6 +448,56 @@ func (sc *Scenario) Validate() error {
 		}
 		return nil
 	}
+	if sc.Recovery != nil {
+		if sc.Mobility != nil {
+			return bad("recovery and mobility are mutually exclusive")
+		}
+		if sc.Closed != nil || sc.Open != nil {
+			return bad("recovery scenarios take no loop spec (the timed recoveries are the operations)")
+		}
+		if sc.Driver != DriverInprocFast {
+			return bad("recovery scenarios require the %s driver", DriverInprocFast)
+		}
+		if len(sc.Graphs) > 0 {
+			return bad("recovery scenarios generate their own churn history; drop the graphs list")
+		}
+		if sc.BatchSize > 1 || sc.CrossCheck || sc.HTTP != nil || len(sc.Shards) > 0 || sc.Reorder || sc.Sched != "" {
+			return bad("recovery scenarios take no batch_size, cross_check, shards, http, reorder or sched")
+		}
+		r := sc.Recovery
+		if r.N < 1 || r.Epochs < 1 || r.Radius <= 0 || r.Speed < 0 {
+			return bad("bad recovery parameters n=%d radius=%v speed=%v epochs=%d",
+				r.N, r.Radius, r.Speed, r.Epochs)
+		}
+		if r.Restarts < 0 || r.SnapshotEveryEpochs < 0 {
+			return bad("recovery restarts and snapshot_every_epochs must be ≥ 0")
+		}
+		restarts := r.Restarts
+		if restarts == 0 {
+			restarts = defaultRecoveryRestarts
+		}
+		if sc.WarmupOps < 0 {
+			return bad("warmup_ops must be ≥ 0 (got %d)", sc.WarmupOps)
+		}
+		if sc.WarmupOps >= restarts {
+			return bad("warmup_ops %d consumes every one of the %d restarts", sc.WarmupOps, restarts)
+		}
+		if len(sc.Matrix.combos()) != 1 {
+			return bad("recovery scenarios take exactly one matrix combo (the verification solve)")
+		}
+		c := sc.Matrix.combos()[0]
+		if c.Algo != "kw" && c.Algo != "kw2" {
+			return bad("recovery scenarios support algos kw|kw2 (got %q)", c.Algo)
+		}
+		if c.Variant != "ln" && c.Variant != "ln-lnln" {
+			return bad("unknown variant %q (want ln|ln-lnln)", c.Variant)
+		}
+		if c.K < 0 || c.K > kwmds.MaxK {
+			return bad("k %d outside [0, %d]", c.K, kwmds.MaxK)
+		}
+		return nil
+	}
+
 	if sc.BatchSize < 0 {
 		return bad("batch_size must be ≥ 0 (got %d)", sc.BatchSize)
 	}

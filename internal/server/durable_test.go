@@ -1,0 +1,383 @@
+package server
+
+// End-to-end durability: the serve layer over internal/wal. Mutates answer
+// durable:true only after the fsync, sync=false opts out, a restart
+// recovers the exact state, DELETE releases the mmapped base, the drain
+// path flushes unsynced records, and /metrics scrapes as well-formed
+// Prometheus text.
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"kwmds/internal/dyngraph"
+	"kwmds/internal/graph"
+	"kwmds/internal/graphio"
+	"kwmds/internal/testsupport"
+	"kwmds/internal/wal"
+)
+
+// lineGraph is a deterministic topology whose edges the tests know exactly.
+func lineGraph(n int) *graph.Graph {
+	edges := make([][2]int, 0, n-1)
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, [2]int{i, i + 1})
+	}
+	return graph.MustNew(n, edges)
+}
+
+var walTestOpts = wal.Options{SnapshotEveryEpochs: -1, SnapshotEveryBytes: -1}
+
+// durableServer opens (or recovers) a WAL-backed preload named "g" in dir
+// and serves it. initial seeds only the first call for a dir.
+func durableServer(t *testing.T, dir string, initial *graph.Graph) (*Server, *httptest.Server) {
+	t.Helper()
+	rec, err := wal.Open(dir, initial, nil, walTestOpts)
+	if err != nil {
+		t.Fatalf("wal.Open: %v", err)
+	}
+	srv := New(Config{Workers: 2, Preloads: map[string]Preload{
+		"g": {Dyn: rec.Dyn, Log: rec.Log, Mapped: rec.Mapped},
+	}})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	return srv, ts
+}
+
+func postMutate(t *testing.T, ts *httptest.Server, name, body string) (*http.Response, graphio.MutateResponse) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/graphs/"+name+"/mutate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var mr graphio.MutateResponse
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode == 200 {
+		if err := json.Unmarshal(data, &mr); err != nil {
+			t.Fatalf("mutate response: %v (%s)", err, data)
+		}
+	}
+	return resp, mr
+}
+
+func solveBody(t *testing.T, ts *httptest.Server, body string) map[string]any {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/solve", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 200 {
+		t.Fatalf("solve answered %d: %s", resp.StatusCode, data)
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal(data, &parsed); err != nil {
+		t.Fatal(err)
+	}
+	return parsed
+}
+
+// stripVolatile drops per-request fields (timings, cache markers) so two
+// solve bodies can be compared bit-for-bit across a process restart.
+func stripVolatile(m map[string]any) map[string]any {
+	delete(m, "elapsed_ms")
+	delete(m, "cached")
+	return m
+}
+
+func TestDurableMutateAndRestart(t *testing.T) {
+	dir := t.TempDir()
+	rec, err := wal.Open(dir, lineGraph(40), nil, walTestOpts)
+	if err != nil {
+		t.Fatalf("wal.Open: %v", err)
+	}
+	srv := New(Config{Workers: 2, Preloads: map[string]Preload{
+		"g": {Dyn: rec.Dyn, Log: rec.Log, Mapped: rec.Mapped},
+	}})
+	ts := httptest.NewServer(srv.Handler())
+
+	// Default sync: the 200 certifies durability.
+	resp, mr := postMutate(t, ts, "g", `{"mutations":[{"op":"add_edge","u":0,"v":10}]}`)
+	if resp.StatusCode != 200 || !mr.Durable || mr.Epoch != 1 {
+		t.Fatalf("mutate: status %d durable %v epoch %d", resp.StatusCode, mr.Durable, mr.Epoch)
+	}
+	// Explicit opt-out: committed, buffered, not yet certified durable.
+	resp, mr2 := postMutate(t, ts, "g", `{"sync":false,"mutations":[{"op":"set_weight","u":3,"w":4.5},{"op":"add_edge","u":5,"v":20}]}`)
+	if resp.StatusCode != 200 || mr2.Durable || mr2.Epoch != 2 {
+		t.Fatalf("sync=false mutate: status %d durable %v epoch %d", resp.StatusCode, mr2.Durable, mr2.Epoch)
+	}
+	before := stripVolatile(solveBody(t, ts, `{"graph_ref":"g","seed":3,"members":true,"use_graph_weights":true}`))
+
+	// Restart: closing the server flushes the buffered epoch 2; the
+	// recovered process must resume at exactly that state.
+	ts.Close()
+	srv.Close()
+
+	rec2, err := wal.Open(dir, nil, nil, walTestOpts)
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	if rec2.Dyn.Epoch() != 2 {
+		t.Fatalf("recovered epoch %d, want 2", rec2.Dyn.Epoch())
+	}
+	if rec2.Stats.ReplayedEpochs != 2 {
+		t.Fatalf("replayed %d epochs, want 2", rec2.Stats.ReplayedEpochs)
+	}
+	if hex := rec2.Dyn.Costs(); hex[3] != 4.5 {
+		t.Fatalf("recovered weight[3] = %v, want 4.5", hex[3])
+	}
+	srv2 := New(Config{Workers: 2, Preloads: map[string]Preload{
+		"g": {Dyn: rec2.Dyn, Log: rec2.Log, Mapped: rec2.Mapped},
+	}})
+	ts2 := httptest.NewServer(srv2.Handler())
+	t.Cleanup(func() { ts2.Close(); srv2.Close() })
+
+	// The registry view carries the recovered epoch and the digest the
+	// last topology mutate reported.
+	gresp, err := http.Get(ts2.URL + "/v1/graphs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(gresp.Body)
+	gresp.Body.Close()
+	var listing struct {
+		Graphs []struct {
+			Name   string `json:"name"`
+			Digest string `json:"digest"`
+			Epoch  int64  `json:"epoch"`
+		} `json:"graphs"`
+	}
+	if err := json.Unmarshal(body, &listing); err != nil || len(listing.Graphs) != 1 {
+		t.Fatalf("graphs listing: %v (%s)", err, body)
+	}
+	if got := listing.Graphs[0]; got.Epoch != 2 || got.Digest != mr2.Digest {
+		t.Fatalf("recovered listing %+v, want epoch 2 digest %s", got, mr2.Digest)
+	}
+
+	after := stripVolatile(solveBody(t, ts2, `{"graph_ref":"g","seed":3,"members":true,"use_graph_weights":true}`))
+	testsupport.RequireBitIdentical(t, after, before)
+
+	// The recovered log is live: the next mutate lands as epoch 3.
+	resp, mr3 := postMutate(t, ts2, "g", `{"mutations":[{"op":"remove_edge","u":0,"v":10}]}`)
+	if resp.StatusCode != 200 || !mr3.Durable || mr3.Epoch != 3 {
+		t.Fatalf("post-recovery mutate: status %d durable %v epoch %d", resp.StatusCode, mr3.Durable, mr3.Epoch)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := durableServer(t, dir, lineGraph(30))
+
+	solveBody(t, ts, `{"graph_ref":"g","seed":1}`)
+	solveBody(t, ts, `{"graph_ref":"g","seed":1}`) // cache hit
+	postMutate(t, ts, "g", `{"mutations":[{"op":"add_edge","u":0,"v":7}]}`)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/metrics answered %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q, want Prometheus text 0.0.4", ct)
+	}
+
+	// Parse every line: comments are # HELP/# TYPE; samples must be
+	// `name{labels} value` with a float value.
+	sample := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (NaN|[-+]?(Inf|[0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?))$`)
+	seen := map[string]bool{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("malformed comment line %q", line)
+		}
+		if !sample.MatchString(line) {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		seen[line[:strings.IndexAny(line, "{ ")]] = true
+	}
+	for _, want := range []string{
+		"kwmds_cache_entries", "kwmds_cache_hits_total", "kwmds_cache_misses_total", "kwmds_cache_hit_rate",
+		"kwmds_pool_workers", "kwmds_pool_in_use", "kwmds_graphs",
+		"kwmds_solve_batches_total", "kwmds_batched_solves_total",
+		"kwmds_solve_latency_ms", "kwmds_solve_latency_ms_sum", "kwmds_solve_latency_ms_count",
+		"kwmds_wal_appends_total", "kwmds_wal_appended_bytes_total", "kwmds_wal_fsyncs_total",
+		"kwmds_wal_fsync_latency_ms", "kwmds_wal_last_epoch", "kwmds_recovery_ms", "kwmds_recovery_replayed_epochs",
+	} {
+		if !seen[want] {
+			t.Fatalf("family %s missing from /metrics (saw %v)", want, seen)
+		}
+	}
+}
+
+// TestDeleteReleasesMappedGraph pins the mapped-preload lifecycle: a graph
+// served off an mmapped .kwcsr, mutated (so the engine's tip is heap while
+// the epoch-0 base still aliases the mapping), then DELETEd must drop the
+// mapping's refcount to zero — the bug this guards against was the owner
+// reference surviving the delete, pinning the file mapping for the process
+// lifetime.
+func TestDeleteReleasesMappedGraph(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.kwcsr")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graphio.WriteBinaryCSR(f, lineGraph(25), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := graphio.OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.VerifyStructure(); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{Workers: 2, Preloads: map[string]Preload{
+		"m": {Dyn: dyngraph.New(m.Graph()), Mapped: m},
+	}})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+
+	// Solve + mutate first: the lifecycle bug only bites preloads that
+	// were actually used and mutated before deletion.
+	solveBody(t, ts, `{"graph_ref":"m","seed":1}`)
+	if resp, _ := postMutate(t, ts, "m", `{"mutations":[{"op":"add_edge","u":0,"v":9}]}`); resp.StatusCode != 200 {
+		t.Fatalf("mutate answered %d", resp.StatusCode)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/graphs/m", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("DELETE answered %d", resp.StatusCode)
+	}
+
+	// The owner reference is gone and no solve holds a pin: the refcount
+	// must have hit zero, which is observable as Retain refusing.
+	if m.Retain() {
+		t.Fatal("mapped graph still retainable after DELETE — owner reference leaked")
+	}
+
+	// The graph is gone from the registry too.
+	sresp, err := http.Post(ts.URL+"/v1/solve", "application/json", strings.NewReader(`{"graph_ref":"m","seed":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if sresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("solve after DELETE answered %d, want 404", sresp.StatusCode)
+	}
+	req2, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/graphs/m", nil)
+	dresp, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("second DELETE answered %d, want 404", dresp.StatusCode)
+	}
+}
+
+// TestGracefulDrainFlushesWAL: a mutate committed with sync=false right as
+// the drain fires must be durable once Graceful has returned and the
+// server is closed — the committed-but-unsynced record may not be lost to
+// the shutdown ordering. Run under -race in CI: the interesting bug class
+// is the in-flight mutate racing the stop signal.
+func TestGracefulDrainFlushesWAL(t *testing.T) {
+	dir := t.TempDir()
+	rec, err := wal.Open(dir, lineGraph(30), nil, walTestOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{Workers: 2, Preloads: map[string]Preload{
+		"g": {Dyn: rec.Dyn, Log: rec.Log, Mapped: rec.Mapped},
+	}})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{})
+	var once sync.Once
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		once.Do(func() { close(entered) })
+		srv.Handler().ServeHTTP(w, r)
+	})
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() { done <- Graceful(ln, h, stop, 10*time.Second) }()
+
+	type result struct {
+		status  int
+		durable bool
+		err     error
+	}
+	resc := make(chan result, 1)
+	go func() {
+		resp, err := http.Post("http://"+ln.Addr().String()+"/v1/graphs/g/mutate", "application/json",
+			strings.NewReader(`{"sync":false,"mutations":[{"op":"add_edge","u":0,"v":12}]}`))
+		if err != nil {
+			resc <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		var mr graphio.MutateResponse
+		json.NewDecoder(resp.Body).Decode(&mr)
+		resc <- result{status: resp.StatusCode, durable: mr.Durable}
+	}()
+	// Fire the drain while the mutate is in flight: Graceful must wait for
+	// the handler, and the close after it must flush the record.
+	<-entered
+	close(stop)
+	res := <-resc
+	if res.err != nil || res.status != 200 {
+		t.Fatalf("mutate during drain: %+v", res)
+	}
+	if res.durable {
+		t.Fatal("sync=false mutate claimed durable")
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Graceful returned %v", err)
+	}
+	srv.Close() // the serve cleanup path: flush WAL, close mapping
+
+	rec2, err := wal.Open(dir, nil, nil, walTestOpts)
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer rec2.Log.Close()
+	if rec2.Mapped != nil {
+		defer rec2.Mapped.Close()
+	}
+	if rec2.Dyn.Epoch() != 1 {
+		t.Fatalf("recovered epoch %d, want 1 — the drained-but-unsynced record was lost", rec2.Dyn.Epoch())
+	}
+}

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -19,6 +20,7 @@ import (
 	"kwmds/internal/graph"
 	"kwmds/internal/graphio"
 	"kwmds/internal/shard"
+	"kwmds/internal/wal"
 )
 
 // Config sizes the service.
@@ -32,6 +34,13 @@ type Config struct {
 	CacheEntries int
 	// Graphs are the preloaded topologies addressable via "graph_ref".
 	Graphs map[string]*graph.Graph
+	// Preloads are preloaded graphs carrying full lifecycle state — a
+	// dynamic engine possibly recovered at a nonzero epoch, an optional
+	// write-ahead log (mutations then commit durably before the 200), and
+	// an optional mmapped snapshot backing the engine's base graph. The
+	// server takes ownership: Close (and DELETE /v1/graphs/{name}) closes
+	// the log and the mapping. Merged with Graphs; names must not collide.
+	Preloads map[string]Preload
 	// MaxBodyBytes caps the request body. Default 64 MiB.
 	MaxBodyBytes int64
 	// MaxInlineVertices caps the "n" of inline graphs. The body limit
@@ -62,13 +71,24 @@ type Config struct {
 	Reorder bool
 }
 
+// Preload is one entry of Config.Preloads. Dyn is required; Log and Mapped
+// are optional and pass to the server's ownership.
+type Preload struct {
+	Dyn    *dyngraph.Dynamic
+	Log    *wal.Log
+	Mapped *graphio.MappedGraph
+}
+
 // Server answers dominating-set queries over HTTP. It is safe for
 // concurrent use; every pipeline run goes through the bounded worker pool.
 type Server struct {
-	cfg     Config
-	sem     chan struct{}
-	cache   *resultCache
-	mux     *http.ServeMux
+	cfg   Config
+	sem   chan struct{}
+	cache *resultCache
+	mux   *http.ServeMux
+	// gmu guards the graph registry (graphs, names): DELETE removes
+	// entries at runtime, so every lookup takes the read lock.
+	gmu     sync.RWMutex
 	graphs  map[string]*preloaded
 	names   []string
 	batcher solveBatcher
@@ -77,6 +97,11 @@ type Server struct {
 	// advertised for it.
 	mesh     *shard.MeshListener
 	meshAddr string
+	// Per-engine solve latency histograms for /metrics (cold solves only —
+	// cache hits cost microseconds and would drown the signal).
+	lmu       sync.Mutex
+	solveHist map[string]*solveStats
+	closeOnce sync.Once
 }
 
 // preloaded is one named graph, mutable through POST /v1/graphs/{name}/
@@ -89,6 +114,17 @@ type preloaded struct {
 	mu     sync.RWMutex
 	dyn    *dyngraph.Dynamic
 	digest string
+	// rawDigest is digest's raw form — what WAL records embed; kept in
+	// lockstep with digest so mutate never re-hashes for the log.
+	rawDigest [32]byte
+	// log, when non-nil, is the graph's write-ahead log: every committed
+	// epoch appends one record, and mutate answers 200 only after the
+	// record is durable (unless the request opts out with sync=false).
+	log *wal.Log
+	// mapped, when non-nil, is the mmapped snapshot backing dyn's base
+	// graph. Solves retain it for their duration; DELETE and Close drop
+	// the owner reference, unmapping once the last solve releases.
+	mapped *graphio.MappedGraph
 	// parts caches partitions of the current topology keyed by shard
 	// count — building one is O(n + m), and sharded serving re-solves the
 	// same preload with varying options, so the partition is the reusable
@@ -181,23 +217,43 @@ func New(cfg Config) *Server {
 		cfg.Shards = 0
 	}
 	s := &Server{
-		cfg:    cfg,
-		sem:    make(chan struct{}, cfg.Workers),
-		cache:  newResultCache(cfg.CacheEntries),
-		mux:    http.NewServeMux(),
-		graphs: make(map[string]*preloaded, len(cfg.Graphs)),
+		cfg:       cfg,
+		sem:       make(chan struct{}, cfg.Workers),
+		cache:     newResultCache(cfg.CacheEntries),
+		mux:       http.NewServeMux(),
+		graphs:    make(map[string]*preloaded, len(cfg.Graphs)+len(cfg.Preloads)),
+		solveHist: make(map[string]*solveStats),
 	}
 	s.batcher.groups = make(map[string][]*batchItem)
 	for name, g := range cfg.Graphs {
-		s.graphs[name] = &preloaded{dyn: dyngraph.New(g), digest: graphio.Digest(g)}
+		raw := graphio.DigestRaw(g)
+		s.graphs[name] = &preloaded{dyn: dyngraph.New(g), digest: hex.EncodeToString(raw[:]), rawDigest: raw}
+		s.names = append(s.names, name)
+	}
+	for name, p := range cfg.Preloads {
+		raw := graphio.DigestRaw(p.Dyn.Graph())
+		s.graphs[name] = &preloaded{
+			dyn: p.Dyn, digest: hex.EncodeToString(raw[:]), rawDigest: raw,
+			log: p.Log, mapped: p.Mapped,
+		}
 		s.names = append(s.names, name)
 	}
 	sort.Strings(s.names)
 	s.mux.HandleFunc("/v1/solve", s.handleSolve)
 	s.mux.HandleFunc("/v1/graphs", s.handleGraphs)
 	s.mux.HandleFunc("POST /v1/graphs/{name}/mutate", s.handleMutate)
+	s.mux.HandleFunc("DELETE /v1/graphs/{name}", s.handleDelete)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
+}
+
+// lookup resolves a preloaded graph by name under the registry read lock.
+func (s *Server) lookup(name string) (*preloaded, bool) {
+	s.gmu.RLock()
+	p, ok := s.graphs[name]
+	s.gmu.RUnlock()
+	return p, ok
 }
 
 // Handler returns the service's HTTP handler.
@@ -285,9 +341,23 @@ func (s *Server) solve(ctx context.Context, req *graphio.SolveRequest) (*graphio
 	var epoch int64
 	var pre *preloaded
 	if req.GraphRef != "" {
-		p, ok := s.graphs[req.GraphRef]
+		p, ok := s.lookup(req.GraphRef)
 		if !ok {
 			return nil, &httpError{http.StatusNotFound, fmt.Sprintf("unknown graph_ref %q (see /v1/graphs)", req.GraphRef)}
+		}
+		p.mu.RLock()
+		mapped := p.mapped
+		p.mu.RUnlock()
+		if mapped != nil {
+			// Pin the mmapped base for the solve's duration: a concurrent
+			// DELETE drops the owner reference, and epoch-0 (and weight-only
+			// epoch) snapshots read straight off those pages. A failed
+			// Retain means the mapping is already gone — the graph lost a
+			// race with its deletion.
+			if !mapped.Retain() {
+				return nil, &httpError{http.StatusNotFound, fmt.Sprintf("graph %q was deleted", req.GraphRef)}
+			}
+			defer mapped.Release()
 		}
 		pre = p
 		var costs []float64
@@ -389,6 +459,11 @@ func (s *Server) solve(ctx context.Context, req *graphio.SolveRequest) (*graphio
 	if err != nil {
 		return nil, err
 	}
+	if !hit {
+		// Cold solves only: hits cost microseconds and would bury the
+		// engine-latency signal /metrics exists to expose.
+		s.observeSolve(req.Engine, cached.ElapsedMS)
+	}
 	// Copy before customizing: the cache entry is shared across requests.
 	resp := *cached
 	resp.Cached = hit
@@ -406,13 +481,16 @@ func (s *Server) solve(ctx context.Context, req *graphio.SolveRequest) (*graphio
 }
 
 // handleMutate applies one epoch batch to a mutable preloaded graph. The
-// write lock spans apply + commit + digest so concurrent solves always see
-// a consistent (graph, digest, epoch) triple; solves already running keep
-// their immutable snapshot. Cache entries under the pre-mutation digest
-// are dropped.
+// write lock spans apply + commit + digest + WAL append so concurrent
+// solves always see a consistent (graph, digest, epoch) triple and records
+// land in the log in epoch order; solves already running keep their
+// immutable snapshot. Cache entries under the pre-mutation digest are
+// dropped. On a durable graph the 200 waits for the record's fsync — which
+// happens after the lock is released, so concurrent mutates of one graph
+// ride a single group-commit fsync — unless the request says sync=false.
 func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	p, ok := s.graphs[name]
+	p, ok := s.lookup(name)
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown graph %q (see /v1/graphs); inline-only graphs cannot be mutated", name)
 		return
@@ -429,10 +507,11 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	}
 
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if req.Epoch != nil && *req.Epoch != p.dyn.Epoch() {
+		epoch := p.dyn.Epoch()
+		p.mu.Unlock()
 		writeError(w, http.StatusConflict, "stale epoch: graph %q is at epoch %d, request pinned %d",
-			name, p.dyn.Epoch(), *req.Epoch)
+			name, epoch, *req.Epoch)
 		return
 	}
 	// The same resource bound the inline-graph path enforces: mutations
@@ -445,6 +524,7 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if n := p.dyn.N() + grows; n > s.cfg.MaxInlineVertices {
+		p.mu.Unlock()
 		writeError(w, http.StatusBadRequest,
 			"mutation batch would grow graph %q to n=%d, exceeding the server limit of %d vertices", name, n, s.cfg.MaxInlineVertices)
 		return
@@ -462,13 +542,25 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		}
 		if err != nil {
 			p.dyn.Discard()
+			p.mu.Unlock()
 			writeError(w, http.StatusBadRequest, "mutation %d: %v", i, err)
 			return
 		}
 	}
+	// The record's delta fields must be gathered before Commit consumes
+	// the pending state; the record itself can only be appended after
+	// Commit succeeds (a refused batch must leave no trace in the log).
+	var rec *wal.Record
+	if p.log != nil {
+		rec = &wal.Record{Pre: p.rawDigest}
+		var grew int
+		rec.Adds, rec.Rems, rec.Weights, grew = p.dyn.NormalizedPending()
+		rec.Grew = grew
+	}
 	delta, err := p.dyn.Commit()
 	if err != nil {
 		p.dyn.Discard()
+		p.mu.Unlock()
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -477,19 +569,90 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	// (digest, weights-hash) and remain exactly right.
 	if delta.Next != delta.Prev {
 		oldDigest := p.digest
-		p.digest = graphio.Digest(delta.Next)
+		p.rawDigest = graphio.DigestRaw(delta.Next)
+		p.digest = hex.EncodeToString(p.rawDigest[:])
 		p.parts = nil   // partitions describe the old topology
 		p.reorder = nil // so does the degree-ordered relabeling
 		s.cache.invalidateDigest(oldDigest)
 	}
-	writeJSON(w, http.StatusOK, graphio.MutateResponse{
+	if rec != nil {
+		rec.Epoch = delta.Epoch
+		rec.Post = p.rawDigest
+		if aerr := p.log.Append(rec, false); aerr != nil {
+			// The engine advanced but the log did not: this epoch (and any
+			// after it) cannot survive a restart. The log is now poisoned
+			// (every further append fails), so the graph is effectively
+			// read-only until an operator restarts onto the durable state.
+			p.mu.Unlock()
+			writeError(w, http.StatusInternalServerError, "graph %q: epoch %d committed in memory but could not be logged: %v",
+				name, delta.Epoch, aerr)
+			return
+		}
+		if p.log.ShouldSnapshot() {
+			// Snapshot under the write lock: (graph, costs, epoch) must be
+			// the triple just committed. A failure is deliberately not an
+			// error — the log chain is intact, recovery just replays more.
+			p.log.WriteSnapshot(p.dyn.Graph(), p.dyn.Costs(), delta.Epoch)
+		}
+	}
+	resp := graphio.MutateResponse{
 		Name:    name,
 		Epoch:   delta.Epoch,
 		Digest:  p.digest,
 		N:       delta.Next.N(),
 		M:       delta.Next.M(),
 		Touched: len(delta.Touched),
-	})
+	}
+	p.mu.Unlock()
+
+	if rec != nil && (req.Sync == nil || *req.Sync) {
+		if serr := p.log.Sync(); serr != nil {
+			writeError(w, http.StatusInternalServerError, "graph %q: epoch %d committed but not durable: %v",
+				name, resp.Epoch, serr)
+			return
+		}
+		resp.Durable = true
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleDelete removes a preloaded graph and releases its lifecycle state:
+// the WAL (flushed and closed; its files stay on disk for a later restart)
+// and the mmapped snapshot (owner reference dropped — the pages unmap once
+// the last in-flight solve releases its pin). New requests see 404 as soon
+// as the registry entry is gone.
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.gmu.Lock()
+	p, ok := s.graphs[name]
+	if ok {
+		delete(s.graphs, name)
+		for i, n := range s.names {
+			if n == name {
+				s.names = append(s.names[:i], s.names[i+1:]...)
+				break
+			}
+		}
+	}
+	s.gmu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown graph %q (see /v1/graphs)", name)
+		return
+	}
+	// Wait out any in-flight mutate so the log closes after its append.
+	p.mu.Lock()
+	epoch := p.dyn.Epoch()
+	if p.log != nil {
+		p.log.Close()
+		p.log = nil
+	}
+	mapped := p.mapped
+	p.mapped = nil
+	p.mu.Unlock()
+	if mapped != nil {
+		mapped.Close()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"name": name, "epoch": epoch, "deleted": true})
 }
 
 // run executes one pipeline configuration. Members are always materialized
@@ -593,9 +756,16 @@ func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
-	infos := make([]graphInfo, 0, len(s.names))
-	for _, name := range s.names {
-		g, digest, epoch, _ := s.graphs[name].snapshot()
+	s.gmu.RLock()
+	names := append([]string(nil), s.names...)
+	ps := make([]*preloaded, len(names))
+	for i, name := range names {
+		ps[i] = s.graphs[name]
+	}
+	s.gmu.RUnlock()
+	infos := make([]graphInfo, 0, len(names))
+	for i, name := range names {
+		g, digest, epoch, _ := ps[i].snapshot()
 		infos = append(infos, graphInfo{Name: name, N: g.N(), M: g.M(), MaxDeg: g.MaxDegree(), Digest: digest, Epoch: epoch})
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"graphs": infos})
@@ -612,10 +782,13 @@ func (s *Server) Stats() (entries int, hits, misses int64) {
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	entries, hits, misses := s.cache.stats()
 	batches, batched := s.BatchStats()
+	s.gmu.RLock()
+	graphs := len(s.graphs)
+	s.gmu.RUnlock()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":         "ok",
 		"workers":        s.cfg.Workers,
-		"graphs":         len(s.graphs),
+		"graphs":         graphs,
 		"cache_entries":  entries,
 		"cache_hits":     hits,
 		"cache_misses":   misses,

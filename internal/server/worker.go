@@ -51,12 +51,37 @@ func (s *Server) EnableShardWorker(listenAddr, advertiseAddr string) (string, er
 	return s.meshAddr, nil
 }
 
-// Close releases the shard worker's mesh listener (a no-op for plain
-// servers). In-flight HTTP requests are the caller's to drain (see Graceful).
+// Close releases everything the server owns: the shard mesh listener (if
+// any), every preloaded graph's write-ahead log (flushed first, so records
+// committed with sync=false become durable before the process exits — the
+// graceful-drain contract) and every mmapped snapshot. Idempotent.
+// In-flight HTTP requests are the caller's to drain (see Graceful) before
+// calling Close.
 func (s *Server) Close() {
-	if s.mesh != nil {
-		s.mesh.Close()
-	}
+	s.closeOnce.Do(func() {
+		if s.mesh != nil {
+			s.mesh.Close()
+		}
+		s.gmu.RLock()
+		ps := make([]*preloaded, 0, len(s.graphs))
+		for _, p := range s.graphs {
+			ps = append(ps, p)
+		}
+		s.gmu.RUnlock()
+		for _, p := range ps {
+			p.mu.Lock()
+			if p.log != nil {
+				p.log.Close()
+				p.log = nil
+			}
+			mapped := p.mapped
+			p.mapped = nil
+			p.mu.Unlock()
+			if mapped != nil {
+				mapped.Close()
+			}
+		}
+	})
 }
 
 func (s *Server) handleShardInfo(w http.ResponseWriter, r *http.Request) {
@@ -85,10 +110,22 @@ func (s *Server) handleShardSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "shards = %d exceeds the engine limit of %d", req.Shards, kwmds.MaxShards)
 		return
 	}
-	p, ok := s.graphs[req.GraphRef]
+	p, ok := s.lookup(req.GraphRef)
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown graph_ref %q (see /v1/graphs)", req.GraphRef)
 		return
+	}
+	p.mu.RLock()
+	mapped := p.mapped
+	p.mu.RUnlock()
+	if mapped != nil {
+		// Same pin as the direct solve path: the mmapped base must outlive
+		// this shard's run even if the graph is deleted mid-solve.
+		if !mapped.Retain() {
+			writeError(w, http.StatusNotFound, "graph %q was deleted", req.GraphRef)
+			return
+		}
+		defer mapped.Release()
 	}
 	g, digest, epoch, _ := p.snapshot()
 	sc, err := p.partition(g, req.Shards)

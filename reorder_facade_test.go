@@ -3,6 +3,8 @@ package kwmds
 import (
 	"errors"
 	"testing"
+
+	"kwmds/internal/testsupport"
 )
 
 // TestReorderBitIdentical locks the core contract of the degree-ordered
@@ -34,19 +36,7 @@ func TestReorderBitIdentical(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				if plain.Size != reord.Size {
-					t.Fatalf("seed %d: size %d != %d", seed, plain.Size, reord.Size)
-				}
-				for v := range plain.InDS {
-					if plain.InDS[v] != reord.InDS[v] {
-						t.Fatalf("seed %d: membership diverges at vertex %d", seed, v)
-					}
-				}
-				for v := range plain.Fractional {
-					if plain.Fractional[v] != reord.Fractional[v] {
-						t.Fatalf("seed %d: fractional value diverges at vertex %d", seed, v)
-					}
-				}
+				testsupport.RequireBitIdentical(t, reord, plain)
 			}
 		})
 	}
@@ -60,11 +50,7 @@ func TestReorderBitIdentical(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			for v := range plain.X {
-				if plain.X[v] != reord.X[v] {
-					t.Fatalf("seed %d: fractional value diverges at vertex %d", seed, v)
-				}
-			}
+			testsupport.RequireBitIdentical(t, reord, plain)
 		}
 	})
 }

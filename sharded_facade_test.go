@@ -3,6 +3,8 @@ package kwmds
 import (
 	"errors"
 	"testing"
+
+	"kwmds/internal/testsupport"
 )
 
 // TestShardedFacadeMatchesSequential: the facade's sharded entry points must
@@ -39,17 +41,7 @@ func TestShardedFacadeMatchesSequential(t *testing.T) {
 				t.Fatalf("S=%d prebuilt: %v", S, err)
 			}
 			for _, res := range []*Result{got, got2} {
-				if res.Size != ref.Size || res.LPObjective != ref.LPObjective ||
-					res.JoinedRandom != ref.JoinedRandom || res.JoinedFixup != ref.JoinedFixup || res.K != ref.K {
-					t.Fatalf("S=%d: (%d, %v, %d, %d), want (%d, %v, %d, %d)", S,
-						res.Size, res.LPObjective, res.JoinedRandom, res.JoinedFixup,
-						ref.Size, ref.LPObjective, ref.JoinedRandom, ref.JoinedFixup)
-				}
-				for v := range ref.InDS {
-					if res.InDS[v] != ref.InDS[v] || res.Fractional[v] != ref.Fractional[v] {
-						t.Fatalf("S=%d: vertex %d diverges", S, v)
-					}
-				}
+				testsupport.RequireBitIdentical(t, res, ref)
 			}
 		}
 	}
@@ -75,9 +67,7 @@ func TestShardedFacadeWeighted(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Size != ref.Size || got.WeightedCost != ref.WeightedCost {
-		t.Fatalf("sharded weighted: (%d, %v), want (%d, %v)", got.Size, got.WeightedCost, ref.Size, ref.WeightedCost)
-	}
+	testsupport.RequireBitIdentical(t, got, ref)
 }
 
 func TestShardedFacadeValidation(t *testing.T) {
