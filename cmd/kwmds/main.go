@@ -15,6 +15,7 @@
 //	graphgen -family udg -n 500 -r 0.08 | kwmds -algo greedy
 //	kwmds -graph gen:udg:500:0.08:1 -algo kwcds
 //	kwmds serve -addr :8080 -workers 8 -preload udg-10k=gen:udg:10000:0.02:1
+//	kwmds serve -addr :8080 -workers 4 -max-queue 64 -queue-timeout 250ms -preload g=gen:udg:10000:0.02:1
 //	kwmds serve -addr :8080 -shards 4 -preload udg-10k=gen:udg:10000:0.02:1
 //	kwmds shard -addr :8081 -data-addr :9081 -preload udg-10k=gen:udg:10000:0.02:1
 //	kwmds serve -addr :8080 -router 127.0.0.1:8081,127.0.0.1:8082 -shards 2
@@ -99,6 +100,8 @@ func serveMain(args []string) error {
 		cfg.Preload = append(cfg.Preload, v)
 		return nil
 	})
+	fs.IntVar(&cfg.MaxQueue, "max-queue", 0, "admission queue bound: solves beyond workers running + this many waiting are shed with 429 (0 = unbounded)")
+	fs.DurationVar(&cfg.QueueTimeout, "queue-timeout", 0, "max wait for a worker slot before an admitted solve is shed with 429 (0 = no timeout)")
 	fs.IntVar(&cfg.Shards, "shards", 0, "run cold solves on the partitioned engine: in-proc shard count, or scatter width with -router")
 	fs.Func("router", "shard-worker base URL (run as a scatter-gather router; repeatable, or comma-separated)", func(v string) error {
 		for _, w := range strings.Split(v, ",") {

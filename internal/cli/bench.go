@@ -89,6 +89,22 @@ func RunBench(cfg BenchConfig, w io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(w, "wrote %s (%d scenario(s) merged)\n", cfg.Out, len(results))
+	// The SLO gate fires after the report is written: a violated bound
+	// exits non-zero, but the measurements that show the violation are
+	// already on disk for inspection.
+	var violated int
+	for _, r := range results {
+		if r.SLO == nil {
+			continue
+		}
+		for _, v := range r.SLO.Violations {
+			fmt.Fprintf(w, "SLO violation [%s]: %s\n", r.Name, v)
+			violated++
+		}
+	}
+	if violated > 0 {
+		return fmt.Errorf("%d SLO violation(s) across %d scenario(s)", violated, len(results))
+	}
 	if cfg.Legacy != "" {
 		runs := kwbench.LegacyServeRuns(results)
 		if len(runs) == 0 {
@@ -111,6 +127,16 @@ func printResult(w io.Writer, r *kwbench.ScenarioResult) {
 	}
 	if r.HitRate != nil {
 		fmt.Fprintf(w, "  %-28s cache hit rate %.2f\n", "", *r.HitRate)
+	}
+	if r.Errors > 0 || r.Sheds > 0 {
+		fmt.Fprintf(w, "  %-28s errors %d (rate %.4f)  sheds %d (rate %.4f)\n",
+			"", r.Errors, r.ErrorRate, r.Sheds, r.ShedRate)
+	}
+	for _, row := range r.MixRows {
+		fmt.Fprintf(w, "  %-28s mix %-12s %7d ops  p99=%8.2fms\n", "", row.Kind, row.Ops, row.Latency.P99)
+	}
+	for _, row := range r.TenantRows {
+		fmt.Fprintf(w, "  %-28s tenant %-2d %7d ops  p99=%8.2fms\n", "", row.Tenant, row.Ops, row.Latency.P99)
 	}
 	if r.CrossChecked > 0 {
 		fmt.Fprintf(w, "  %-28s cross-checked %d ops, %d mismatches\n", "", r.CrossChecked, r.Mismatches)

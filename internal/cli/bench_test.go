@@ -55,6 +55,43 @@ ops = 10
 	}
 }
 
+// TestRunBenchSLOGate: a violated [slo] bound makes RunBench return an
+// error — but only after the report (containing the violating measurements)
+// has been written and still validates.
+func TestRunBenchSLOGate(t *testing.T) {
+	dir := t.TempDir()
+	scenario := writeScenario(t, dir, "slo.toml", `
+name = "cli-slo-gate"
+driver = "inproc-fast"
+seeds = 2
+
+[[graphs]]
+gen = "udg:150:0.2:1"
+
+[closed]
+concurrency = 2
+ops = 10
+
+[slo]
+p99_ms = 1e-9
+`)
+	out := filepath.Join(dir, "BENCH_kwbench.json")
+	var buf strings.Builder
+	err := RunBench(BenchConfig{Scenarios: []string{scenario}, Out: out}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "SLO violation") {
+		t.Fatalf("violated SLO must fail the bench, got err=%v\noutput:\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "SLO violation [cli-slo-gate]") {
+		t.Errorf("violation not itemized in output:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "wrote ") {
+		t.Errorf("report must be written before the gate fires:\n%s", buf.String())
+	}
+	if err := kwbench.ValidateReportFile(out); err != nil {
+		t.Fatalf("report written under a violated SLO is invalid: %v", err)
+	}
+}
+
 func TestRunBenchErrors(t *testing.T) {
 	var buf strings.Builder
 	if err := RunBench(BenchConfig{}, &buf); err == nil {

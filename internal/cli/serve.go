@@ -35,6 +35,13 @@ type ServeConfig struct {
 	// Shards > 1 runs cold fast-engine solves of preloaded graphs on the
 	// partitioned in-process engine (see server.Config.Shards).
 	Shards int
+	// MaxQueue bounds the admission queue in front of the worker pool:
+	// solves beyond Workers running + MaxQueue waiting are shed with
+	// 429 + Retry-After (see server.Config.MaxQueue). 0 = unbounded.
+	MaxQueue int
+	// QueueTimeout bounds an admitted solve's wait for a worker slot;
+	// 0 disables (see server.Config.QueueTimeout).
+	QueueTimeout time.Duration
 
 	// DataDir, when non-empty, makes every preloaded graph durable: each
 	// gets a write-ahead log plus snapshots under DataDir/<name>/, mutate
@@ -167,6 +174,8 @@ func BuildServer(cfg ServeConfig) (*server.Server, func(), error) {
 		Preloads:     preloads,
 		Shards:       cfg.Shards,
 		Reorder:      cfg.Reorder,
+		MaxQueue:     cfg.MaxQueue,
+		QueueTimeout: cfg.QueueTimeout,
 	})
 	// Everything in `opened` now belongs to the server; Close is
 	// idempotent, so the caller's deferred cleanup composes with it.

@@ -109,6 +109,10 @@ const (
 	// CodeNotImplemented: the endpoint exists but is not served in this mode
 	// (e.g. mutate on a router).
 	CodeNotImplemented = "not_implemented"
+	// CodeOverloaded: the solve was shed by admission control (queue full or
+	// queue timeout). Retryable after the Retry-After delay; the computation
+	// never started.
+	CodeOverloaded = "overloaded"
 )
 
 // DecodeSolveRequest parses and structurally validates a solve body: valid

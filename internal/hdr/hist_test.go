@@ -1,0 +1,192 @@
+package hdr
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestHistogramExactSmallValues(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 10; i++ {
+		h.Record(time.Duration(i))
+	}
+	if h.Count() != 10 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.MinMS(); got != 1e-6 {
+		t.Errorf("min = %v ns, want 1", got*1e6)
+	}
+	if got := h.MaxMS(); got != 10e-6 {
+		t.Errorf("max = %v ns, want 10", got*1e6)
+	}
+	// Sub-64ns values land in exact buckets: the median of 1..10 is 5.
+	if got := h.Quantile(0.5) * 1e6; got != 5 {
+		t.Errorf("p50 = %v ns, want 5", got)
+	}
+}
+
+// TestHistogramQuantileAccuracy checks the log-linear error bound: every
+// quantile must land within ~3.2% (one sub-bucket) of the exact
+// order-statistic value.
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var h Histogram
+	n := 20000
+	vals := make([]float64, n)
+	for i := range vals {
+		// Log-uniform over ~5 decades: 10µs .. 1s.
+		d := time.Duration(math.Pow(10, 4+5*rng.Float64()))
+		vals[i] = float64(d)
+		h.Record(d)
+	}
+	// Exact order statistics for comparison.
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exactNS := sorted[int(math.Ceil(q*float64(n)))-1]
+		gotNS := h.Quantile(q) * 1e6
+		if rel := math.Abs(gotNS-exactNS) / exactNS; rel > 0.032 {
+			t.Errorf("q=%v: got %.0f ns, exact %.0f ns, rel err %.4f > 0.032", q, gotNS, exactNS, rel)
+		}
+	}
+	if h.MaxMS()*1e6 != sorted[n-1] {
+		t.Errorf("max %.0f != exact %.0f", h.MaxMS()*1e6, sorted[n-1])
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b, both Histogram
+	for i := 0; i < 1000; i++ {
+		d := time.Duration(i) * time.Microsecond
+		if i%2 == 0 {
+			a.Record(d)
+		} else {
+			b.Record(d)
+		}
+		both.Record(d)
+	}
+	var merged Histogram
+	merged.Merge(&a)
+	merged.Merge(&b)
+	if merged.Count() != both.Count() {
+		t.Fatalf("count %d != %d", merged.Count(), both.Count())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		if m, w := merged.Quantile(q), both.Quantile(q); m != w {
+			t.Errorf("q=%v: merged %v != direct %v", q, m, w)
+		}
+	}
+	if merged.MinMS() != both.MinMS() || merged.MaxMS() != both.MaxMS() {
+		t.Errorf("extrema drift: merged [%v, %v], direct [%v, %v]",
+			merged.MinMS(), merged.MaxMS(), both.MinMS(), both.MaxMS())
+	}
+}
+
+// TestHistogramMergeIntoEmpty checks that merging into a zero-value
+// histogram adopts the source's extrema instead of keeping the zero min,
+// and that merging an empty (or nil) source is a no-op.
+func TestHistogramMergeIntoEmpty(t *testing.T) {
+	var src Histogram
+	src.Record(5 * time.Millisecond)
+	src.Record(9 * time.Millisecond)
+
+	var dst Histogram
+	dst.Merge(&src)
+	if dst.Count() != 2 {
+		t.Fatalf("count = %d, want 2", dst.Count())
+	}
+	if dst.MinMS() != 5 || dst.MaxMS() != 9 {
+		t.Errorf("extrema [%v, %v], want [5, 9]", dst.MinMS(), dst.MaxMS())
+	}
+
+	var empty Histogram
+	dst.Merge(&empty)
+	dst.Merge(nil)
+	if dst.Count() != 2 || dst.MinMS() != 5 || dst.MaxMS() != 9 {
+		t.Errorf("empty/nil merge changed state: count %d, extrema [%v, %v]",
+			dst.Count(), dst.MinMS(), dst.MaxMS())
+	}
+}
+
+func TestHistogramEmptyAndNegative(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.MeanMS() != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+	if h.SumMS() != 0 || h.MinMS() != 0 || h.MaxMS() != 0 {
+		t.Error("empty histogram sum/extrema must be zero")
+	}
+	for _, d := range []time.Duration{0, -time.Second} { // both clamp to 0 ns
+		h = Histogram{}
+		h.Record(d)
+		if h.MinMS() != 0 || h.MaxMS() != 0 || h.Count() != 1 {
+			t.Errorf("Record(%v) mishandled: %+v", d, h)
+		}
+		if h.Quantile(0.99) != 0 {
+			t.Errorf("Record(%v): quantile of the zero bucket = %v, want 0", d, h.Quantile(0.99))
+		}
+	}
+}
+
+// TestHistogramQuantileBounds pins the q=0 and q=1 endpoints: they stay
+// inside the exact observed [min, max] (the clamp) and within one
+// sub-bucket of the extrema. A single-sample histogram collapses the clamp
+// range, so every quantile must return that sample exactly.
+func TestHistogramQuantileBounds(t *testing.T) {
+	var h Histogram
+	for _, ns := range []int64{100, 1000, 123456, 7_000_000} {
+		h.Record(time.Duration(ns))
+	}
+	if got := h.Quantile(0); got < h.MinMS() || got > h.MinMS()*1.032 {
+		t.Errorf("Quantile(0) = %v, want within one sub-bucket above min %v", got, h.MinMS())
+	}
+	if got := h.Quantile(1); got > h.MaxMS() || got < h.MaxMS()/1.032 {
+		t.Errorf("Quantile(1) = %v, want within one sub-bucket below max %v", got, h.MaxMS())
+	}
+
+	var one Histogram
+	one.Record(123456 * time.Nanosecond)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := one.Quantile(q) * 1e6; got != 123456 {
+			t.Errorf("single sample: Quantile(%v) = %v ns, want 123456", q, got)
+		}
+	}
+}
+
+// TestBucketIndexBoundary is a white-box check of the exact→log-linear
+// seam at 64 ns: indices stay contiguous and monotonic across it, and the
+// bucket midpoint keeps representing its own bucket.
+func TestBucketIndexBoundary(t *testing.T) {
+	if got := bucketIndex(63); got != 63 {
+		t.Errorf("bucketIndex(63) = %d, want 63 (last exact bucket)", got)
+	}
+	if got := bucketIndex(64); got != 64 {
+		t.Errorf("bucketIndex(64) = %d, want 64 (first log-linear bucket)", got)
+	}
+	prev := -1
+	for v := uint64(1); v < 1<<20; v = v + 1 + v/7 {
+		idx := bucketIndex(v)
+		if idx < prev {
+			t.Fatalf("bucketIndex not monotonic: bucketIndex(%d) = %d < %d", v, idx, prev)
+		}
+		prev = idx
+		if mid := bucketMid(idx); bucketIndex(uint64(mid)) != idx {
+			t.Fatalf("bucketMid(%d) = %v maps back to bucket %d", idx, mid, bucketIndex(uint64(mid)))
+		}
+	}
+}
+
+func TestHistogramSummaryMonotonic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h Histogram
+	for i := 0; i < 5000; i++ {
+		h.Record(time.Duration(rng.Int63n(int64(3 * time.Second))))
+	}
+	s := h.Summary()
+	if !(s.Min <= s.P50 && s.P50 <= s.P90 && s.P90 <= s.P99 && s.P99 <= s.P999 && s.P999 <= s.Max) {
+		t.Fatalf("non-monotonic summary: %+v", s)
+	}
+}

@@ -7,7 +7,9 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"runtime"
+	"sync"
 	"time"
 
 	"kwmds"
@@ -35,14 +37,23 @@ type Request struct {
 	K       int
 	Seed    int64
 	Variant string
+	// Kind is the mixed-workload operation kind ("" = legacy solve, which
+	// behaves like cached_solve). For mutate ops Seed picks the edge; for
+	// batch_solve ops the batch's member seeds derive from Seed.
+	Kind string
+	// Tenant is the owning tenant loop of a multi-tenant scenario (0 for
+	// single-tenant).
+	Tenant int
 }
 
 // OpResult is what a driver reports per operation; the runner uses Size for
-// cross-checking, Cached for hit-rate accounting and InDS (inproc drivers
-// only) for the mobility replay's churn accounting.
+// cross-checking, Cached for hit-rate accounting, InDS (inproc drivers
+// only) for the mobility replay's churn accounting, and Shed to count 429
+// admission refusals as sheds rather than errors.
 type OpResult struct {
 	Size   int
 	Cached bool
+	Shed   bool
 	InDS   []bool
 }
 
@@ -81,10 +92,15 @@ func newDriver(sc *Scenario, concurrency, shards int) (Driver, error) {
 			d.workers = sc.HTTP.Workers
 			d.cacheEntries = sc.HTTP.CacheEntries
 			d.noBatch = sc.HTTP.NoBatch
+			d.maxQueue = sc.HTTP.MaxQueue
 			if sc.HTTP.TimeoutSec > 0 {
 				d.timeout = time.Duration(sc.HTTP.TimeoutSec * float64(time.Second))
 			}
+			if sc.HTTP.QueueTimeoutSec > 0 {
+				d.queueTimeout = time.Duration(sc.HTTP.QueueTimeoutSec * float64(time.Second))
+			}
 		}
+		d.mutate = sc.Mix != nil && sc.Mix.Mutate > 0
 		return d, nil
 	default:
 		return nil, fmt.Errorf("kwbench: unknown driver %q", sc.Driver)
@@ -163,6 +179,22 @@ func (d *inprocDriver) options(req Request) kwmds.Options {
 
 func (d *inprocDriver) Do(req Request) (OpResult, error) {
 	g := d.graphs[req.Graph].G
+	if req.Kind == KindBatchSolve {
+		// One batch_solve op is a fixed-width DominatingSetMany call: the
+		// member seeds derive from the op's seed so the batch content stays
+		// a pure function of the request schedule.
+		optsList := make([]kwmds.Options, mixBatchWidth)
+		for j := range optsList {
+			r := req
+			r.Seed = req.Seed*mixBatchWidth + int64(j)
+			optsList[j] = d.options(r)
+		}
+		results, err := kwmds.DominatingSetMany(g, optsList)
+		if err != nil {
+			return OpResult{}, err
+		}
+		return OpResult{Size: results[0].Size, InDS: results[0].InDS}, nil
+	}
 	opts := d.options(req)
 	switch req.Algo {
 	case "frac":
@@ -235,15 +267,30 @@ type httpDriver struct {
 	noBatch      bool
 	shards       int
 	timeout      time.Duration
+	maxQueue     int
+	queueTimeout time.Duration
+	mutate       bool
 
 	graphs  []LoadedGraph
 	srv     *server.Server // nil when remote
 	ts      *httptest.Server
 	client  *http.Client
 	baseURL string
+	// mutators serialize mutate ops per graph (index-aligned with graphs);
+	// built in Prepare only when the mix carries mutate weight.
+	mutators []*graphMutator
 	// hits0/misses0 snapshot the cache counters at the warmup/measure
 	// boundary (MarkWarm) so Stats reports measured-phase deltas.
 	hits0, misses0 int64
+}
+
+// graphMutator serializes mutate ops against one graph and tracks which of
+// its original edges are currently toggled off, so every mutate op is a
+// clean remove-or-restore of an existing edge and never a spurious 400.
+type graphMutator struct {
+	mu    sync.Mutex
+	edges [][2]int
+	off   map[int]bool
 }
 
 func (d *httpDriver) Prepare(graphs []LoadedGraph) error {
@@ -259,11 +306,23 @@ func (d *httpDriver) Prepare(graphs []LoadedGraph) error {
 			Graphs:          m,
 			DisableBatching: d.noBatch,
 			Shards:          d.shards,
+			MaxQueue:        d.maxQueue,
+			QueueTimeout:    d.queueTimeout,
 		})
 		d.ts = httptest.NewServer(d.srv.Handler())
 		d.baseURL = d.ts.URL
 	} else {
 		d.baseURL = d.url
+	}
+	if d.mutate {
+		d.mutators = make([]*graphMutator, len(graphs))
+		for i, lg := range graphs {
+			edges := lg.G.Edges()
+			if len(edges) == 0 {
+				return fmt.Errorf("kwbench: graph %q has no edges to mutate", lg.Name)
+			}
+			d.mutators[i] = &graphMutator{edges: edges, off: make(map[int]bool)}
+		}
 	}
 	d.client = &http.Client{
 		Timeout: d.timeout, // a hung target fails the run instead of wedging it
@@ -275,6 +334,9 @@ func (d *httpDriver) Prepare(graphs []LoadedGraph) error {
 }
 
 func (d *httpDriver) Do(req Request) (OpResult, error) {
+	if req.Kind == KindMutate {
+		return d.doMutate(req)
+	}
 	body, err := json.Marshal(graphio.SolveRequest{
 		GraphRef: d.graphs[req.Graph].Name,
 		Algo:     req.Algo,
@@ -290,6 +352,13 @@ func (d *httpDriver) Do(req Request) (OpResult, error) {
 		return OpResult{}, err
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		// Admission control refused the solve: a shed, not an error. The
+		// collector keeps it out of the latency histogram and counts it
+		// toward the shed rate.
+		io.Copy(io.Discard, resp.Body)
+		return OpResult{Shed: true}, nil
+	}
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return OpResult{}, fmt.Errorf("kwbench: serve returned %d: %s", resp.StatusCode, msg)
@@ -299,6 +368,45 @@ func (d *httpDriver) Do(req Request) (OpResult, error) {
 		return OpResult{}, err
 	}
 	return OpResult{Size: sr.Size, Cached: sr.Cached}, nil
+}
+
+// doMutate toggles one edge of the op's graph through the serve mutation
+// API. The per-graph mutex is held across the HTTP call so concurrent
+// mutate ops against one graph apply in a consistent toggle order; mutate
+// ops are never shed (admission control gates solves only), so a non-200
+// here is a real error.
+func (d *httpDriver) doMutate(req Request) (OpResult, error) {
+	m := d.mutators[req.Graph]
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	idx := int(req.Seed % int64(len(m.edges)))
+	if idx < 0 {
+		idx += len(m.edges)
+	}
+	e := m.edges[idx]
+	op := graphio.OpRemoveEdge
+	if m.off[idx] {
+		op = graphio.OpAddEdge
+	}
+	body, err := json.Marshal(graphio.MutateRequest{
+		Mutations: []graphio.Mutation{{Op: op, U: e[0], V: e[1]}},
+	})
+	if err != nil {
+		return OpResult{}, err
+	}
+	u := d.baseURL + "/v1/graphs/" + url.PathEscape(d.graphs[req.Graph].Name) + "/mutate"
+	resp, err := d.client.Post(u, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return OpResult{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return OpResult{}, fmt.Errorf("kwbench: mutate returned %d: %s", resp.StatusCode, msg)
+	}
+	io.Copy(io.Discard, resp.Body)
+	m.off[idx] = !m.off[idx]
+	return OpResult{}, nil
 }
 
 // MarkWarm snapshots the cache counters at the warmup/measure boundary;

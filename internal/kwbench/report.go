@@ -114,6 +114,35 @@ type MobilityResult struct {
 	RepairedEpochs int `json:"repaired_epochs,omitempty"`
 }
 
+// OpKindRow is one operation kind's split of a mixed-workload scenario:
+// its outcome counts and the latency distribution of its successful ops.
+type OpKindRow struct {
+	Kind    string         `json:"kind"`
+	Ops     int            `json:"ops"`
+	Errors  int            `json:"errors,omitempty"`
+	Sheds   int            `json:"sheds,omitempty"`
+	Latency LatencySummary `json:"latency_ms"`
+}
+
+// TenantRow is one tenant loop's split of a multi-tenant scenario. Tenants
+// share the backend (one serve instance's LRU and worker pool) but rotate
+// disjoint seed windows, so the rows expose cross-tenant interference.
+type TenantRow struct {
+	Tenant  int            `json:"tenant"`
+	Ops     int            `json:"ops"`
+	Errors  int            `json:"errors,omitempty"`
+	Sheds   int            `json:"sheds,omitempty"`
+	Latency LatencySummary `json:"latency_ms"`
+}
+
+// SLOOutcome echoes a gated scenario's bounds and records any violations.
+// A non-empty Violations list makes `kwmds bench` exit non-zero — after
+// the report is written, so a failing row is still inspectable here.
+type SLOOutcome struct {
+	Bounds     SLOSpec  `json:"bounds"`
+	Violations []string `json:"violations,omitempty"`
+}
+
 // ShardRun is one arm of a shards sweep: the scenario's full measured loop
 // executed with the partitioned engine at one shard count.
 type ShardRun struct {
@@ -155,23 +184,50 @@ type ScenarioResult struct {
 	// spec left the scheduler at its default.
 	Sched string `json:"sched,omitempty"`
 
-	WarmupOps  int     `json:"warmup_ops"`
+	WarmupOps int `json:"warmup_ops"`
+	// Ops counts successful measured operations only: errored and shed
+	// operations are excluded from the latency, size and throughput stats
+	// and reported in Errors/Sheds instead.
 	Ops        int     `json:"ops"`
 	ElapsedSec float64 `json:"elapsed_sec"`
 	OpsPerSec  float64 `json:"ops_per_sec"`
 
+	// Errors counts measured operations that failed. Without an slo
+	// error_rate bound the first error aborts the run (nothing is written);
+	// with one, errors are counted here and gated against the bound.
+	Errors int `json:"errors,omitempty"`
+	// Sheds counts operations the server refused with 429 (admission
+	// control). Sheds never abort a run and are never errors.
+	Sheds int `json:"sheds,omitempty"`
+	// ErrorRate/ShedRate are Errors and Sheds over attempted operations
+	// (successes + errors + sheds).
+	ErrorRate float64 `json:"error_rate,omitempty"`
+	ShedRate  float64 `json:"shed_rate,omitempty"`
+
 	// ColdMS is the latency of the first warmup operation (for mobility
 	// replays, the first epoch's first solve): against a serve driver it
 	// is the cache-populating cold request. 0 when the scenario has no
-	// warmup phase. Operation errors abort the run — a written report
-	// only ever contains fully successful scenarios.
+	// warmup phase. Warmup errors always abort the run — only measured-
+	// phase errors can be tolerated (see Errors).
 	ColdMS float64 `json:"cold_ms,omitempty"`
 
-	// TargetRate/AchievedRate are set for open-loop scenarios.
+	// TargetRate/AchievedRate are set for open-loop scenarios. For shaped
+	// arrival curves TargetRate is the baseline (trough) rate and Curve
+	// names the shape (flash | diurnal; absent means constant).
 	TargetRate   float64 `json:"target_rate,omitempty"`
 	AchievedRate float64 `json:"achieved_rate,omitempty"`
+	Curve        string  `json:"curve,omitempty"`
 
 	Latency LatencySummary `json:"latency_ms"`
+
+	// Tenants is the tenant-loop count of a multi-tenant scenario (0/absent
+	// means single-tenant); TenantRows carries the per-tenant splits.
+	Tenants    int         `json:"tenants,omitempty"`
+	TenantRows []TenantRow `json:"tenant_rows,omitempty"`
+	// MixRows carries the per-operation-kind splits of a mixed workload.
+	MixRows []OpKindRow `json:"mix_rows,omitempty"`
+	// SLO echoes a gated scenario's bounds and any violations.
+	SLO *SLOOutcome `json:"slo,omitempty"`
 
 	// AllocsPerOp/BytesPerOp cover the measured phase across the whole
 	// in-process stack (driver, codec, solver; for http-serve also the
@@ -353,6 +409,59 @@ func ValidateReport(rep *Report) error {
 		}
 		if s.Mismatches < 0 || s.ColdMS < 0 {
 			return fail("negative counters")
+		}
+		if s.Errors < 0 || s.Sheds < 0 {
+			return fail("negative error/shed counters")
+		}
+		if s.ErrorRate < 0 || s.ErrorRate > 1 || s.ShedRate < 0 || s.ShedRate > 1 {
+			return fail("error_rate/shed_rate outside [0, 1]: %v / %v", s.ErrorRate, s.ShedRate)
+		}
+		if (s.Errors > 0) != (s.ErrorRate > 0) || (s.Sheds > 0) != (s.ShedRate > 0) {
+			return fail("error/shed counts and rates disagree: errors=%d rate=%v sheds=%d rate=%v",
+				s.Errors, s.ErrorRate, s.Sheds, s.ShedRate)
+		}
+		if len(s.MixRows) > 0 {
+			sumOps := 0
+			for _, r := range s.MixRows {
+				switch r.Kind {
+				case KindCachedSolve, KindColdSolve, KindMutate, KindBatchSolve:
+				default:
+					return fail("unknown mix row kind %q", r.Kind)
+				}
+				if r.Ops < 0 || r.Errors < 0 || r.Sheds < 0 {
+					return fail("negative mix row counters for kind %q", r.Kind)
+				}
+				sumOps += r.Ops
+			}
+			if sumOps != s.Ops {
+				return fail("mix rows account for %d ops, scenario has %d", sumOps, s.Ops)
+			}
+		}
+		if len(s.TenantRows) > 0 {
+			if s.Tenants != len(s.TenantRows) {
+				return fail("tenants=%d but %d tenant rows", s.Tenants, len(s.TenantRows))
+			}
+			sumOps := 0
+			for i, r := range s.TenantRows {
+				if r.Tenant != i {
+					return fail("tenant row %d labeled %d", i, r.Tenant)
+				}
+				if r.Ops < 0 || r.Errors < 0 || r.Sheds < 0 {
+					return fail("negative tenant row counters for tenant %d", r.Tenant)
+				}
+				sumOps += r.Ops
+			}
+			if sumOps != s.Ops {
+				return fail("tenant rows account for %d ops, scenario has %d", sumOps, s.Ops)
+			}
+		}
+		switch s.Curve {
+		case "", CurveConstant, CurveFlash, CurveDiurnal:
+		default:
+			return fail("unknown curve %q", s.Curve)
+		}
+		if s.Curve != "" && s.Loop != "open" {
+			return fail("curve %q on a %s loop", s.Curve, s.Loop)
 		}
 		if s.AllocsPerOp < 0 || s.BytesPerOp < 0 {
 			return fail("negative allocation counters")

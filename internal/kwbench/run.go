@@ -85,6 +85,10 @@ func Run(sc *Scenario, opts RunOptions) (*ScenarioResult, error) {
 		res.Shards = counts[len(counts)-1]
 		res.ShardSweep = sweep
 	}
+	// The gate itself lives in the CLI: bounds are checked here and any
+	// violations recorded on the result, but the report is written before
+	// `kwmds bench` exits non-zero.
+	evaluateSLO(sc, res)
 	return res, nil
 }
 
@@ -111,6 +115,9 @@ func runArm(sc *Scenario, opts RunOptions, graphs []LoadedGraph, concurrency, sh
 		WarmupOps:   sc.WarmupOps,
 		Reorder:     sc.Reorder,
 		Sched:       sc.Sched,
+	}
+	if sc.Tenants > 1 {
+		res.Tenants = sc.Tenants
 	}
 	if sc.Closed != nil {
 		res.Loop = "closed"
@@ -200,13 +207,17 @@ func graphInfos(graphs []LoadedGraph) []GraphInfo {
 
 // buildRequests precomputes n operations: graph selection via the
 // scenario's distribution, matrix combos cycled in order, seeds rotated
-// over the configured width.
+// over the configured width. Mixed workloads additionally draw each op's
+// kind from the same seeded stream, and multi-tenant scenarios assign op i
+// to tenant i mod Tenants with a disjoint seed window per tenant. Legacy
+// scenarios (no mix, single tenant) produce byte-identical schedules to
+// earlier versions.
 func buildRequests(sc *Scenario, nGraphs, n int) []Request {
 	combos := sc.Matrix.combos()
 	seeds := effectiveSeeds(sc)
-	selSeed := sc.SelectSeed
-	if selSeed == 0 {
-		selSeed = 1
+	selSeed := int64(1)
+	if sc.SelectSeed != nil {
+		selSeed = *sc.SelectSeed
 	}
 	rng := rand.New(rand.NewSource(selSeed))
 	var zipf *rand.Zipf
@@ -228,13 +239,32 @@ func buildRequests(sc *Scenario, nGraphs, n int) []Request {
 			}
 		}
 		c := combos[i%len(combos)]
-		reqs[i] = Request{
+		r := Request{
 			Graph:   gi,
 			Algo:    c.Algo,
 			K:       c.K,
-			Seed:    1 + int64(i%seeds),
 			Variant: c.Variant,
 		}
+		if sc.Tenants > 1 {
+			r.Tenant = i % sc.Tenants
+		}
+		// Tenant t rotates seeds [1+t·seeds, 1+(t+1)·seeds): disjoint
+		// windows, so tenants contend in a shared cache with distinct
+		// working sets. Single-tenant keeps the historical 1 + i%seeds.
+		r.Seed = 1 + int64(i%seeds) + int64(r.Tenant)*int64(seeds)
+		if sc.Mix != nil {
+			r.Kind = sc.Mix.draw(rng)
+			switch r.Kind {
+			case KindColdSolve:
+				// A never-repeated seed far outside every cached window:
+				// each cold op is a guaranteed fresh computation.
+				r.Seed = coldSeedBase + int64(i)
+			case KindMutate:
+				// The seed picks which original edge the op toggles.
+				r.Seed = int64(i)
+			}
+		}
+		reqs[i] = r
 	}
 	return reqs
 }
@@ -286,28 +316,15 @@ func runClosed(sc *Scenario, opts RunOptions, driver Driver, graphs []LoadedGrap
 	batcher, _ := driver.(interface {
 		DoBatch([]Request) ([]OpResult, error)
 	})
-	hists := make([]*Histogram, workers)
-	sizes := make([]int, len(measured))
+	col := newCollector(sc, len(measured))
 	var next atomic.Int64
-	var stop atomic.Bool // any operation error aborts the run fast
-	var errMu sync.Mutex
-	var firstErr error
+	var stop atomic.Bool // an op error aborts fast unless slo tolerates errors
 	var wg sync.WaitGroup
-	fail := func(err error) {
-		errMu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		errMu.Unlock()
-		stop.Store(true)
-	}
 
 	var msBefore runtime.MemStats
 	runtime.ReadMemStats(&msBefore)
 	start := time.Now()
 	for w := 0; w < workers; w++ {
-		h := &Histogram{}
-		hists[w] = h
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -329,13 +346,15 @@ func runClosed(sc *Scenario, opts RunOptions, driver Driver, graphs []LoadedGrap
 					t0 := time.Now()
 					got, err := batcher.DoBatch(chunk)
 					per := time.Since(t0) / time.Duration(len(chunk))
-					if err != nil {
-						fail(err)
-						return
-					}
 					for j := range chunk {
-						h.Record(per)
-						sizes[int(i0)+j] = got[j].Size
+						var r OpResult
+						if err == nil {
+							r = got[j]
+						}
+						if col.record(int(i0)+j, chunk[j], per, r, err) {
+							stop.Store(true)
+							return
+						}
 					}
 					continue
 				}
@@ -345,12 +364,10 @@ func runClosed(sc *Scenario, opts RunOptions, driver Driver, graphs []LoadedGrap
 					}
 					t0 := time.Now()
 					got, err := driver.Do(chunk[j])
-					h.Record(time.Since(t0))
-					if err != nil {
-						fail(err)
+					if col.record(int(i0)+j, chunk[j], time.Since(t0), got, err) {
+						stop.Store(true)
 						return
 					}
-					sizes[int(i0)+j] = got.Size
 				}
 			}
 		}()
@@ -360,18 +377,16 @@ func runClosed(sc *Scenario, opts RunOptions, driver Driver, graphs []LoadedGrap
 	var msAfter runtime.MemStats
 	runtime.ReadMemStats(&msAfter)
 
-	if firstErr != nil {
-		return fmt.Errorf("kwbench: scenario %q: %w", sc.Name, firstErr)
+	if col.firstErr != nil {
+		return fmt.Errorf("kwbench: scenario %q: %w", sc.Name, col.firstErr)
 	}
-	total := &Histogram{}
-	for _, h := range hists {
-		total.Merge(h)
-	}
-	fillCommon(res, total, len(measured), elapsed, &msBefore, &msAfter)
+	fillCommon(res, col.total, col.successes(), elapsed, &msBefore, &msAfter)
+	col.finish(res)
 
 	// Verification pass, strictly outside the timing and allocation
 	// windows: re-solve every measured request on the opposite backend
-	// and compare sizes.
+	// and compare sizes. Only successfully recorded ops have a size to
+	// compare (errored/shed ops are skipped).
 	if sc.CrossCheck {
 		checker, err := crossCheckDriver(sc, graphs, shards)
 		if err != nil {
@@ -379,12 +394,15 @@ func runClosed(sc *Scenario, opts RunOptions, driver Driver, graphs []LoadedGrap
 		}
 		defer checker.Close()
 		for i, req := range measured {
+			if !col.ok[i] {
+				continue
+			}
 			want, err := checker.Do(req)
 			if err != nil {
 				return fmt.Errorf("kwbench: scenario %q cross-check: %w", sc.Name, err)
 			}
 			res.CrossChecked++
-			if want.Size != sizes[i] {
+			if want.Size != col.sizes[i] {
 				res.Mismatches++
 			}
 		}
@@ -418,73 +436,55 @@ func markWarm(d Driver) {
 }
 
 // runOpen drives the target-rate loop: the dispatcher launches one
-// operation per 1/rate tick; completions never gate dispatch (up to the
-// in-flight bound), and each operation's latency is measured from its
-// scheduled tick — queueing delay from a saturated backend is charged to
-// the operation instead of silently slowing the load (the coordinated-
-// omission correction).
+// operation per precomputed curve tick (1/rate apart for the constant
+// curve; flash and diurnal shapes integrate the varying rate);
+// completions never gate dispatch (up to the in-flight bound), and each
+// operation's latency is measured from its scheduled tick — queueing
+// delay from a saturated backend is charged to the operation instead of
+// silently slowing the load (the coordinated-omission correction). Only
+// successful operations land in the latency histogram and throughput;
+// errors and sheds are counted separately.
 func runOpen(sc *Scenario, opts RunOptions, driver Driver, graphs []LoadedGraph, shards int, res *ScenarioResult) error {
-	rate := sc.Open.Rate
-	duration := time.Duration(sc.Open.DurationSec * float64(time.Second))
+	o := sc.Open
+	duration := time.Duration(o.DurationSec * float64(time.Second))
 	if opts.Quick && duration > 500*time.Millisecond {
 		duration = 500 * time.Millisecond
 	}
-	maxInflight := sc.Open.MaxInflight
+	maxInflight := o.MaxInflight
 	if maxInflight <= 0 {
 		maxInflight = 256
 	}
-	interval := time.Duration(float64(time.Second) / rate)
-	if interval <= 0 {
-		interval = time.Nanosecond
-	}
-	planned := int(float64(duration)/float64(interval)) + 2
+	ticks := o.dispatchTicks(duration)
 	warm := sc.WarmupOps
-	reqs := buildRequests(sc, len(graphs), warm+planned)
+	reqs := buildRequests(sc, len(graphs), warm+len(ticks))
 	if err := runWarmup(driver, reqs[:warm], res); err != nil {
 		return err
 	}
 	measured := reqs[warm:]
 
 	sem := make(chan struct{}, maxInflight)
-	var mu sync.Mutex
-	total := &Histogram{}
-	sizes := make([]int, len(measured))
-	var stop atomic.Bool // any operation error aborts the run fast
-	var firstErr error
+	col := newCollector(sc, len(measured))
+	var stop atomic.Bool // an op error aborts fast unless slo tolerates errors
 	var wg sync.WaitGroup
 
 	var msBefore runtime.MemStats
 	runtime.ReadMemStats(&msBefore)
 	start := time.Now()
-	deadline := start.Add(duration)
-	ops := 0
-	for i := 0; !stop.Load(); i++ {
-		sched := start.Add(time.Duration(i) * interval)
-		if !sched.Before(deadline) || i >= len(measured) {
-			break
-		}
+	for i := 0; i < len(ticks) && !stop.Load(); i++ {
+		sched := start.Add(ticks[i])
 		if wait := time.Until(sched); wait > 0 {
 			time.Sleep(wait)
 		}
 		sem <- struct{}{} // the wait (if saturated) lands in this op's latency via sched
 		wg.Add(1)
-		ops++
 		go func(op int, sched time.Time) {
 			defer wg.Done()
 			defer func() { <-sem }()
 			got, err := driver.Do(measured[op])
 			lat := time.Since(sched)
-			mu.Lock()
-			total.Record(lat)
-			if err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
+			if col.record(op, measured[op], lat, got, err) {
 				stop.Store(true)
-			} else {
-				sizes[op] = got.Size
 			}
-			mu.Unlock()
 		}(i, sched)
 	}
 	wg.Wait()
@@ -492,28 +492,35 @@ func runOpen(sc *Scenario, opts RunOptions, driver Driver, graphs []LoadedGraph,
 	var msAfter runtime.MemStats
 	runtime.ReadMemStats(&msAfter)
 
-	if firstErr != nil {
-		return fmt.Errorf("kwbench: scenario %q: %w", sc.Name, firstErr)
+	if col.firstErr != nil {
+		return fmt.Errorf("kwbench: scenario %q: %w", sc.Name, col.firstErr)
 	}
-	fillCommon(res, total, ops, elapsed, &msBefore, &msAfter)
-	res.TargetRate = rate
+	fillCommon(res, col.total, col.successes(), elapsed, &msBefore, &msAfter)
+	col.finish(res)
+	res.TargetRate = o.Rate
 	res.AchievedRate = res.OpsPerSec
+	if o.Curve != "" && o.Curve != CurveConstant {
+		res.Curve = o.Curve
+	}
 
 	// Verification pass, outside every measurement window (as in
-	// runClosed).
+	// runClosed); errored/shed ops have no size and are skipped.
 	if sc.CrossCheck {
 		checker, err := crossCheckDriver(sc, graphs, shards)
 		if err != nil {
 			return err
 		}
 		defer checker.Close()
-		for i := 0; i < ops; i++ {
+		for i := range measured {
+			if !col.ok[i] {
+				continue
+			}
 			want, err := checker.Do(measured[i])
 			if err != nil {
 				return fmt.Errorf("kwbench: scenario %q cross-check: %w", sc.Name, err)
 			}
 			res.CrossChecked++
-			if want.Size != sizes[i] {
+			if want.Size != col.sizes[i] {
 				res.Mismatches++
 			}
 		}

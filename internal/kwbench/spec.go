@@ -63,9 +63,34 @@ type Scenario struct {
 	Select string `json:"select,omitempty"`
 	// Theta is the zipfian skew s > 1 (default 1.1); ignored for uniform.
 	Theta float64 `json:"theta,omitempty"`
-	// SelectSeed seeds the graph-selection stream (default 1), making the
-	// request schedule a pure function of the spec.
-	SelectSeed int64 `json:"select_seed,omitempty"`
+	// SelectSeed seeds the graph-selection (and mix-draw) stream, making
+	// the request schedule a pure function of the spec. nil selects the
+	// default of 1; an explicit 0 is rejected at validation — it used to be
+	// silently coerced to 1, so seeds 0 and 1 produced identical schedules.
+	SelectSeed *int64 `json:"select_seed,omitempty"`
+
+	// Mix, when set, makes the workload a mixed-operation one: each
+	// operation's kind (cached_solve | cold_solve | mutate | batch_solve)
+	// is drawn from these weights using the scenario's seeded selection
+	// stream, so the kind sequence is as deterministic as the graph
+	// choices. nil keeps the legacy single-shape workload (every op a
+	// cached_solve).
+	Mix *MixSpec `json:"mix,omitempty"`
+
+	// Tenants > 1 splits the workload into that many tenant loops sharing
+	// one backend (for http-serve: one spawned server's LRU and worker
+	// pool). Operation i belongs to tenant i mod Tenants, and each tenant
+	// rotates through its own disjoint seed window, so tenants contend in
+	// the shared cache with distinct working sets. Results carry per-tenant
+	// latency rows.
+	Tenants int `json:"tenants,omitempty"`
+
+	// SLO, when set, turns the scenario into a regression gate: after the
+	// run, the measured percentiles and error/shed rates are checked
+	// against these bounds and any violation makes `kwmds bench` exit
+	// non-zero (the report is still written first, so the offending
+	// numbers are inspectable).
+	SLO *SLOSpec `json:"slo,omitempty"`
 
 	// Matrix is the pipeline configuration grid; operations cycle through
 	// its cross product.
@@ -202,9 +227,23 @@ type ClosedLoop struct {
 	Ops int `json:"ops"`
 }
 
+// Arrival-rate curves for the open loop.
+const (
+	// CurveConstant dispatches at the flat target rate (the default).
+	CurveConstant = "constant"
+	// CurveFlash is a flash crowd: the rate jumps to Rate × PeakFactor
+	// inside a window of the measured duration and is Rate elsewhere.
+	CurveFlash = "flash"
+	// CurveDiurnal is a smooth day/night cycle: the rate follows a raised
+	// cosine between Rate and Rate × PeakFactor, completing Cycles full
+	// periods over the duration.
+	CurveDiurnal = "diurnal"
+)
+
 // OpenLoop is target-rate load.
 type OpenLoop struct {
-	// Rate is the dispatch rate in operations per second.
+	// Rate is the dispatch rate in operations per second (for shaped
+	// curves, the baseline/trough rate).
 	Rate float64 `json:"rate"`
 	// DurationSec is the measured window length.
 	DurationSec float64 `json:"duration_sec"`
@@ -212,6 +251,22 @@ type OpenLoop struct {
 	// 256). When the bound is hit the dispatcher blocks and the wait is
 	// charged to the queued operations' latency.
 	MaxInflight int `json:"max_inflight,omitempty"`
+
+	// Curve shapes the arrival rate over the window: "" or "constant"
+	// (flat), "flash" (a burst window at Rate × PeakFactor) or "diurnal"
+	// (raised-cosine cycles between Rate and Rate × PeakFactor). Dispatch
+	// ticks are derived deterministically from the curve, so a shaped
+	// schedule is as reproducible as a constant one.
+	Curve string `json:"curve,omitempty"`
+	// PeakFactor is the peak-to-baseline rate ratio of a shaped curve
+	// (≥ 1; default 4 for flash, 2 for diurnal).
+	PeakFactor float64 `json:"peak_factor,omitempty"`
+	// PeakStartFrac/PeakDurFrac place the flash window as fractions of the
+	// duration (defaults 0.4 and 0.2).
+	PeakStartFrac float64 `json:"peak_start_frac,omitempty"`
+	PeakDurFrac   float64 `json:"peak_dur_frac,omitempty"`
+	// Cycles is the number of diurnal periods over the window (default 1).
+	Cycles int `json:"cycles,omitempty"`
 }
 
 // Mobility replay modes.
@@ -286,6 +341,16 @@ type HTTPSpec struct {
 	// TimeoutSec bounds each request (default 120 s), so a hung target
 	// fails the scenario instead of blocking the benchmark forever.
 	TimeoutSec float64 `json:"timeout_sec,omitempty"`
+	// MaxQueue bounds the spawned server's admission queue
+	// (server.Config.MaxQueue): solve requests beyond Workers running +
+	// MaxQueue waiting are shed with 429. 0 leaves admission unbounded.
+	// Ignored for remote targets (the remote instance configures its own
+	// -max-queue).
+	MaxQueue int `json:"max_queue,omitempty"`
+	// QueueTimeoutSec bounds how long an admitted request may wait for a
+	// worker slot before being shed (server.Config.QueueTimeout). 0
+	// disables the timeout. Ignored for remote targets.
+	QueueTimeoutSec float64 `json:"queue_timeout_sec,omitempty"`
 }
 
 // Tiers are the named canonical graph tiers scenario specs may reference:
@@ -431,6 +496,9 @@ func (sc *Scenario) Validate() error {
 		if sc.BatchSize > 1 || sc.CrossCheck || sc.HTTP != nil || len(sc.Shards) > 0 || sc.Reorder || sc.Sched != "" {
 			return bad("load scenarios take no batch_size, cross_check, shards, http, reorder or sched")
 		}
+		if sc.Mix != nil || sc.SLO != nil || sc.Tenants > 1 {
+			return bad("load scenarios take no mix, slo or tenants")
+		}
 		l := sc.Load
 		if (l.Tier == "") == (l.Gen == "") {
 			return bad("load: exactly one of tier and gen is required")
@@ -463,6 +531,9 @@ func (sc *Scenario) Validate() error {
 		}
 		if sc.BatchSize > 1 || sc.CrossCheck || sc.HTTP != nil || len(sc.Shards) > 0 || sc.Reorder || sc.Sched != "" {
 			return bad("recovery scenarios take no batch_size, cross_check, shards, http, reorder or sched")
+		}
+		if sc.Mix != nil || sc.SLO != nil || sc.Tenants > 1 {
+			return bad("recovery scenarios take no mix, slo or tenants")
 		}
 		r := sc.Recovery
 		if r.N < 1 || r.Epochs < 1 || r.Radius <= 0 || r.Speed < 0 {
@@ -577,11 +648,42 @@ func (sc *Scenario) Validate() error {
 			if !(o.DurationSec > 0) || math.IsInf(o.DurationSec, 0) {
 				return bad("open loop needs a finite duration_sec > 0 (got %v)", o.DurationSec)
 			}
+			switch o.Curve {
+			case "", CurveConstant:
+				if o.PeakFactor != 0 || o.PeakStartFrac != 0 || o.PeakDurFrac != 0 || o.Cycles != 0 {
+					return bad("open loop curve knobs (peak_factor, peak_start_frac, peak_dur_frac, cycles) require a flash or diurnal curve")
+				}
+			case CurveFlash:
+				if o.Cycles != 0 {
+					return bad("open loop cycles applies to the diurnal curve only")
+				}
+				if o.PeakStartFrac < 0 || o.PeakDurFrac < 0 || o.PeakStartFrac+o.PeakDurFrac > 1 ||
+					math.IsNaN(o.PeakStartFrac) || math.IsNaN(o.PeakDurFrac) {
+					return bad("flash curve needs peak_start_frac, peak_dur_frac ≥ 0 with their sum ≤ 1 (got %v + %v)",
+						o.PeakStartFrac, o.PeakDurFrac)
+				}
+			case CurveDiurnal:
+				if o.PeakStartFrac != 0 || o.PeakDurFrac != 0 {
+					return bad("open loop peak_start_frac/peak_dur_frac apply to the flash curve only")
+				}
+				if o.Cycles < 0 {
+					return bad("diurnal curve needs cycles ≥ 0 (got %d)", o.Cycles)
+				}
+			default:
+				return bad("unknown curve %q (want %s|%s|%s)", o.Curve, CurveConstant, CurveFlash, CurveDiurnal)
+			}
+			if o.Curve != "" && o.Curve != CurveConstant {
+				if o.PeakFactor != 0 && !(o.PeakFactor >= 1 && !math.IsInf(o.PeakFactor, 0)) {
+					return bad("shaped curves need a finite peak_factor ≥ 1 (got %v)", o.PeakFactor)
+				}
+			}
 			// The runner materializes the whole dispatch schedule up
 			// front; bound it here so an over-ambitious spec is rejected
-			// at load instead of exhausting memory mid-run.
-			if planned := o.Rate * o.DurationSec; planned > MaxOpenOps {
-				return bad("open loop schedules %.0f ops (rate × duration); the cap is %d", planned, MaxOpenOps)
+			// at load instead of exhausting memory mid-run. Shaped curves
+			// dispatch more than rate × duration ops, so charge the
+			// curve's mean rate factor.
+			if planned := o.Rate * o.DurationSec * o.meanRateFactor(); planned > MaxOpenOps {
+				return bad("open loop schedules %.0f ops (rate × duration × curve factor); the cap is %d", planned, MaxOpenOps)
 			}
 			if o.MaxInflight < 0 {
 				return bad("open loop max_inflight must be ≥ 0 (got %d)", o.MaxInflight)
@@ -627,11 +729,75 @@ func (sc *Scenario) Validate() error {
 	default:
 		return bad("unknown select %q (want uniform|zipfian)", sc.Select)
 	}
+	if sc.SelectSeed != nil && *sc.SelectSeed == 0 {
+		return bad("select_seed 0 is not a distinct seed (it was silently coerced to the default 1); use a nonzero seed or omit the field")
+	}
 	if sc.Seeds < 0 {
 		return bad("seeds must be ≥ 0 (got %d)", sc.Seeds)
 	}
 	if sc.WarmupOps < 0 {
 		return bad("warmup_ops must be ≥ 0 (got %d)", sc.WarmupOps)
+	}
+
+	if sc.Tenants < 0 {
+		return bad("tenants must be ≥ 0 (got %d)", sc.Tenants)
+	}
+	if sc.Tenants > 1 {
+		if sc.Mobility != nil {
+			return bad("tenants do not apply to mobility replays")
+		}
+		if sc.BatchSize > 1 {
+			return bad("tenants and batch_size > 1 are mutually exclusive (a batch would span tenants)")
+		}
+		if len(sc.Shards) > 0 {
+			return bad("tenants and shard sweeps are mutually exclusive")
+		}
+	}
+	if sc.Mix != nil {
+		if err := sc.Mix.validate(); err != nil {
+			return bad("%v", err)
+		}
+		if sc.Mobility != nil {
+			return bad("mix does not apply to mobility replays")
+		}
+		if sc.CrossCheck {
+			return bad("mix and cross_check are mutually exclusive (mutate ops have no solo re-solve identity)")
+		}
+		if sc.BatchSize > 1 {
+			return bad("mix and batch_size > 1 are mutually exclusive (batch_solve is the mix's batching arm)")
+		}
+		if len(sc.Shards) > 0 {
+			return bad("mix and shard sweeps are mutually exclusive")
+		}
+		if sc.Reorder || sc.Sched != "" {
+			return bad("mix takes no reorder or sched")
+		}
+		if sc.Mix.Mutate > 0 {
+			if sc.Driver != DriverHTTPServe {
+				return bad("mix weight mutate requires the %s driver (mutation rides the serve API)", DriverHTTPServe)
+			}
+			if sc.HTTP != nil && sc.HTTP.URL != "" {
+				return bad("mix weight mutate requires a spawned server (mutating a remote target's graphs is not reversible)")
+			}
+		}
+		if sc.Mix.BatchSolve > 0 {
+			if sc.Driver != DriverInprocFast {
+				return bad("mix weight batch_solve requires the %s driver (batching is a fastpath concept)", DriverInprocFast)
+			}
+			for _, c := range sc.Matrix.combos() {
+				if c.Algo != "kw" && c.Algo != "kw2" {
+					return bad("mix weight batch_solve supports algos kw|kw2 (got %q)", c.Algo)
+				}
+			}
+		}
+	}
+	if sc.SLO != nil {
+		if sc.Mobility != nil {
+			return bad("slo gates closed/open loop scenarios; mobility replays take none")
+		}
+		if err := sc.SLO.validate(); err != nil {
+			return bad("%v", err)
+		}
 	}
 
 	for _, c := range sc.Matrix.combos() {
@@ -711,6 +877,15 @@ func (sc *Scenario) Validate() error {
 		}
 		if sc.HTTP.TimeoutSec < 0 || math.IsNaN(sc.HTTP.TimeoutSec) || math.IsInf(sc.HTTP.TimeoutSec, 0) {
 			return bad("http timeout_sec must be a finite value ≥ 0 (got %v)", sc.HTTP.TimeoutSec)
+		}
+		if sc.HTTP.MaxQueue < 0 {
+			return bad("http max_queue must be ≥ 0 (got %d)", sc.HTTP.MaxQueue)
+		}
+		if sc.HTTP.QueueTimeoutSec < 0 || math.IsNaN(sc.HTTP.QueueTimeoutSec) || math.IsInf(sc.HTTP.QueueTimeoutSec, 0) {
+			return bad("http queue_timeout_sec must be a finite value ≥ 0 (got %v)", sc.HTTP.QueueTimeoutSec)
+		}
+		if (sc.HTTP.MaxQueue > 0 || sc.HTTP.QueueTimeoutSec > 0) && sc.HTTP.URL != "" {
+			return bad("max_queue/queue_timeout_sec size the spawned server; a remote target configures its own admission queue")
 		}
 	}
 	return nil

@@ -12,6 +12,9 @@ import (
 	"kwmds"
 )
 
+func i64p(v int64) *int64     { return &v }
+func f64p(v float64) *float64 { return &v }
+
 // minimal returns a valid baseline scenario tests mutate into invalidity.
 func minimal() *Scenario {
 	return &Scenario{
@@ -154,6 +157,80 @@ func TestValidateBadSpecs(t *testing.T) {
 			s.Closed = nil
 			s.Open = &OpenLoop{Rate: 5, DurationSec: 1, MaxInflight: -1}
 		}, "max_inflight must be ≥ 0"},
+		{"select_seed zero", func(s *Scenario) { s.SelectSeed = i64p(0) }, "select_seed 0 is not a distinct seed"},
+		{"curve knobs without curve", func(s *Scenario) {
+			s.Closed = nil
+			s.Open = &OpenLoop{Rate: 5, DurationSec: 1, PeakFactor: 3}
+		}, "require a flash or diurnal curve"},
+		{"unknown curve", func(s *Scenario) {
+			s.Closed = nil
+			s.Open = &OpenLoop{Rate: 5, DurationSec: 1, Curve: "sawtooth"}
+		}, `unknown curve "sawtooth"`},
+		{"flash with cycles", func(s *Scenario) {
+			s.Closed = nil
+			s.Open = &OpenLoop{Rate: 5, DurationSec: 1, Curve: CurveFlash, Cycles: 2}
+		}, "cycles applies to the diurnal curve only"},
+		{"flash window overflows", func(s *Scenario) {
+			s.Closed = nil
+			s.Open = &OpenLoop{Rate: 5, DurationSec: 1, Curve: CurveFlash, PeakStartFrac: 0.8, PeakDurFrac: 0.3}
+		}, "their sum ≤ 1"},
+		{"diurnal with flash window", func(s *Scenario) {
+			s.Closed = nil
+			s.Open = &OpenLoop{Rate: 5, DurationSec: 1, Curve: CurveDiurnal, PeakStartFrac: 0.2}
+		}, "apply to the flash curve only"},
+		{"sub-unit peak factor", func(s *Scenario) {
+			s.Closed = nil
+			s.Open = &OpenLoop{Rate: 5, DurationSec: 1, Curve: CurveFlash, PeakFactor: 0.5}
+		}, "peak_factor ≥ 1"},
+		{"negative tenants", func(s *Scenario) { s.Tenants = -1 }, "tenants must be ≥ 0"},
+		{"tenants with batching", func(s *Scenario) {
+			s.Tenants = 2
+			s.BatchSize = 4
+		}, "a batch would span tenants"},
+		{"negative mix weight", func(s *Scenario) {
+			s.Mix = &MixSpec{CachedSolve: -0.5}
+		}, "mix weight cached_solve must be a finite value ≥ 0"},
+		{"all-zero mix", func(s *Scenario) {
+			s.Mix = &MixSpec{}
+		}, "mix needs at least one positive weight"},
+		{"mix with cross-check", func(s *Scenario) {
+			s.Mix = &MixSpec{CachedSolve: 1}
+			s.CrossCheck = true
+		}, "mix and cross_check are mutually exclusive"},
+		{"mutate on inproc driver", func(s *Scenario) {
+			s.Mix = &MixSpec{CachedSolve: 0.9, Mutate: 0.1}
+		}, "mix weight mutate requires the http-serve driver"},
+		{"mutate against remote", func(s *Scenario) {
+			s.Driver = DriverHTTPServe
+			s.HTTP = &HTTPSpec{URL: "http://example.test"}
+			s.Mix = &MixSpec{CachedSolve: 0.9, Mutate: 0.1}
+		}, "requires a spawned server"},
+		{"batch_solve over http", func(s *Scenario) {
+			s.Driver = DriverHTTPServe
+			s.Mix = &MixSpec{BatchSolve: 1}
+		}, "mix weight batch_solve requires the inproc-fast driver"},
+		{"batch_solve with kwcds", func(s *Scenario) {
+			s.Mix = &MixSpec{BatchSolve: 1}
+			s.Matrix.Algos = []string{"kwcds"}
+		}, "mix weight batch_solve supports algos kw|kw2"},
+		{"empty slo block", func(s *Scenario) { s.SLO = &SLOSpec{} }, "slo block sets no bounds"},
+		{"negative slo bound", func(s *Scenario) {
+			s.SLO = &SLOSpec{P99MS: f64p(-1)}
+		}, "slo p99_ms must be a finite value ≥ 0"},
+		{"slo rate above one", func(s *Scenario) {
+			s.SLO = &SLOSpec{ErrorRate: f64p(1.5)}
+		}, "slo error_rate is a fraction in [0, 1]"},
+		{"slo shed floor above cap", func(s *Scenario) {
+			s.SLO = &SLOSpec{ShedRate: f64p(0.1), MinShedRate: f64p(0.2)}
+		}, "exceeds shed_rate"},
+		{"negative max_queue", func(s *Scenario) {
+			s.Driver = DriverHTTPServe
+			s.HTTP = &HTTPSpec{MaxQueue: -1}
+		}, "max_queue must be ≥ 0"},
+		{"queue knobs on remote", func(s *Scenario) {
+			s.Driver = DriverHTTPServe
+			s.HTTP = &HTTPSpec{URL: "http://example.test", MaxQueue: 4}
+		}, "a remote target configures its own admission queue"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -186,7 +263,16 @@ func fullSpec() *Scenario {
 		},
 		Select:     "zipfian",
 		Theta:      1.5,
-		SelectSeed: 9,
+		SelectSeed: i64p(9),
+		Mix:        &MixSpec{CachedSolve: 0.9, ColdSolve: 0.05, Mutate: 0.05},
+		Tenants:    2,
+		SLO: &SLOSpec{
+			P99MS:       f64p(250),
+			P999MS:      f64p(400),
+			ErrorRate:   f64p(0.01),
+			ShedRate:    f64p(0.2),
+			MinShedRate: f64p(0.01),
+		},
 		Matrix: Matrix{
 			Algos:    []string{"kw", "kwcds"},
 			Variants: []string{"ln", "ln-lnln"},
@@ -195,7 +281,7 @@ func fullSpec() *Scenario {
 		Closed:    &ClosedLoop{Concurrency: 4, Ops: 64},
 		WarmupOps: 8,
 		Seeds:     4,
-		HTTP:      &HTTPSpec{Workers: 2, CacheEntries: 32},
+		HTTP:      &HTTPSpec{Workers: 2, CacheEntries: 32, MaxQueue: 16, QueueTimeoutSec: 0.5},
 	}
 }
 
@@ -228,11 +314,14 @@ func TestSpecGoldenRoundTrip(t *testing.T) {
   "select": "zipfian",
   "theta": 1.5,
   "select_seed": 9,
+  "mix": {"cached_solve": 0.9, "cold_solve": 0.05, "mutate": 0.05},
+  "tenants": 2,
+  "slo": {"p99_ms": 250, "p999_ms": 400, "error_rate": 0.01, "shed_rate": 0.2, "min_shed_rate": 0.01},
   "matrix": {"algos": ["kw", "kwcds"], "variants": ["ln", "ln-lnln"], "ks": [2, 3]},
   "closed": {"concurrency": 4, "ops": 64},
   "warmup_ops": 8,
   "seeds": 4,
-  "http": {"workers": 2, "cache_entries": 32}
+  "http": {"workers": 2, "cache_entries": 32, "max_queue": 16, "queue_timeout_sec": 0.5}
 }`
 	fromJSON, err := Decode([]byte(goldenJSON), false)
 	if err != nil {
@@ -250,6 +339,7 @@ driver = "http-serve"
 select = "zipfian"
 theta = 1.5
 select_seed = 9
+tenants = 2
 warmup_ops = 8
 seeds = 4
 
@@ -259,6 +349,18 @@ tier = "udg-500"
 [[graphs]]
 name = "tiny"
 gen = "gnp:50:0.1:3"
+
+[mix]
+cached_solve = 0.9
+cold_solve = 0.05
+mutate = 0.05
+
+[slo]
+p99_ms = 250
+p999_ms = 400
+error_rate = 0.01
+shed_rate = 0.2
+min_shed_rate = 0.01
 
 [matrix]
 algos = ["kw", "kwcds"]
@@ -272,6 +374,8 @@ ops = 64
 [http]
 workers = 2
 cache_entries = 32
+max_queue = 16
+queue_timeout_sec = 0.5
 `
 	fromTOML, err := Decode([]byte(goldenTOML), true)
 	if err != nil {

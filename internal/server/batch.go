@@ -68,6 +68,18 @@ func (s *Server) batchable(algo string, opts kwmds.Options) bool {
 // solve must never share a batch with a digest-equal inline upload (same
 // bytes, different graph pointer, no relabeling).
 func (s *Server) solveBatched(g *graph.Graph, digest, algo, engine string, opts kwmds.Options) (*graphio.SolveResponse, error) {
+	// Admission gate for riders: a queued item occupies the same bounded
+	// admission budget as a solo solve waiting for a slot. The counter is
+	// released in drainGroup once the item's batch claims its worker slot —
+	// depth-bounded only; QueueTimeout does not apply here (a batch claims
+	// its slot as a unit).
+	if limit := s.cfg.MaxQueue; limit > 0 {
+		if s.queued.Add(1) > int64(limit) {
+			s.queued.Add(-1)
+			s.sheds.Add(1)
+			return nil, fmt.Errorf("%w: admission queue full (%d waiting)", errOverloaded, limit)
+		}
+	}
 	it := &batchItem{g: g, digest: digest, algo: algo, engine: engine, opts: opts, done: make(chan struct{})}
 	key := digest
 	if opts.Reordered != nil {
@@ -122,6 +134,11 @@ func (s *Server) drainGroup(key string) {
 		b.mu.Unlock()
 
 		s.sem <- struct{}{}
+		// The claimed items leave the admission queue the moment their batch
+		// holds a worker slot (mirrors admit's defer on the solo path).
+		if s.cfg.MaxQueue > 0 {
+			s.queued.Add(-int64(len(batch)))
+		}
 		s.runBatch(batch)
 		<-s.sem
 	}

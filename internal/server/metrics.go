@@ -36,6 +36,7 @@ func (s *Server) observeSolve(engine string, ms float64) {
 //
 //	kwmds_cache_entries / _hits_total / _misses_total / _hit_rate
 //	kwmds_pool_workers / kwmds_pool_in_use
+//	kwmds_sheds_total / kwmds_queue_depth / kwmds_queue_limit
 //	kwmds_solve_batches_total / kwmds_batched_solves_total
 //	kwmds_graphs
 //	kwmds_solve_latency_ms{engine,quantile} + _sum/_count   (cold solves)
@@ -63,6 +64,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "kwmds_pool_workers %d\n", s.cfg.Workers)
 	writeFamily(&b, "kwmds_pool_in_use", "gauge", "Worker slots currently held.")
 	fmt.Fprintf(&b, "kwmds_pool_in_use %d\n", len(s.sem))
+
+	sheds, depth := s.QueueStats()
+	writeFamily(&b, "kwmds_sheds_total", "counter", "Solves shed by admission control (429).")
+	fmt.Fprintf(&b, "kwmds_sheds_total %d\n", sheds)
+	writeFamily(&b, "kwmds_queue_depth", "gauge", "Computations currently in the admission queue.")
+	fmt.Fprintf(&b, "kwmds_queue_depth %d\n", depth)
+	writeFamily(&b, "kwmds_queue_limit", "gauge", "Admission queue bound (0 = unbounded).")
+	fmt.Fprintf(&b, "kwmds_queue_limit %d\n", s.cfg.MaxQueue)
 
 	batches, batched := s.BatchStats()
 	writeFamily(&b, "kwmds_solve_batches_total", "counter", "Batched cold-solve groups run.")

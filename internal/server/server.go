@@ -13,6 +13,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"kwmds"
@@ -28,6 +29,18 @@ type Config struct {
 	// Workers bounds the number of pipeline runs executing concurrently;
 	// excess requests queue. Default GOMAXPROCS.
 	Workers int
+	// MaxQueue bounds the admission queue in front of the worker pool: at
+	// most Workers running plus MaxQueue waiting solve computations are
+	// admitted, and anything beyond that is shed immediately with
+	// 429 + Retry-After (ErrorResponse code "overloaded"). 0 leaves
+	// admission unbounded — the pre-admission-control behavior, where an
+	// overloaded server queues without limit.
+	MaxQueue int
+	// QueueTimeout bounds how long an admitted solve may wait for a worker
+	// slot; one whose wait outlives it is shed with 429. It gates the solo
+	// and sharded solve paths (batch riders are bounded by MaxQueue depth
+	// only — a batch claims its slot as a unit). 0 disables the timeout.
+	QueueTimeout time.Duration
 	// CacheEntries is the LRU capacity in results. 0 selects the default
 	// of 256; a negative value disables caching (single-flight coalescing
 	// still applies).
@@ -97,6 +110,12 @@ type Server struct {
 	// advertised for it.
 	mesh     *shard.MeshListener
 	meshAddr string
+	// Admission-control counters: queued is the number of computations
+	// currently inside the admission queue (waiting for, or about to take,
+	// a worker slot) and sheds the lifetime count of solves refused with
+	// 429 (queue full or queue timeout).
+	queued atomic.Int64
+	sheds  atomic.Int64
 	// Per-engine solve latency histograms for /metrics (cold solves only —
 	// cache hits cost microseconds and would drown the signal).
 	lmu       sync.Mutex
@@ -299,6 +318,16 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			writeError(w, he.status, "%s", he.msg)
 			return
 		}
+		if errors.Is(err, errOverloaded) {
+			// Typed shed: the computation never started, so the client may
+			// retry after backing off. Load generators (kwbench) count these
+			// as sheds, not errors.
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, graphio.ErrorResponse{
+				Error: err.Error(), Code: graphio.CodeOverloaded,
+			})
+			return
+		}
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			// The client stopped listening mid-solve. 499 (nginx's "client
 			// closed request") keeps the access log honest; the write itself
@@ -327,6 +356,43 @@ func (s *Server) acquire(cancel <-chan struct{}) error {
 	case <-cancel:
 		return errSolveAbandoned
 	}
+}
+
+// errOverloaded reports a solve shed by admission control (queue full or
+// queue-timeout expiry); handleSolve maps it to 429 + Retry-After with the
+// stable "overloaded" error code. The computation never started, so the
+// request is safely retryable.
+var errOverloaded = errors.New("server overloaded")
+
+// admit takes a worker slot through the bounded admission queue: with
+// MaxQueue set, at most MaxQueue computations may be waiting at once and
+// the rest are shed without blocking; with QueueTimeout set, an admitted
+// computation whose slot wait outlives the timeout is shed too. With
+// neither set this is exactly acquire. Callers that got the slot release
+// with `<-s.sem`.
+func (s *Server) admit(cancel <-chan struct{}) error {
+	if limit := s.cfg.MaxQueue; limit > 0 {
+		if s.queued.Add(1) > int64(limit) {
+			s.queued.Add(-1)
+			s.sheds.Add(1)
+			return fmt.Errorf("%w: admission queue full (%d waiting)", errOverloaded, limit)
+		}
+		defer s.queued.Add(-1)
+	}
+	if s.cfg.QueueTimeout > 0 {
+		t := time.NewTimer(s.cfg.QueueTimeout)
+		defer t.Stop()
+		select {
+		case s.sem <- struct{}{}:
+			return nil
+		case <-t.C:
+			s.sheds.Add(1)
+			return fmt.Errorf("%w: no worker slot within the %v queue timeout", errOverloaded, s.cfg.QueueTimeout)
+		case <-cancel:
+			return errSolveAbandoned
+		}
+	}
+	return s.acquire(cancel)
 }
 
 // solve resolves the topology, validates the options, and answers from the
@@ -433,7 +499,7 @@ func (s *Server) solve(ctx context.Context, req *graphio.SolveRequest) (*graphio
 		// dead client would cost more than finishing).
 		if s.cfg.Shards > 1 && pre != nil && opts.Sequential && req.Algo != "frac" && req.Algo != "kwcds" {
 			if sc, perr := pre.partition(g, s.cfg.Shards); perr == nil {
-				if err := s.acquire(cancel); err != nil {
+				if err := s.admit(cancel); err != nil {
 					return nil, err
 				}
 				defer func() { <-s.sem }()
@@ -449,7 +515,7 @@ func (s *Server) solve(ctx context.Context, req *graphio.SolveRequest) (*graphio
 		if s.batchable(req.Algo, opts) {
 			return s.solveBatched(g, digest, req.Algo, req.Engine, opts)
 		}
-		if err := s.acquire(cancel); err != nil {
+		if err := s.admit(cancel); err != nil {
 			return nil, err
 		}
 		defer func() { <-s.sem }()
@@ -779,12 +845,20 @@ func (s *Server) Stats() (entries int, hits, misses int64) {
 	return s.cache.stats()
 }
 
+// QueueStats reports the admission-control counters: solves shed with 429
+// (lifetime) and the current number of computations inside the admission
+// queue. Also served by /healthz and /metrics.
+func (s *Server) QueueStats() (sheds, queueDepth int64) {
+	return s.sheds.Load(), s.queued.Load()
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	entries, hits, misses := s.cache.stats()
 	batches, batched := s.BatchStats()
 	s.gmu.RLock()
 	graphs := len(s.graphs)
 	s.gmu.RUnlock()
+	sheds, depth := s.QueueStats()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":         "ok",
 		"workers":        s.cfg.Workers,
@@ -794,5 +868,8 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"cache_misses":   misses,
 		"solve_batches":  batches,
 		"batched_solves": batched,
+		"max_queue":      s.cfg.MaxQueue,
+		"queue_depth":    depth,
+		"sheds":          sheds,
 	})
 }
